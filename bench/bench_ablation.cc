@@ -1,0 +1,151 @@
+// Ablation benches for the design choices DESIGN.md calls out:
+//
+//  1. Static batch-norm evaluation (sBN) vs aggregated running statistics.
+//     Width-heterogeneous aggregation mixes BN statistics from sub-networks
+//     with different effective inputs; sBN is what makes HeteroFL-style
+//     evaluation meaningful.
+//  2. Data-size-weighted vs uniform client aggregation.
+//  3. State heterogeneity: per-device availability when sampled.
+//  4. FedRolex's rolling window vs a static prefix: exact mask-level
+//     coordinate coverage, plus the (horizon-limited) accuracy comparison
+//     when no client holds the full model.
+#include <cstdio>
+#include <set>
+
+#include "algorithms/registry.h"
+#include "models/index_map.h"
+#include "algorithms/sheterofl.h"
+#include "core/table.h"
+#include "data/tasks.h"
+#include "fl/engine.h"
+#include "models/zoo.h"
+
+namespace {
+
+using namespace mhbench;
+
+struct Setup {
+  data::Task task;
+  models::TaskModels tm;
+  std::vector<fl::ClientAssignment> assignments;
+};
+
+Setup MakeSetup(const std::vector<double>& ladder) {
+  data::TaskConfig tcfg;
+  tcfg.train_samples = 360;
+  tcfg.test_samples = 160;
+  tcfg.num_clients = 8;
+  Setup s{data::MakeTask("cifar10", tcfg),
+          models::MakeTaskModels("cifar10"),
+          fl::UniformCapacityAssignments(8, ladder)};
+  return s;
+}
+
+fl::FlConfig FastConfig() {
+  fl::FlConfig cfg;
+  cfg.rounds = 16;
+  cfg.sample_fraction = 0.5;
+  cfg.eval_every = 16;
+  cfg.eval_max_samples = 160;
+  cfg.stability_max_samples = 1;
+  return cfg;
+}
+
+double RunVariant(Setup& s, const std::string& name,
+                  bool sbn, bool data_weighted) {
+  algorithms::AlgorithmOptions aopts;
+  auto alg = algorithms::MakeAlgorithm(name, s.tm, aopts);
+  auto* ws = dynamic_cast<algorithms::WeightSharingAlgorithm*>(alg.get());
+  if (ws != nullptr) {
+    ws->set_sbn_eval(sbn);
+    ws->set_aggregation_weighting(
+        data_weighted
+            ? algorithms::WeightSharingAlgorithm::AggregationWeighting::
+                  kDataSize
+            : algorithms::WeightSharingAlgorithm::AggregationWeighting::
+                  kUniform);
+  }
+  fl::FlEngine engine(s.task, FastConfig(), s.assignments, *alg);
+  return engine.Run().final_accuracy;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("Ablation 1: static-batch-norm evaluation (sheterofl, cifar10)");
+  {
+    Setup s = MakeSetup(algorithms::RatioLadder());
+    AsciiTable t({"Variant", "Global accuracy"});
+    t.AddRow({"sBN eval (default)",
+              AsciiTable::Num(RunVariant(s, "sheterofl", true, true), 3)});
+    t.AddRow({"running-stats eval",
+              AsciiTable::Num(RunVariant(s, "sheterofl", false, true), 3)});
+    std::fputs(t.Render().c_str(), stdout);
+  }
+
+  std::puts("\nAblation 2: aggregation weighting (depthfl, cifar10)");
+  {
+    Setup s = MakeSetup(algorithms::RatioLadder());
+    AsciiTable t({"Variant", "Global accuracy"});
+    t.AddRow({"data-size weighted (default)",
+              AsciiTable::Num(RunVariant(s, "depthfl", true, true), 3)});
+    t.AddRow({"uniform weights",
+              AsciiTable::Num(RunVariant(s, "depthfl", true, false), 3)});
+    std::fputs(t.Render().c_str(), stdout);
+  }
+
+  std::puts(
+      "\nAblation 3: state heterogeneity — devices offline with probability\n"
+      "(1 - availability) when sampled (sheterofl, cifar10):");
+  {
+    AsciiTable t({"Availability", "Global accuracy"});
+    for (double avail : {1.0, 0.7, 0.4}) {
+      Setup s = MakeSetup(algorithms::RatioLadder());
+      for (auto& a : s.assignments) a.system.availability = avail;
+      t.AddRow({AsciiTable::Num(avail, 1),
+                AsciiTable::Num(RunVariant(s, "sheterofl", true, true), 3)});
+    }
+    std::fputs(t.Render().c_str(), stdout);
+  }
+
+  std::puts(
+      "\nAblation 4: rolling window coverage — when no client holds the\n"
+      "full model (ladder capped at 0.5), a static prefix leaves the outer\n"
+      "coordinates of every channel group untrained forever; FedRolex's\n"
+      "rolling window reaches them all within one wrap:");
+  {
+    // Mask-level coverage of a 16-channel group under ratios {0.25, 0.5}.
+    AsciiTable t({"Rounds", "prefix coverage", "rolling coverage"});
+    for (int rounds : {1, 4, 8, 16}) {
+      std::set<int> prefix_cov, rolling_cov;
+      for (int r = 0; r < rounds; ++r) {
+        for (double ratio : {0.25, 0.5}) {
+          const int keep = models::ScaledCount(16, ratio);
+          for (int i : models::PrefixIndices(16, keep)) prefix_cov.insert(i);
+          for (int i : models::RollingIndices(16, keep, r)) {
+            rolling_cov.insert(i);
+          }
+        }
+      }
+      t.AddRow({std::to_string(rounds),
+                AsciiTable::Num(prefix_cov.size() / 16.0 * 100, 0) + "%",
+                AsciiTable::Num(rolling_cov.size() / 16.0 * 100, 0) + "%"});
+    }
+    std::fputs(t.Render().c_str(), stdout);
+  }
+  std::puts(
+      "Accuracy at this fast 16-round preset (the coverage advantage needs\n"
+      "FedRolex's long training horizons — thousands of rounds in its paper\n"
+      "— to convert into full-supernet accuracy; at short horizons the\n"
+      "static prefix's consistently-trained sub-model serves better):");
+  {
+    Setup s = MakeSetup({0.25, 0.5});
+    AsciiTable t({"Algorithm", "Global accuracy (served model)"});
+    t.AddRow({"sheterofl (static prefix, serves x0.5)",
+              AsciiTable::Num(RunVariant(s, "sheterofl", true, true), 3)});
+    t.AddRow({"fedrolex (rolling window, serves x1.0)",
+              AsciiTable::Num(RunVariant(s, "fedrolex", true, true), 3)});
+    std::fputs(t.Render().c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Reproduces Figure 3: the constructed model pool — measured parameters and
+// forward GFLOPs of ResNet variants under three algorithms on Jetson Orin
+// NX (the candidates the practical constraint cases select from).
+#include <cstdio>
+
+#include "algorithms/registry.h"
+#include "core/table.h"
+#include "device/device_profile.h"
+#include "device/model_pool.h"
+
+int main() {
+  using namespace mhbench;
+  std::puts(
+      "Figure 3: model pool statistics (ResNet family, Jetson Orin NX)\n");
+
+  const device::DeviceProfile orin = device::JetsonOrinNx();
+  const device::PaperTaskDescs descs = device::PaperDescsForTask("cifar100");
+
+  for (const char* algorithm : {"sheterofl", "depthfl", "fedrolex"}) {
+    std::printf("-- algorithm: %s --\n", algorithm);
+    const device::ModelPool pool = device::ModelPool::ForAlgorithm(
+        algorithm, descs, algorithms::RatioLadder(), orin);
+    AsciiTable table({"Candidate", "Ratio", "Params (M)", "GFLOPs (fwd)",
+                      "Train time (s)", "Memory (MB)"});
+    for (const auto& e : pool.entries()) {
+      table.AddRow({e.model, AsciiTable::Num(e.ratio, 2),
+                    AsciiTable::Num(e.cost.params_m, 2),
+                    AsciiTable::Num(e.cost.gflops_fwd, 3),
+                    AsciiTable::Num(e.cost.train_time_s, 1),
+                    AsciiTable::Num(e.cost.memory_mb, 0)});
+    }
+    std::fputs(table.Render().c_str(), stdout);
+  }
+
+  // Topology pools (the R-18/34/50/101 sweep in the figure).
+  std::puts("-- topology candidates (fedet) --");
+  const device::ModelPool topo = device::ModelPool::ForAlgorithm(
+      "fedet", descs, algorithms::RatioLadder(), orin);
+  AsciiTable table({"Candidate", "Params (M)", "GFLOPs (fwd)",
+                    "Train time (s)", "Memory (MB)"});
+  for (const auto& e : topo.entries()) {
+    table.AddRow({e.model, AsciiTable::Num(e.cost.params_m, 2),
+                  AsciiTable::Num(e.cost.gflops_fwd, 3),
+                  AsciiTable::Num(e.cost.train_time_s, 1),
+                  AsciiTable::Num(e.cost.memory_mb, 0)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Reproduces Figure 4: computation-limited MHFL — global accuracy and
+// time-to-accuracy (top row), stability and effectiveness (bottom row) for
+// every algorithm on all six data tasks.
+#include "suite_main.h"
+
+int main() {
+  using namespace mhbench;
+  const std::vector<std::string> tasks = {
+      "cifar10", "cifar100", "agnews", "stackoverflow", "harbox", "ucihar"};
+  return benchmain::RunConstraintFigure(
+      "fig4_computation", "computation-limited MHFL", "computation", tasks);
+}

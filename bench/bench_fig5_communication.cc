@@ -1,0 +1,11 @@
+// Reproduces Figure 5: communication-limited MHFL across all six tasks.
+#include "suite_main.h"
+
+int main() {
+  using namespace mhbench;
+  const std::vector<std::string> tasks = {
+      "cifar10", "cifar100", "agnews", "stackoverflow", "harbox", "ucihar"};
+  return benchmain::RunConstraintFigure("fig5_communication",
+                                        "communication-limited MHFL",
+                                        "communication", tasks);
+}

@@ -1,0 +1,11 @@
+// Reproduces Figure 6: memory-limited MHFL.  The paper restricts this case
+// to the large-model tasks (ResNet-101 on CIFAR-100, ALBERT on Stack
+// Overflow) since small HAR models fit any device.
+#include "suite_main.h"
+
+int main() {
+  using namespace mhbench;
+  const std::vector<std::string> tasks = {"cifar100", "stackoverflow"};
+  return benchmain::RunConstraintFigure("fig6_memory", "memory-limited MHFL",
+                                        "memory", tasks);
+}

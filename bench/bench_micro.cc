@@ -1,0 +1,124 @@
+// Google-benchmark micro-benchmarks of the primitives the platform's
+// hot loops are built on: GEMM, convolution, sub-model gather/scatter,
+// masked aggregation, and the cost model.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "device/cost_model.h"
+#include "device/device_profile.h"
+#include "fl/aggregator.h"
+#include "models/zoo.h"
+#include "nn/conv.h"
+#include "tensor/ops.h"
+
+namespace {
+
+using namespace mhbench;
+
+void BM_Matmul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::Randn({n, n}, rng);
+  const Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Rng rng(2);
+  nn::Conv2d conv(8, 16, 3, 1, 1, rng);
+  const Tensor x = Tensor::Randn({8, 8, 8, 8}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x, true));
+  }
+}
+BENCHMARK(BM_Conv2dForward);
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  Rng rng(3);
+  nn::Conv2d conv(8, 16, 3, 1, 1, rng);
+  const Tensor x = Tensor::Randn({8, 8, 8, 8}, rng);
+  const Tensor y = conv.Forward(x, true);
+  const Tensor g = Tensor::Randn(y.shape(), rng);
+  for (auto _ : state) {
+    conv.ZeroGrad();
+    benchmark::DoNotOptimize(conv.Backward(g));
+  }
+}
+BENCHMARK(BM_Conv2dBackward);
+
+void BM_GatherSubmodel(benchmark::State& state) {
+  Rng rng(4);
+  const Tensor w = Tensor::Randn({64, 64, 3, 3}, rng);
+  const ops::DimIndices idx = {models::PrefixIndices(64, 32),
+                               models::PrefixIndices(64, 32), std::nullopt,
+                               std::nullopt};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::GatherDims(w, idx));
+  }
+}
+BENCHMARK(BM_GatherSubmodel);
+
+void BM_ScatterAdd(benchmark::State& state) {
+  Rng rng(5);
+  Tensor dst({64, 64, 3, 3});
+  const Tensor src = Tensor::Randn({32, 32, 3, 3}, rng);
+  const ops::DimIndices idx = {models::PrefixIndices(64, 32),
+                               models::PrefixIndices(64, 32), std::nullopt,
+                               std::nullopt};
+  for (auto _ : state) {
+    ops::ScatterAddDims(dst, src, idx);
+    benchmark::DoNotOptimize(dst);
+  }
+}
+BENCHMARK(BM_ScatterAdd);
+
+void BM_SubModelBuild(benchmark::State& state) {
+  Rng rng(6);
+  const auto tm = models::MakeTaskModels("cifar100");
+  models::BuildSpec spec;
+  spec.width_ratio = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tm.primary->Build(spec, rng));
+  }
+}
+BENCHMARK(BM_SubModelBuild);
+
+void BM_MaskedAggregationRound(benchmark::State& state) {
+  Rng rng(7);
+  const auto tm = models::MakeTaskModels("cifar100");
+  models::BuildSpec full;
+  full.multi_head = true;
+  auto global = tm.primary->Build(full, rng);
+  fl::ParamStore store = fl::ParamStore::FromModule(*global.net);
+  std::vector<models::BuiltModel> clients;
+  for (double r : {0.25, 0.5, 1.0}) {
+    models::BuildSpec spec;
+    spec.width_ratio = r;
+    clients.push_back(tm.primary->Build(spec, rng));
+  }
+  for (auto _ : state) {
+    fl::MaskedAverager avg;
+    for (auto& c : clients) {
+      avg.Accumulate(*c.net, c.mapping, 10.0, store);
+    }
+    avg.ApplyTo(store);
+  }
+}
+BENCHMARK(BM_MaskedAggregationRound);
+
+void BM_CostModel(benchmark::State& state) {
+  const device::CostModel cm(device::PaperDesc("resnet101"));
+  const device::DeviceProfile orin = device::JetsonOrinNx();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cm.Cost("sheterofl", 0.5, orin));
+  }
+}
+BENCHMARK(BM_CostModel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

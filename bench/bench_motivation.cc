@@ -1,0 +1,79 @@
+// Motivation study (the paper's Section I argument, beyond its figures):
+// why constraint-aware model assignment matters at all.
+//
+// The literature's proportional splitting ("x0.5 of the model") ignores the
+// actual device: under a synchronous round deadline, slow devices carrying
+// oversized models become stragglers and are dropped, losing their data.
+// The computation-limited builder sizes each model to its device, so every
+// client makes the deadline.  This bench runs both assignment policies
+// under the *same* deadline and reports drop rates and accuracy.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_support/experiment.h"
+#include "constraints/computation_limited.h"
+#include "core/table.h"
+#include "device/ima_fleet.h"
+#include "metrics/report.h"
+
+int main() {
+  using namespace mhbench;
+  std::puts(
+      "Motivation: proportional splitting vs computation-limited assignment"
+      "\nunder a synchronous round deadline (cifar10)\n");
+
+  bench_support::SuiteOptions base;
+  base.task = "cifar10";
+
+  // The deadline the computation-limited builder equalizes compute to,
+  // plus headroom for the full model's upload/download at the slowest
+  // bandwidth in the fleet (the engine's deadline covers compute + comm).
+  device::FleetConfig fcfg;
+  fcfg.num_clients = base.preset.clients;
+  fcfg.seed = base.fleet_seed;
+  const device::Fleet fleet = device::SampleFleet(fcfg);
+  const double compute_deadline =
+      constraints::BuildComputationLimited("sheterofl", base.task, fleet)
+          .compute_deadline_s;
+  double worst_comm = 0.0;
+  {
+    const device::PaperTaskDescs descs =
+        device::PaperDescsForTask(base.task);
+    device::CostModel cm(descs.primary);
+    for (const auto& dev : fleet) {
+      device::DeviceProfile p;
+      p.gflops = dev.gflops;
+      p.bandwidth_mbps = dev.bandwidth_mbps;
+      worst_comm =
+          std::max(worst_comm, cm.Cost("sheterofl", 1.0, p).comm_time_s);
+    }
+  }
+  const double deadline = compute_deadline + worst_comm;
+  std::printf(
+      "round deadline: %.1f s (fast-quartile full-model compute %.1f s + "
+      "worst-case full-model comm %.1f s)\n\n",
+      deadline, compute_deadline, worst_comm);
+
+  AsciiTable table({"Assignment policy", "Algorithm", "Straggler drop rate",
+                    "Global accuracy"});
+  for (const char* constraint : {"none", "computation"}) {
+    for (const char* algorithm : {"sheterofl", "depthfl"}) {
+      bench_support::SuiteOptions options = base;
+      options.constraint = constraint;
+      options.round_deadline_s = deadline;
+      const auto bundle = bench_support::RunOne(algorithm, options);
+      table.AddRow({std::string(constraint) == "none"
+                        ? "proportional (literature)"
+                        : "computation-limited (paper)",
+                    algorithm,
+                    AsciiTable::Num(bundle.straggler_drop_rate * 100, 1) + "%",
+                    AsciiTable::Num(bundle.global_accuracy, 3)});
+    }
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::puts(
+      "\nProportional splitting assigns model sizes blind to device speed,\n"
+      "so slow devices miss the deadline and their updates are lost;\n"
+      "constraint-aware assignment keeps (nearly) everyone in the round.");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Reproduces Table I: parameters, per-round training time (Jetson Nano and
+// Orin NX) and memory usage of ResNet-101 at x0.5 under SHeteroFL, DepthFL,
+// FedRolex and FeDepth.
+//
+// Table I is the cost model's calibration anchor (see device/calibration),
+// so the reproduction is exact by construction; the value of this binary is
+// regression-testing the calibration and printing the paper-vs-model delta.
+#include <cstdio>
+
+#include "core/table.h"
+#include "device/cost_model.h"
+#include "device/device_profile.h"
+
+namespace {
+
+struct PaperRow {
+  const char* method;
+  double params_m, nano_s, orin_s, memory_mb;
+};
+constexpr PaperRow kPaper[] = {
+    {"sheterofl", 10.66, 430.24, 212.72, 593},
+    {"depthfl", 10.29, 515.93, 254.65, 1220},
+    {"fedrolex", 10.75, 465.17, 233.56, 780},
+    {"fedepth", 10.54, 450.64, 222.35, 631},
+};
+
+}  // namespace
+
+int main() {
+  using namespace mhbench;
+  std::puts("Table I: ResNet-101 (x0.5) under four heterogeneity methods");
+  std::puts("(paper values in parentheses; times are one training round)\n");
+
+  device::CostModel cm(device::PaperDesc("resnet101"));
+  const device::DeviceProfile nano = device::JetsonNano();
+  const device::DeviceProfile orin = device::JetsonOrinNx();
+
+  AsciiTable table({"Method", "Model", "Parameters(M)", "Time N (s)",
+                    "Time O (s)", "Memory (MB)"});
+  for (const auto& row : kPaper) {
+    const auto cn = cm.Cost(row.method, 0.5, nano);
+    const auto co = cm.Cost(row.method, 0.5, orin);
+    table.AddRow({row.method, "ResNet101 (x0.5)",
+                  AsciiTable::Num(cn.params_m, 2) + " (" +
+                      AsciiTable::Num(row.params_m, 2) + ")",
+                  AsciiTable::Num(cn.train_time_s, 2) + " (" +
+                      AsciiTable::Num(row.nano_s, 2) + ")",
+                  AsciiTable::Num(co.train_time_s, 2) + " (" +
+                      AsciiTable::Num(row.orin_s, 2) + ")",
+                  AsciiTable::Num(cn.memory_mb, 0) + " (" +
+                      AsciiTable::Num(row.memory_mb, 0) + ")"});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces Table III: the edge devices the platform is built around, with
+// the fitted effective throughputs the cost model assigns them (the paper
+// lists processors and GPU memory; we additionally show the calibrated
+// GFLOP/s that reproduce Table I's training times).
+#include <cstdio>
+
+#include "core/table.h"
+#include "device/device_profile.h"
+
+int main() {
+  using namespace mhbench;
+  std::puts("Table III: edge devices used in the platform construction\n");
+  AsciiTable table({"Device", "Fitted GFLOP/s", "Bandwidth (Mbps)",
+                    "Memory budget (MB)", "GPU"});
+  for (const device::DeviceProfile& dev :
+       {device::JetsonOrinNx(), device::JetsonTx2Nx(), device::JetsonNano(),
+        device::RaspberryPi4()}) {
+    table.AddRow({dev.name, AsciiTable::Num(dev.gflops, 2),
+                  AsciiTable::Num(dev.bandwidth_mbps, 0),
+                  AsciiTable::Num(dev.memory_mb, 0),
+                  dev.has_gpu ? "yes" : "no"});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  std::puts(
+      "\nOrin NX / Nano throughputs are fitted to Table I (the Orin/Nano\n"
+      "training-time ratio there is ~2.02x); TX2 NX and Raspberry Pi 4B\n"
+      "are interpolated/extrapolated (see device/calibration.cc).");
+  return 0;
+}

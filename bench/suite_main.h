@@ -1,0 +1,64 @@
+// Shared driver for the figure-shaped benches (Figures 4, 5, 6): run every
+// MHFL algorithm plus the effectiveness baseline on each task under one
+// constraint case, print the paper's 2x2 metric panel and accuracy curves,
+// and dump a CSV next to the binary's working directory.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "bench_support/experiment.h"
+#include "core/env.h"
+#include "metrics/report.h"
+
+namespace mhbench::benchmain {
+
+inline std::vector<std::string> MhflAlgorithms() {
+  std::vector<std::string> names;
+  for (const auto& info : algorithms::AllAlgorithms()) {
+    if (info.name != "fedavg") names.push_back(info.name);
+  }
+  return names;
+}
+
+inline int RunConstraintFigure(const std::string& figure_id,
+                               const std::string& title,
+                               const std::string& constraint,
+                               const std::vector<std::string>& tasks) {
+  std::printf("%s: %s\n", figure_id.c_str(), title.c_str());
+  std::printf(
+      "(fast preset; scale with MHB_ROUNDS / MHB_CLIENTS / MHB_TRAIN / "
+      "MHB_REPEATS)\n\n");
+
+  std::vector<metrics::MetricBundle> all;
+  for (const auto& task : tasks) {
+    bench_support::SuiteOptions options;
+    options.constraint = constraint;
+    options.task = task;
+    const auto bundles =
+        bench_support::RunSuite(MhflAlgorithms(), options);
+    std::fputs(
+        metrics::RenderMetricPanel(constraint + " / " + task, bundles)
+            .c_str(),
+        stdout);
+    std::fputs(
+        metrics::RenderCurves("accuracy curves: " + task, bundles).c_str(),
+        stdout);
+    std::puts("");
+    all.insert(all.end(), bundles.begin(), bundles.end());
+  }
+
+  const std::string csv_path =
+      EnvString("MHB_CSV_DIR", ".") + "/" + figure_id + ".csv";
+  std::ofstream csv(csv_path);
+  if (csv.good()) {
+    csv << metrics::ToCsv(all);
+    std::printf("[csv written to %s]\n", csv_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace mhbench::benchmain

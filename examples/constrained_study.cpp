@@ -1,0 +1,47 @@
+// Domain example 1: a practical constraint study.
+//
+// Reproduces the platform's evaluation track end-to-end for one scenario:
+// sample an IMA-style fleet, build the computation-limited assignment for
+// each algorithm, run federated training, and print the paper's 2x2 metric
+// panel — the programmatic equivalent of one cell of Figure 4.
+//
+//   $ ./examples/constrained_study [task] [constraint]
+//   e.g. ./examples/constrained_study cifar100 memory
+#include <cstdio>
+#include <string>
+
+#include "bench_support/experiment.h"
+#include "metrics/report.h"
+
+int main(int argc, char** argv) {
+  using namespace mhbench;
+
+  bench_support::SuiteOptions options;
+  options.task = argc > 1 ? argv[1] : "cifar100";
+  options.constraint = argc > 2 ? argv[2] : "computation";
+  options.preset.rounds = 16;
+  options.preset.clients = 8;
+
+  std::printf("Constraint study: %s under %s-limited MHFL\n\n",
+              options.task.c_str(), options.constraint.c_str());
+
+  const auto bundles = bench_support::RunSuite(
+      {"fjord", "sheterofl", "fedrolex", "depthfl", "fedepth"}, options);
+
+  std::fputs(metrics::RenderMetricPanel(
+                 options.constraint + " / " + options.task, bundles)
+                 .c_str(),
+             stdout);
+  std::fputs(
+      metrics::RenderCurves("accuracy vs evaluation checkpoint", bundles)
+          .c_str(),
+      stdout);
+
+  std::puts("\nReading the panel:");
+  std::puts(" - Global acc + time-to-acc (top): overall strength and speed.");
+  std::puts(" - Stability: variance across devices (lower = fairer).");
+  std::puts(
+      " - Effectiveness: gain over the smallest homogeneous FedAvg model —\n"
+      "   the paper's test of whether heterogeneity is worth it at all.");
+  return 0;
+}

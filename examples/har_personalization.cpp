@@ -1,0 +1,78 @@
+// Domain example 3: human-activity recognition with naturally non-IID
+// users and topology-heterogeneous personal models (FedProto).
+//
+// HAR deployments are the paper's motivating case for topology
+// heterogeneity: every user's wearable differs and the data is per-user by
+// construction.  This example federates prototype learning across three
+// distinct CNN architectures on the UCI-HAR analogue and reports both the
+// committee ("global") accuracy and the per-user spread.
+//
+//   $ ./examples/har_personalization
+#include <algorithm>
+#include <cstdio>
+
+#include "algorithms/registry.h"
+#include "core/table.h"
+#include "data/tasks.h"
+#include "fl/engine.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace mhbench;
+
+  data::TaskConfig tcfg;
+  tcfg.train_samples = 500;
+  tcfg.test_samples = 180;
+  tcfg.num_clients = 9;  // users; the natural partition groups by user id
+  const data::Task task = data::MakeTask("ucihar", tcfg);
+  std::printf("UCI-HAR analogue: %zu train windows, %d users (non-IID)\n\n",
+              task.train.size(), task.num_clients);
+
+  const models::TaskModels tm = models::MakeTaskModels(task.name);
+  std::puts("Topology family in play:");
+  for (std::size_t a = 0; a < tm.topology.size(); ++a) {
+    std::printf("  arch %zu: %s\n", a, tm.topology[a]->name().c_str());
+  }
+
+  // Assign architectures round-robin (user preference / device class).
+  std::vector<fl::ClientAssignment> assignments(
+      static_cast<std::size_t>(task.num_clients));
+  for (std::size_t i = 0; i < assignments.size(); ++i) {
+    assignments[i].arch_index = static_cast<int>(i % tm.topology.size());
+  }
+
+  auto algorithm = algorithms::MakeAlgorithm("fedproto", tm);
+  fl::FlConfig cfg;
+  cfg.rounds = 20;
+  cfg.sample_fraction = 0.5;
+  cfg.eval_every = 5;
+  fl::FlEngine engine(task, cfg, assignments, *algorithm);
+  const fl::RunResult result = engine.Run();
+
+  std::printf("\ncommittee accuracy after %d rounds: %.3f\n", cfg.rounds,
+              result.final_accuracy);
+
+  AsciiTable table({"User", "Architecture", "Personal accuracy"});
+  const int clients = engine.context().num_clients();
+  for (int c = 0; c < clients; ++c) {
+    const int arch =
+        engine.context().assignments[static_cast<std::size_t>(c)].arch_index %
+        static_cast<int>(tm.topology.size());
+    table.AddRow(
+        {std::to_string(c),
+         tm.topology[static_cast<std::size_t>(arch)]->name(),
+         AsciiTable::Num(
+             result.client_accuracies[static_cast<std::size_t>(c)], 3)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+
+  const auto [mn, mx] = std::minmax_element(result.client_accuracies.begin(),
+                                            result.client_accuracies.end());
+  std::printf(
+      "\nper-user spread: min %.3f / max %.3f (stability variance %.4f)\n",
+      *mn, *mx, result.StabilityVariance());
+  std::puts(
+      "FedProto never ships weights — only class prototypes — so every\n"
+      "user keeps an architecture of their own choice.");
+  return 0;
+}

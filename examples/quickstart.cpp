@@ -1,0 +1,64 @@
+// Quickstart: federate a width-heterogeneous population with SHeteroFL on
+// the synthetic CIFAR-10 task and compare against homogeneous FedAvg.
+//
+//   $ ./examples/quickstart
+//
+// Walks through the core public API: make a task, pick model families,
+// construct an algorithm, run the engine, read the metrics.
+#include <cstdio>
+
+#include "algorithms/registry.h"
+#include "core/table.h"
+#include "data/tasks.h"
+#include "fl/engine.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace mhbench;
+
+  // 1. A benchmark task: synthetic CIFAR-10 analogue, 8 clients.
+  data::TaskConfig tcfg;
+  tcfg.train_samples = 400;
+  tcfg.test_samples = 160;
+  tcfg.num_clients = 8;
+  const data::Task task = data::MakeTask("cifar10", tcfg);
+
+  // 2. Device heterogeneity: cycle the paper's ratio ladder (25%..100%)
+  //    over the clients — the classic proportional-splitting setup.
+  const std::vector<fl::ClientAssignment> assignments =
+      fl::UniformCapacityAssignments(task.num_clients,
+                                     algorithms::RatioLadder());
+
+  // 3. Model families for the task (MobileNetV2 analogue on CIFAR-10).
+  const models::TaskModels tm = models::MakeTaskModels(task.name);
+
+  // 4. Run two algorithms through the same engine.
+  AsciiTable table({"Algorithm", "Global accuracy", "Stability (var)"});
+  for (const char* name : {"fedavg", "sheterofl"}) {
+    algorithms::AlgorithmOptions aopts;
+    aopts.fedavg_ratio = 0.25;  // homogeneous baseline = smallest model
+    auto algorithm = algorithms::MakeAlgorithm(name, tm, aopts);
+
+    fl::FlConfig cfg;
+    cfg.rounds = 16;
+    cfg.sample_fraction = 0.5;
+    cfg.eval_every = 4;
+    fl::FlEngine engine(task, cfg, assignments, *algorithm);
+    const fl::RunResult result = engine.Run();
+
+    table.AddRow({name, AsciiTable::Num(result.final_accuracy, 3),
+                  AsciiTable::Num(result.StabilityVariance(), 4)});
+    std::printf("%s: accuracy curve:", name);
+    for (const auto& r : result.curve) {
+      std::printf(" %.3f", r.global_acc);
+    }
+    std::printf("\n");
+  }
+  std::puts("");
+  std::fputs(table.Render().c_str(), stdout);
+  std::puts(
+      "\nSHeteroFL lets the large devices contribute full-width updates\n"
+      "while the 25% devices still participate — the heterogeneous run\n"
+      "should beat the smallest-common-model FedAvg baseline.");
+  return 0;
+}

@@ -1,0 +1,101 @@
+#include "algorithms/algorithm.h"
+
+#include <algorithm>
+
+#include "fl/client.h"
+
+namespace mhbench::algorithms {
+
+WeightSharingAlgorithm::WeightSharingAlgorithm(models::FamilyPtr family,
+                                               std::uint64_t seed)
+    : family_(std::move(family)), seed_(seed) {
+  MHB_CHECK(family_ != nullptr);
+}
+
+void WeightSharingAlgorithm::Setup(const fl::FlContext& ctx, Rng& rng) {
+  ctx_ = &ctx;
+  Rng init = rng.Fork(seed_);
+  global_ = std::make_unique<fl::GlobalModel>(family_, init);
+}
+
+double WeightSharingAlgorithm::ClientCapacity(int client_id) const {
+  MHB_CHECK(ctx_ != nullptr);
+  return ctx_->assignments.at(static_cast<std::size_t>(client_id)).capacity;
+}
+
+void WeightSharingAlgorithm::RunClient(int client_id, int round, Rng& rng) {
+  MHB_CHECK(ctx_ != nullptr) << "Setup not called";
+  last_round_ = round;
+  const models::BuildSpec spec = ClientSpec(client_id, round, rng);
+  Rng build_rng = rng.Fork(0xB1D);
+  models::BuiltModel built = family_->Build(spec, build_rng);
+  global_->store().LoadInto(*built.net, built.mapping);
+  const data::Dataset& shard =
+      ctx_->shards.at(static_cast<std::size_t>(client_id));
+  TrainClientModel(built, client_id, shard, rng);
+  const double weight = weighting_ == AggregationWeighting::kDataSize
+                            ? static_cast<double>(shard.size())
+                            : 1.0;
+  averager_.Accumulate(*built.net, built.mapping, weight, global_->store());
+}
+
+void WeightSharingAlgorithm::FinishRound(int round, Rng& rng) {
+  if (!averager_.empty()) {
+    averager_.ApplyTo(global_->store());
+  }
+  PostAggregate(round, rng);
+}
+
+void WeightSharingAlgorithm::PostAggregate(int /*round*/, Rng& /*rng*/) {}
+
+double WeightSharingAlgorithm::MaxCapacity() const {
+  MHB_CHECK(ctx_ != nullptr);
+  double m = 0.0;
+  for (const auto& a : ctx_->assignments) m = std::max(m, a.capacity);
+  return m > 0 ? m : 1.0;
+}
+
+models::BuildSpec WeightSharingAlgorithm::GlobalEvalSpec() {
+  return models::BuildSpec{};
+}
+
+Tensor WeightSharingAlgorithm::GlobalLogits(const Tensor& x) {
+  // Evaluation defaults to batch statistics (HeteroFL's static batch
+  // norm): running BN statistics averaged over *different-width*
+  // sub-networks are mutually inconsistent, so eval-mode normalization
+  // collapses.  Batch statistics over the evaluation batch are the sBN
+  // equivalent; set_sbn_eval(false) exposes the collapse for ablation.
+  models::BuildSpec spec = GlobalEvalSpec();
+  if (UseEnsembleEval()) spec.multi_head = true;
+  Rng build_rng(seed_ ^ 0x6E0BULL);
+  models::BuiltModel built = family_->Build(spec, build_rng);
+  global_->store().LoadInto(*built.net, built.mapping);
+  if (!UseEnsembleEval()) return built.net->Forward(x, sbn_eval_);
+  auto logits = built.trunk().ForwardHeads(x, sbn_eval_);
+  Tensor mean = logits.front();
+  for (std::size_t h = 1; h < logits.size(); ++h) mean.AddInPlace(logits[h]);
+  mean.Scale(1.0f / static_cast<Scalar>(logits.size()));
+  return mean;
+}
+
+models::BuildSpec WeightSharingAlgorithm::EvalSpec(int client_id) {
+  Rng fixed(seed_ ^ (static_cast<std::uint64_t>(client_id) + 0xE7A1));
+  return ClientSpec(client_id, last_round_, fixed);
+}
+
+Tensor WeightSharingAlgorithm::ClientLogits(int client_id, const Tensor& x) {
+  const models::BuildSpec spec = EvalSpec(client_id);
+  Rng build_rng(seed_ ^ 0xC11E);
+  models::BuiltModel built = family_->Build(spec, build_rng);
+  global_->store().LoadInto(*built.net, built.mapping);
+  return built.net->Forward(x, sbn_eval_);  // sBN, see GlobalLogits
+}
+
+double WeightSharingAlgorithm::TrainClientModel(models::BuiltModel& built,
+                                                int /*client_id*/,
+                                                const data::Dataset& shard,
+                                                Rng& rng) {
+  return fl::TrainLocal(*built.net, shard, ctx_->local_options(last_round_), rng);
+}
+
+}  // namespace mhbench::algorithms

@@ -1,0 +1,74 @@
+// Shared base for weight-sharing MHFL algorithms (FedAvg, Fjord, SHeteroFL,
+// FedRolex, DepthFL, InclusiveFL, FeDepth).
+//
+// These algorithms differ only in (a) which sub-model a client receives
+// each round (ClientSpec), (b) how the client trains it (TrainClientModel),
+// and (c) small server-side post-processing hooks.  Everything else —
+// dispatch, masked aggregation, evaluation — lives here.
+#pragma once
+
+#include "fl/aggregator.h"
+#include "fl/engine.h"
+#include "fl/server.h"
+
+namespace mhbench::algorithms {
+
+class WeightSharingAlgorithm : public fl::MhflAlgorithm {
+ public:
+  WeightSharingAlgorithm(models::FamilyPtr family, std::uint64_t seed);
+
+  void Setup(const fl::FlContext& ctx, Rng& rng) override;
+  void RunClient(int client_id, int round, Rng& rng) override;
+  void FinishRound(int round, Rng& rng) override;
+  Tensor GlobalLogits(const Tensor& x) override;
+  Tensor ClientLogits(int client_id, const Tensor& x) override;
+
+ protected:
+  // The sub-model this client trains in this round.
+  virtual models::BuildSpec ClientSpec(int client_id, int round,
+                                       Rng& rng) = 0;
+  // The model evaluated for the global-accuracy metric.  Defaults to the
+  // full model; algorithms whose largest trained sub-model is smaller
+  // (e.g. under memory limits no client holds ratio 1.0) override this to
+  // the maximum trained capacity, matching how HeteroFL-style systems
+  // report the global model.
+  virtual models::BuildSpec GlobalEvalSpec();
+  // The sub-model used when evaluating the client's personalized accuracy;
+  // defaults to ClientSpec at the last completed round with a fixed stream.
+  virtual models::BuildSpec EvalSpec(int client_id);
+  // Local training; default is plain supervised SGD on the deepest head.
+  // Returns the final training loss.
+  virtual double TrainClientModel(models::BuiltModel& built, int client_id,
+                                  const data::Dataset& shard, Rng& rng);
+  // Evaluate the global model with the ensemble of heads (DepthFL).
+  virtual bool UseEnsembleEval() const { return false; }
+  // Server-side hook after the masked average is applied.
+  virtual void PostAggregate(int round, Rng& rng);
+
+  double ClientCapacity(int client_id) const;
+  // Largest capacity over all clients (available after Setup).
+  double MaxCapacity() const;
+
+ public:
+  // Ablation knobs ---------------------------------------------------------
+  // Static-batch-norm evaluation (default on).  With it off, evaluation
+  // uses the aggregated running statistics, which are inconsistent across
+  // different-width sub-networks; bench_ablation quantifies the gap.
+  void set_sbn_eval(bool v) { sbn_eval_ = v; }
+  // Weight client updates by their sample count (default) or uniformly.
+  enum class AggregationWeighting { kDataSize, kUniform };
+  void set_aggregation_weighting(AggregationWeighting w) { weighting_ = w; }
+
+ protected:
+
+  const fl::FlContext* ctx_ = nullptr;
+  models::FamilyPtr family_;
+  std::unique_ptr<fl::GlobalModel> global_;
+  fl::MaskedAverager averager_;
+  std::uint64_t seed_;
+  int last_round_ = 0;
+  bool sbn_eval_ = true;
+  AggregationWeighting weighting_ = AggregationWeighting::kDataSize;
+};
+
+}  // namespace mhbench::algorithms

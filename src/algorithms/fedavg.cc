@@ -1,0 +1,24 @@
+#include "algorithms/fedavg.h"
+
+namespace mhbench::algorithms {
+
+FedAvg::FedAvg(models::FamilyPtr family, double ratio, std::uint64_t seed)
+    : WeightSharingAlgorithm(std::move(family), seed), ratio_(ratio) {
+  MHB_CHECK_GT(ratio, 0.0);
+  MHB_CHECK_LE(ratio, 1.0);
+}
+
+models::BuildSpec FedAvg::ClientSpec(int /*client_id*/, int /*round*/,
+                                     Rng& /*rng*/) {
+  models::BuildSpec spec;
+  spec.width_ratio = ratio_;
+  return spec;
+}
+
+models::BuildSpec FedAvg::GlobalEvalSpec() {
+  models::BuildSpec spec;
+  spec.width_ratio = ratio_;
+  return spec;
+}
+
+}  // namespace mhbench::algorithms

@@ -1,0 +1,26 @@
+// FedAvg with a homogeneous model at a fixed capacity ratio.
+//
+// With ratio = min over clients this is the paper's resource-aware
+// homogeneous baseline ("train the smallest model everywhere") against
+// which effectiveness is measured; with ratio = 1 it is classic FedAvg.
+#pragma once
+
+#include "algorithms/algorithm.h"
+
+namespace mhbench::algorithms {
+
+class FedAvg : public WeightSharingAlgorithm {
+ public:
+  FedAvg(models::FamilyPtr family, double ratio, std::uint64_t seed);
+
+  std::string name() const override { return "fedavg"; }
+
+ protected:
+  models::BuildSpec ClientSpec(int client_id, int round, Rng& rng) override;
+  models::BuildSpec GlobalEvalSpec() override;
+
+ private:
+  double ratio_;
+};
+
+}  // namespace mhbench::algorithms

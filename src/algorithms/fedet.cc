@@ -1,0 +1,161 @@
+#include "algorithms/fedet.h"
+
+#include <numeric>
+
+#include "fl/client.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace mhbench::algorithms {
+
+FedEt::FedEt(std::vector<models::FamilyPtr> families, Options options,
+             std::uint64_t seed)
+    : families_(std::move(families)), options_(options), seed_(seed) {
+  MHB_CHECK(!families_.empty());
+  MHB_CHECK_GT(options_.temperature, 0.0);
+  MHB_CHECK_GT(options_.distill_batches, 0);
+  MHB_CHECK_GT(options_.public_samples, 0);
+}
+
+void FedEt::Setup(const fl::FlContext& ctx, Rng& rng) {
+  ctx_ = &ctx;
+  group_models_.clear();
+  group_averagers_.assign(families_.size(), fl::MaskedAverager());
+  group_round_clients_.assign(families_.size(), 0);
+  for (std::size_t a = 0; a < families_.size(); ++a) {
+    Rng init = rng.Fork(a + 1);
+    group_models_.push_back(
+        std::make_unique<fl::GlobalModel>(families_[a], init));
+  }
+  // Server model: the largest architecture in the pool.
+  Rng server_init = rng.Fork(0x5E57);
+  server_model_ = families_.back()->Build(models::BuildSpec{}, server_init);
+
+  // Public unlabeled slice of the training pool.
+  const int n = std::min<int>(options_.public_samples,
+                              static_cast<int>(ctx.task->train.size()));
+  std::vector<int> idx(static_cast<std::size_t>(n));
+  std::iota(idx.begin(), idx.end(), 0);
+  public_features_ = ctx.task->train.GatherFeatures(idx);
+}
+
+int FedEt::ArchOf(int client_id) const {
+  const int hint =
+      ctx_->assignments.at(static_cast<std::size_t>(client_id)).arch_index;
+  return hint % static_cast<int>(families_.size());
+}
+
+void FedEt::RunClient(int client_id, int round, Rng& rng) {
+  MHB_CHECK(ctx_ != nullptr);
+  const int arch = ArchOf(client_id);
+  const auto au = static_cast<std::size_t>(arch);
+  Rng build_rng = rng.Fork(0xB1D);
+  models::BuiltModel built =
+      families_[au]->Build(models::BuildSpec{}, build_rng);
+  group_models_[au]->store().LoadInto(*built.net, built.mapping);
+  const data::Dataset& shard =
+      ctx_->shards.at(static_cast<std::size_t>(client_id));
+  fl::TrainLocal(*built.net, shard, ctx_->local_options(round), rng);
+  group_averagers_[au].Accumulate(*built.net, built.mapping,
+                                  static_cast<double>(shard.size()),
+                                  group_models_[au]->store());
+  group_round_clients_[au] += 1;
+}
+
+Tensor FedEt::GroupLogits(int arch, const Tensor& x) {
+  return group_models_[static_cast<std::size_t>(arch)]->Logits(x);
+}
+
+void FedEt::FinishRound(int /*round*/, Rng& rng) {
+  // Within-group FedAvg.
+  for (std::size_t a = 0; a < families_.size(); ++a) {
+    if (!group_averagers_[a].empty()) {
+      group_averagers_[a].ApplyTo(group_models_[a]->store());
+    }
+  }
+
+  // Confidence-weighted ensemble distillation into the server model.
+  // Group weight = number of clients that participated this round.
+  std::vector<double> group_weight(families_.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t a = 0; a < families_.size(); ++a) {
+    group_weight[a] = group_round_clients_[a];
+    total += group_weight[a];
+  }
+  group_round_clients_.assign(families_.size(), 0);
+  if (total <= 0) return;
+
+  nn::SgdOptions sgd_opts;
+  sgd_opts.lr = options_.server_lr;
+  sgd_opts.momentum = 0.9;
+  nn::Sgd sgd(*server_model_.net, sgd_opts);
+
+  const int n_public = public_features_.dim(0);
+  const int batch = std::max(
+      1, n_public / options_.distill_batches);
+  for (int step = 0; step < options_.distill_batches; ++step) {
+    // Random public batch.
+    std::vector<int> idx(static_cast<std::size_t>(batch));
+    for (auto& i : idx) {
+      i = static_cast<int>(
+          rng.UniformInt(static_cast<std::uint64_t>(n_public)));
+    }
+    Shape bshape = public_features_.shape();
+    bshape[0] = batch;
+    Tensor x(bshape);
+    const std::size_t elems = x.numel() / static_cast<std::size_t>(batch);
+    for (int i = 0; i < batch; ++i) {
+      const Scalar* src =
+          public_features_.data().data() +
+          static_cast<std::size_t>(idx[static_cast<std::size_t>(i)]) * elems;
+      Scalar* dst = x.data().data() + static_cast<std::size_t>(i) * elems;
+      for (std::size_t e = 0; e < elems; ++e) dst[e] = src[e];
+    }
+
+    // Weighted consensus teacher.
+    Tensor teacher;
+    for (std::size_t a = 0; a < families_.size(); ++a) {
+      if (group_weight[a] <= 0) continue;
+      Tensor probs = nn::SoftmaxWithTemperature(GroupLogits(static_cast<int>(a), x),
+                                                options_.temperature);
+      probs.Scale(static_cast<Scalar>(group_weight[a] / total));
+      if (teacher.empty()) {
+        teacher = std::move(probs);
+      } else {
+        teacher.AddInPlace(probs);
+      }
+    }
+
+    // Per-sample confidence weighting (Fed-ET's weighted consensus): scale
+    // each sample's soft target toward one-hot confidence by re-weighting
+    // the KD gradient with the teacher's max probability.
+    const int classes = teacher.dim(1);
+    sgd.ZeroGrad();
+    const Tensor student = server_model_.net->Forward(x, true);
+    Tensor kd_grad;
+    nn::DistillationKL(student, teacher, options_.temperature, kd_grad);
+    for (int i = 0; i < batch; ++i) {
+      Scalar conf = 0;
+      for (int c = 0; c < classes; ++c) {
+        conf = std::max(conf,
+                        teacher[static_cast<std::size_t>(i) * classes + c]);
+      }
+      for (int c = 0; c < classes; ++c) {
+        kd_grad[static_cast<std::size_t>(i) * classes + c] *= conf;
+      }
+    }
+    server_model_.net->Backward(kd_grad);
+    sgd.Step();
+  }
+}
+
+Tensor FedEt::GlobalLogits(const Tensor& x) {
+  return server_model_.net->Forward(x, false);
+}
+
+Tensor FedEt::ClientLogits(int client_id, const Tensor& x) {
+  return GroupLogits(ArchOf(client_id), x);
+}
+
+}  // namespace mhbench::algorithms

@@ -1,0 +1,59 @@
+// Fed-ET (Cho et al. IJCAI'22): heterogeneous ensemble knowledge transfer.
+//
+// Clients are grouped by architecture; within a group updates are FedAvg'd.
+// The server holds a large model trained by confidence-weighted ensemble
+// distillation from the group models on an unlabeled public dataset, which
+// is what the global-accuracy metric evaluates.  Our public set is a fixed
+// unlabeled slice of the training pool (labels unused); Fed-ET's diversity
+// regularization term is omitted at sim scale (see DESIGN.md).
+#pragma once
+
+#include <memory>
+
+#include "fl/aggregator.h"
+#include "fl/engine.h"
+#include "fl/server.h"
+
+namespace mhbench::algorithms {
+
+class FedEt : public fl::MhflAlgorithm {
+ public:
+  struct Options {
+    double temperature = 2.0;
+    int distill_batches = 10;
+    int public_samples = 128;
+    double server_lr = 0.1;
+  };
+
+  FedEt(std::vector<models::FamilyPtr> families, Options options,
+        std::uint64_t seed);
+
+  std::string name() const override { return "fedet"; }
+
+  void Setup(const fl::FlContext& ctx, Rng& rng) override;
+  void RunClient(int client_id, int round, Rng& rng) override;
+  void FinishRound(int round, Rng& rng) override;
+  Tensor GlobalLogits(const Tensor& x) override;
+  Tensor ClientLogits(int client_id, const Tensor& x) override;
+
+ private:
+  int ArchOf(int client_id) const;
+  Tensor GroupLogits(int arch, const Tensor& x);
+
+  std::vector<models::FamilyPtr> families_;
+  Options options_;
+  std::uint64_t seed_;
+  const fl::FlContext* ctx_ = nullptr;
+
+  // Per-architecture group state.
+  std::vector<std::unique_ptr<fl::GlobalModel>> group_models_;
+  std::vector<fl::MaskedAverager> group_averagers_;
+  std::vector<int> group_round_clients_;  // sampled clients per group
+
+  // Server (large) model, trained by distillation.
+  models::BuiltModel server_model_;
+
+  Tensor public_features_;  // unlabeled distillation set
+};
+
+}  // namespace mhbench::algorithms

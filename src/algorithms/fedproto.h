@@ -1,0 +1,68 @@
+// FedProto (Tan et al. AAAI'22): federated prototype learning across
+// heterogeneous architectures.
+//
+// Clients keep fully personal models (no weight aggregation).  Each client
+// trains with CE plus a prototype-regularization term pulling its projected
+// class-mean embeddings toward the global prototypes; the server only
+// aggregates per-class prototype vectors.  Since architectures embed into
+// different dimensions, every client owns a small projection head into the
+// shared prototype space (a standard FedProto deployment detail).
+//
+// Global accuracy is measured with a committee: one representative client
+// model per architecture, classifying by distance to the global prototypes
+// (the paper's prototype-based inference), averaged over the committee.
+#pragma once
+
+#include <map>
+
+#include "fl/engine.h"
+#include "models/model_spec.h"
+#include "nn/linear.h"
+
+namespace mhbench::algorithms {
+
+class FedProto : public fl::MhflAlgorithm {
+ public:
+  FedProto(std::vector<models::FamilyPtr> families, double lambda,
+           int proto_dim, std::uint64_t seed);
+
+  std::string name() const override { return "fedproto"; }
+
+  void Setup(const fl::FlContext& ctx, Rng& rng) override;
+  void RunClient(int client_id, int round, Rng& rng) override;
+  void FinishRound(int round, Rng& rng) override;
+  Tensor GlobalLogits(const Tensor& x) override;
+  Tensor ClientLogits(int client_id, const Tensor& x) override;
+
+ private:
+  struct ClientState {
+    int arch = 0;
+    models::BuiltModel model;
+    std::unique_ptr<nn::Linear> proj;  // embedding -> prototype space
+  };
+
+  ClientState& GetOrCreateState(int client_id);
+  int ArchOf(int client_id) const;
+  // Projected pooled embedding [n, proto_dim] plus logits of the deepest
+  // head [n, classes] (eval mode).
+  void EmbedAndLogits(ClientState& state, const Tensor& x, Tensor& proto_emb,
+                      Tensor& logits);
+  Tensor DistanceLogits(const Tensor& proto_emb) const;
+
+  std::vector<models::FamilyPtr> families_;
+  double lambda_;
+  int proto_dim_;
+  std::uint64_t seed_;
+  const fl::FlContext* ctx_ = nullptr;
+  int num_classes_ = 0;
+
+  std::map<int, ClientState> states_;
+  // Global prototypes [classes, proto_dim]; empty until the first round
+  // completes.
+  Tensor global_protos_;
+  // Staged uploads for the current round.
+  Tensor proto_sum_;
+  std::vector<double> proto_count_;
+};
+
+}  // namespace mhbench::algorithms

@@ -1,0 +1,41 @@
+// FedRolex (Alam et al. NeurIPS'22): rolling sub-model extraction.  A
+// client's kept channels form a window that advances by one channel every
+// round and wraps around, so every global coordinate is trained over time
+// even by small clients.
+#pragma once
+
+#include "algorithms/algorithm.h"
+
+namespace mhbench::algorithms {
+
+class FedRolex : public WeightSharingAlgorithm {
+ public:
+  FedRolex(models::FamilyPtr family, std::uint64_t seed)
+      : WeightSharingAlgorithm(std::move(family), seed) {}
+
+  std::string name() const override { return "fedrolex"; }
+
+ protected:
+  models::BuildSpec ClientSpec(int client_id, int round,
+                               Rng& /*rng*/) override {
+    models::BuildSpec spec;
+    spec.width_ratio = ClientCapacity(client_id);
+    spec.rolling = true;
+    spec.width_offset = round;
+    return spec;
+  }
+
+  models::BuildSpec EvalSpec(int client_id) override {
+    // Serve the prefix sub-model: after enough rounds all coordinates are
+    // trained, so the prefix is as good as any window and is deterministic.
+    models::BuildSpec spec;
+    spec.width_ratio = ClientCapacity(client_id);
+    return spec;
+  }
+
+  // FedRolex trains every coordinate of the full model (the window wraps),
+  // so the global model is evaluated at full width regardless of client
+  // capacities -- its signature advantage.  (Base default is full.)
+};
+
+}  // namespace mhbench::algorithms

@@ -1,0 +1,44 @@
+#include "algorithms/fjord.h"
+
+#include <algorithm>
+
+namespace mhbench::algorithms {
+
+Fjord::Fjord(models::FamilyPtr family, std::vector<double> ratio_ladder,
+             std::uint64_t seed)
+    : WeightSharingAlgorithm(std::move(family), seed),
+      ladder_(std::move(ratio_ladder)) {
+  MHB_CHECK(!ladder_.empty());
+  MHB_CHECK(std::is_sorted(ladder_.begin(), ladder_.end()));
+  for (double r : ladder_) {
+    MHB_CHECK(r > 0.0 && r <= 1.0);
+  }
+}
+
+models::BuildSpec Fjord::ClientSpec(int client_id, int /*round*/, Rng& rng) {
+  const double cap = ClientCapacity(client_id);
+  // Allowed widths: every ladder entry the device can hold.
+  std::vector<double> allowed;
+  for (double r : ladder_) {
+    if (r <= cap + 1e-9) allowed.push_back(r);
+  }
+  if (allowed.empty()) allowed.push_back(cap);
+  models::BuildSpec spec;
+  spec.width_ratio = allowed[rng.UniformInt(allowed.size())];
+  return spec;
+}
+
+models::BuildSpec Fjord::EvalSpec(int client_id) {
+  // Devices serve at their maximum supported width.
+  models::BuildSpec spec;
+  spec.width_ratio = ClientCapacity(client_id);
+  return spec;
+}
+
+models::BuildSpec Fjord::GlobalEvalSpec() {
+  models::BuildSpec spec;
+  spec.width_ratio = MaxCapacity();
+  return spec;
+}
+
+}  // namespace mhbench::algorithms

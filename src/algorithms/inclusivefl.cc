@@ -1,0 +1,65 @@
+#include "algorithms/inclusivefl.h"
+
+namespace mhbench::algorithms {
+
+InclusiveFl::InclusiveFl(models::FamilyPtr family, double momentum,
+                         std::uint64_t seed)
+    : WeightSharingAlgorithm(std::move(family), seed), momentum_(momentum) {
+  MHB_CHECK_GE(momentum, 0.0);
+  MHB_CHECK_LE(momentum, 1.0);
+}
+
+models::BuildSpec InclusiveFl::ClientSpec(int client_id, int /*round*/,
+                                          Rng& /*rng*/) {
+  models::BuildSpec spec;
+  spec.depth_ratio = ClientCapacity(client_id);
+  return spec;
+}
+
+models::BuildSpec InclusiveFl::GlobalEvalSpec() {
+  models::BuildSpec spec;
+  spec.depth_ratio = MaxCapacity();
+  return spec;
+}
+
+void InclusiveFl::RunClient(int client_id, int round, Rng& rng) {
+  // Snapshot the store once at the start of each round so PostAggregate can
+  // compute per-block updates.
+  if (pre_round_.empty() || last_round_ != round) {
+    pre_round_.clear();
+    for (const auto& name : global_->store().Names()) {
+      pre_round_[name] = global_->store().Get(name);
+    }
+  }
+  WeightSharingAlgorithm::RunClient(client_id, round, rng);
+}
+
+void InclusiveFl::PostAggregate(int /*round*/, Rng& /*rng*/) {
+  if (momentum_ <= 0 || pre_round_.empty()) return;
+  // Ordered block names from the full model.
+  auto& trunk = global_->SyncedTrunk();
+  for (int b = 0; b + 1 < trunk.num_blocks(); ++b) {
+    const std::string from = trunk.block_name(b + 1) + "/";
+    const std::string to = trunk.block_name(b) + "/";
+    for (const auto& name : global_->store().Names()) {
+      if (name.rfind(from, 0) != 0) continue;
+      if (name.find("running_") != std::string::npos) continue;
+      const std::string suffix = name.substr(from.size());
+      const std::string target = to + suffix;
+      if (!global_->store().Has(target)) continue;
+      const Tensor& now = global_->store().Get(name);
+      const Tensor& before = pre_round_.at(name);
+      Tensor& dst = global_->store().GetMutable(target);
+      if (now.shape() != before.shape() || now.shape() != dst.shape()) {
+        continue;  // shape-incompatible neighbours (stage boundaries)
+      }
+      // dst += momentum * (now - before)
+      Tensor delta = now;
+      delta.SubInPlace(before);
+      dst.AxpyInPlace(static_cast<Scalar>(momentum_), delta);
+    }
+  }
+  pre_round_.clear();
+}
+
+}  // namespace mhbench::algorithms

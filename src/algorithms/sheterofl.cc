@@ -1,0 +1,4 @@
+#include "algorithms/sheterofl.h"
+
+// Header-only behaviour; this translation unit anchors the vtable.
+namespace mhbench::algorithms {}  // namespace mhbench::algorithms

@@ -1,0 +1,32 @@
+// SHeteroFL (static HeteroFL, Diao et al. ICLR'21): every client trains the
+// nested prefix sub-model matching its capacity; the server averages each
+// coordinate over the clients that hold it.
+#pragma once
+
+#include "algorithms/algorithm.h"
+
+namespace mhbench::algorithms {
+
+class SHeteroFl : public WeightSharingAlgorithm {
+ public:
+  SHeteroFl(models::FamilyPtr family, std::uint64_t seed)
+      : WeightSharingAlgorithm(std::move(family), seed) {}
+
+  std::string name() const override { return "sheterofl"; }
+
+ protected:
+  models::BuildSpec ClientSpec(int client_id, int /*round*/,
+                               Rng& /*rng*/) override {
+    models::BuildSpec spec;
+    spec.width_ratio = ClientCapacity(client_id);
+    return spec;
+  }
+
+  models::BuildSpec GlobalEvalSpec() override {
+    models::BuildSpec spec;
+    spec.width_ratio = MaxCapacity();
+    return spec;
+  }
+};
+
+}  // namespace mhbench::algorithms

@@ -1,0 +1,41 @@
+// Shared experiment driver: (constraint, task, algorithm set) -> metric
+// bundles, with the effectiveness baseline and common time-to-accuracy
+// target handled per the paper's methodology.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench_support/presets.h"
+#include "metrics/recorder.h"
+
+namespace mhbench::bench_support {
+
+// Constraint case names accepted by RunSuite/RunOne: "none",
+// "computation", "communication", "memory", "comm+mem", "comp+comm+mem".
+struct SuiteOptions {
+  std::string constraint = "computation";
+  std::string task = "cifar100";
+  BenchPreset preset = BenchPreset::FromEnv();
+  // Dirichlet alpha for non-IID partitioning of IID tasks; 0 keeps IID.
+  double dirichlet_alpha = 0.0;
+  // Synchronous round deadline in simulated seconds (0 disables): sampled
+  // clients slower than this are dropped as stragglers.
+  double round_deadline_s = 0.0;
+  // Fraction of the best final accuracy used as the common
+  // time-to-accuracy target.
+  double target_fraction = 0.7;
+  std::uint64_t fleet_seed = 11;
+};
+
+// Runs one algorithm under the options (no effectiveness/TTA filled).
+metrics::MetricBundle RunOne(const std::string& algorithm,
+                             const SuiteOptions& options);
+
+// Runs the named algorithms plus the smallest-homogeneous FedAvg baseline,
+// fills effectiveness and the common-target time-to-accuracy, and returns
+// the bundles in input order (baseline first under name "fedavg-small").
+std::vector<metrics::MetricBundle> RunSuite(
+    const std::vector<std::string>& algorithms, const SuiteOptions& options);
+
+}  // namespace mhbench::bench_support

@@ -1,0 +1,26 @@
+// Benchmark presets: fast defaults overridable through MHB_* environment
+// variables so the bench suite scales from smoke-test to paper-scale runs
+// without recompiling.
+#pragma once
+
+#include <cstdint>
+
+namespace mhbench::bench_support {
+
+struct BenchPreset {
+  int rounds;
+  int clients;
+  int train_samples;
+  int test_samples;
+  double sample_fraction;
+  int eval_every;
+  int eval_max_samples;
+  int stability_max_samples;
+  std::uint64_t seed;
+
+  // Reads MHB_ROUNDS, MHB_CLIENTS, MHB_TRAIN, MHB_TEST,
+  // MHB_SAMPLE_FRACTION, MHB_EVAL_EVERY, MHB_SEED over the fast defaults.
+  static BenchPreset FromEnv();
+};
+
+}  // namespace mhbench::bench_support

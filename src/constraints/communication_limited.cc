@@ -1,0 +1,14 @@
+#include "constraints/communication_limited.h"
+
+namespace mhbench::constraints {
+
+BuiltAssignments BuildCommunicationLimited(const std::string& algorithm,
+                                           const std::string& task_name,
+                                           const device::Fleet& fleet,
+                                           const ConstraintOptions& options) {
+  ConstraintFlags flags;
+  flags.communication = true;
+  return BuildConstrained(algorithm, task_name, fleet, flags, options);
+}
+
+}  // namespace mhbench::constraints

@@ -1,0 +1,13 @@
+// Case II: Communication-Limited MHFL (Definition IV.2) — adapt model sizes
+// so every device's up/download fits a shared per-round budget.
+#pragma once
+
+#include "constraints/assignment.h"
+
+namespace mhbench::constraints {
+
+BuiltAssignments BuildCommunicationLimited(
+    const std::string& algorithm, const std::string& task_name,
+    const device::Fleet& fleet, const ConstraintOptions& options = {});
+
+}  // namespace mhbench::constraints

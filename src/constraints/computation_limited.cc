@@ -1,0 +1,14 @@
+#include "constraints/computation_limited.h"
+
+namespace mhbench::constraints {
+
+BuiltAssignments BuildComputationLimited(const std::string& algorithm,
+                                         const std::string& task_name,
+                                         const device::Fleet& fleet,
+                                         const ConstraintOptions& options) {
+  ConstraintFlags flags;
+  flags.computation = true;
+  return BuildConstrained(algorithm, task_name, fleet, flags, options);
+}
+
+}  // namespace mhbench::constraints

@@ -1,0 +1,14 @@
+// Case I: Computation-Limited MHFL (Definition IV.1) — adapt model sizes so
+// every device trains within a shared deadline for synchronous aggregation.
+#pragma once
+
+#include "constraints/assignment.h"
+
+namespace mhbench::constraints {
+
+BuiltAssignments BuildComputationLimited(const std::string& algorithm,
+                                         const std::string& task_name,
+                                         const device::Fleet& fleet,
+                                         const ConstraintOptions& options = {});
+
+}  // namespace mhbench::constraints

@@ -1,0 +1,14 @@
+// Case III: Memory-Limited MHFL (Definition IV.3) — every device runs the
+// largest model variant whose training memory fits its RAM tier.
+#pragma once
+
+#include "constraints/assignment.h"
+
+namespace mhbench::constraints {
+
+BuiltAssignments BuildMemoryLimited(const std::string& algorithm,
+                                    const std::string& task_name,
+                                    const device::Fleet& fleet,
+                                    const ConstraintOptions& options = {});
+
+}  // namespace mhbench::constraints

@@ -1,0 +1,71 @@
+#include "core/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace mhbench {
+namespace {
+
+bool NeedsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string Quote(const std::string& cell) {
+  if (!NeedsQuoting(cell)) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  MHB_CHECK(!header_.empty());
+}
+
+void CsvWriter::AddRow(const std::vector<std::string>& row) {
+  MHB_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(row);
+}
+
+void CsvWriter::AddRow(const std::vector<double>& row) {
+  MHB_CHECK_EQ(row.size(), header_.size());
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) {
+    std::ostringstream s;
+    s << v;
+    cells.push_back(s.str());
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string CsvWriter::ToString() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ",";
+      out << Quote(row[i]);
+    }
+    out << "\n";
+  };
+  emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+void CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  MHB_CHECK(f.good()) << "cannot open" << path;
+  f << ToString();
+  MHB_CHECK(f.good()) << "write failed for" << path;
+}
+
+}  // namespace mhbench

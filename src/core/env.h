@@ -1,0 +1,21 @@
+// Environment-variable overrides for benchmark presets.
+//
+// Every bench binary runs with fast defaults; `MHB_*` variables scale the
+// experiments up toward the paper's full settings without recompiling.
+#pragma once
+
+#include <string>
+
+namespace mhbench {
+
+// Returns the integer value of env var `name`, or `fallback` when the
+// variable is unset or unparsable.
+int EnvInt(const std::string& name, int fallback);
+
+// Returns the double value of env var `name`, or `fallback`.
+double EnvDouble(const std::string& name, double fallback);
+
+// Returns the string value of env var `name`, or `fallback`.
+std::string EnvString(const std::string& name, const std::string& fallback);
+
+}  // namespace mhbench

@@ -1,0 +1,80 @@
+// Error handling primitives.
+//
+// The library throws `mhbench::Error` for violated preconditions and
+// invariants.  `MHB_CHECK` is used at API boundaries (always on);
+// `MHB_DCHECK` guards internal invariants and compiles out in NDEBUG builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mhbench {
+
+// Exception type thrown by all MHB_CHECK failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace internal {
+
+// Collects a failure message and throws `Error` at the end of the full
+// expression (glog-style).  Only constructed when a check already failed.
+class FatalStream {
+ public:
+  FatalStream(const char* cond, const char* file, int line) {
+    stream_ << file << ":" << line << ": check failed: " << cond;
+  }
+
+  FatalStream(const FatalStream&) = delete;
+  FatalStream& operator=(const FatalStream&) = delete;
+
+  template <typename T>
+  FatalStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+  ~FatalStream() noexcept(false) { throw Error(stream_.str()); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows streamed messages; used by disabled debug checks.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// Makes the whole check expression void so `MHB_CHECK(x);` cannot trigger
+// -Wunused-value while `MHB_CHECK(x) << msg;` still chains.
+struct Voidify {
+  void operator&(const FatalStream&) {}
+  void operator&(const NullStream&) {}
+};
+
+}  // namespace internal
+}  // namespace mhbench
+
+#define MHB_CHECK(cond)                        \
+  (cond) ? (void)0                             \
+         : ::mhbench::internal::Voidify() &    \
+               ::mhbench::internal::FatalStream(#cond, __FILE__, __LINE__)
+
+#define MHB_CHECK_EQ(a, b) MHB_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ")"
+#define MHB_CHECK_NE(a, b) MHB_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ")"
+#define MHB_CHECK_LT(a, b) MHB_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ")"
+#define MHB_CHECK_LE(a, b) MHB_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ")"
+#define MHB_CHECK_GT(a, b) MHB_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ")"
+#define MHB_CHECK_GE(a, b) MHB_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ")"
+
+#ifdef NDEBUG
+#define MHB_DCHECK(cond) \
+  ::mhbench::internal::Voidify() & ::mhbench::internal::NullStream()
+#else
+#define MHB_DCHECK(cond) MHB_CHECK(cond)
+#endif

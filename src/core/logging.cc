@@ -1,0 +1,32 @@
+#include "core/logging.h"
+
+#include <cstdio>
+
+#include "core/env.h"
+
+namespace mhbench {
+namespace {
+
+LogLevel g_level = static_cast<LogLevel>(EnvInt("MHB_LOG", 1));
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace internal {
+
+LogLine::LogLine(LogLevel level, const char* tag)
+    : enabled_(static_cast<int>(level) <= static_cast<int>(GetLogLevel())) {
+  if (enabled_) stream_ << "[" << tag << "] ";
+}
+
+LogLine::~LogLine() {
+  if (enabled_) {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+  }
+}
+
+}  // namespace internal
+}  // namespace mhbench

@@ -1,0 +1,43 @@
+// Lightweight leveled logging to stderr.
+//
+// Verbosity is controlled by `MHB_LOG` (0 = silent, 1 = info (default),
+// 2 = debug).  Logging is intentionally minimal: experiment *results* go
+// through metrics/report, not the log.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mhbench {
+
+enum class LogLevel { kSilent = 0, kInfo = 1, kDebug = 2 };
+
+// Current verbosity (read once from the environment, overridable in tests).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* tag);
+  ~LogLine();
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mhbench
+
+#define MHB_LOG_INFO \
+  ::mhbench::internal::LogLine(::mhbench::LogLevel::kInfo, "I")
+#define MHB_LOG_DEBUG \
+  ::mhbench::internal::LogLine(::mhbench::LogLevel::kDebug, "D")

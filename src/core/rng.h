@@ -1,0 +1,60 @@
+// Deterministic random number generation.
+//
+// Every stochastic component of the platform draws from an `Rng` seeded
+// explicitly, so that experiments are reproducible bit-for-bit.  The core
+// generator is SplitMix64 (fast, decent quality, trivially seedable); the
+// class layers the distributions the platform needs on top: uniform,
+// gaussian, dirichlet, permutations and weighted choice.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mhbench {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  // Returns the next raw 64-bit value (SplitMix64).
+  std::uint64_t NextU64();
+
+  // Uniform in [0, 1).
+  double Uniform();
+
+  // Uniform in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n).  Requires n > 0.
+  std::uint64_t UniformInt(std::uint64_t n);
+
+  // Standard normal via Box-Muller (cached pair).
+  double Gaussian();
+  double Gaussian(double mean, double stddev);
+
+  // Gamma(shape, 1) via Marsaglia-Tsang; used by Dirichlet.
+  double Gamma(double shape);
+
+  // Dirichlet(alpha, ..., alpha) of dimension `k`.  Requires alpha > 0.
+  std::vector<double> Dirichlet(double alpha, int k);
+
+  // Random permutation of [0, n).
+  std::vector<int> Permutation(int n);
+
+  // Samples `k` distinct values from [0, n) (k <= n), in random order.
+  std::vector<int> SampleWithoutReplacement(int n, int k);
+
+  // Index sampled proportionally to `weights` (all >= 0, sum > 0).
+  int WeightedChoice(const std::vector<double>& weights);
+
+  // Derives an independent child generator; `stream` distinguishes children
+  // of the same parent state.
+  Rng Fork(std::uint64_t stream);
+
+ private:
+  std::uint64_t state_;
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace mhbench

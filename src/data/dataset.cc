@@ -1,0 +1,67 @@
+#include "data/dataset.h"
+
+#include "core/error.h"
+
+namespace mhbench::data {
+
+Shape Dataset::sample_shape() const {
+  MHB_CHECK_GE(features.ndim(), 2);
+  Shape s = features.shape();
+  s.erase(s.begin());
+  return s;
+}
+
+Dataset Dataset::Subset(std::span<const int> indices) const {
+  Dataset out;
+  out.num_classes = num_classes;
+  out.features = GatherFeatures(indices);
+  out.labels = GatherLabels(indices);
+  if (!user_ids.empty()) {
+    out.user_ids.reserve(indices.size());
+    for (int i : indices) {
+      out.user_ids.push_back(user_ids.at(static_cast<std::size_t>(i)));
+    }
+  }
+  return out;
+}
+
+Tensor Dataset::GatherFeatures(std::span<const int> indices) const {
+  MHB_CHECK(!indices.empty());
+  const std::size_t sample_elems = features.numel() / size();
+  Shape out_shape = features.shape();
+  out_shape[0] = static_cast<int>(indices.size());
+  Tensor out(out_shape);
+  const Scalar* src = features.data().data();
+  Scalar* dst = out.data().data();
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const auto i = static_cast<std::size_t>(indices[k]);
+    MHB_CHECK_LT(i, size()) << "sample index out of range";
+    for (std::size_t e = 0; e < sample_elems; ++e) {
+      dst[k * sample_elems + e] = src[i * sample_elems + e];
+    }
+  }
+  return out;
+}
+
+std::vector<int> Dataset::GatherLabels(std::span<const int> indices) const {
+  std::vector<int> out;
+  out.reserve(indices.size());
+  for (int i : indices) {
+    out.push_back(labels.at(static_cast<std::size_t>(i)));
+  }
+  return out;
+}
+
+void Dataset::Validate() const {
+  MHB_CHECK_GT(num_classes, 0);
+  MHB_CHECK(!labels.empty());
+  MHB_CHECK_EQ(static_cast<std::size_t>(features.dim(0)), labels.size());
+  if (!user_ids.empty()) {
+    MHB_CHECK_EQ(user_ids.size(), labels.size());
+  }
+  for (int y : labels) {
+    MHB_CHECK(y >= 0 && y < num_classes) << "label" << y << "out of range";
+  }
+}
+
+}  // namespace mhbench::data

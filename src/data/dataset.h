@@ -1,0 +1,36 @@
+// In-memory classification dataset.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mhbench::data {
+
+struct Dataset {
+  Tensor features;          // [n, ...sample dims]
+  std::vector<int> labels;  // size n, values in [0, num_classes)
+  int num_classes = 0;
+  // Optional per-sample user id (natural non-IID partitions); empty if none.
+  std::vector<int> user_ids;
+
+  std::size_t size() const { return labels.size(); }
+  bool empty() const { return labels.empty(); }
+
+  // Shape of one sample (no batch dim).
+  Shape sample_shape() const;
+
+  // Materializes the subset selected by `indices` (user ids preserved).
+  Dataset Subset(std::span<const int> indices) const;
+
+  // Gathers a feature batch / label batch for the given sample indices.
+  Tensor GatherFeatures(std::span<const int> indices) const;
+  std::vector<int> GatherLabels(std::span<const int> indices) const;
+
+  // Validates internal consistency (sizes, label range); throws on error.
+  void Validate() const;
+};
+
+}  // namespace mhbench::data

@@ -1,0 +1,38 @@
+#include "data/loader.h"
+
+#include <numeric>
+
+#include "core/error.h"
+
+namespace mhbench::data {
+
+BatchIterator::BatchIterator(const Dataset& dataset, int batch_size, Rng& rng,
+                             bool shuffle)
+    : dataset_(dataset), batch_size_(batch_size) {
+  MHB_CHECK_GT(batch_size, 0);
+  MHB_CHECK(!dataset.empty());
+  if (shuffle) {
+    order_ = rng.Permutation(static_cast<int>(dataset.size()));
+  } else {
+    order_.resize(dataset.size());
+    std::iota(order_.begin(), order_.end(), 0);
+  }
+}
+
+bool BatchIterator::Next(Tensor& features, std::vector<int>& labels) {
+  if (cursor_ >= order_.size()) return false;
+  const std::size_t end =
+      std::min(order_.size(), cursor_ + static_cast<std::size_t>(batch_size_));
+  const std::span<const int> idx(order_.data() + cursor_, end - cursor_);
+  features = dataset_.GatherFeatures(idx);
+  labels = dataset_.GatherLabels(idx);
+  cursor_ = end;
+  return true;
+}
+
+int BatchIterator::num_batches() const {
+  return static_cast<int>((order_.size() + batch_size_ - 1) /
+                          static_cast<std::size_t>(batch_size_));
+}
+
+}  // namespace mhbench::data

@@ -1,0 +1,30 @@
+// Mini-batch iteration over a dataset.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace mhbench::data {
+
+// Iterates one epoch of shuffled mini-batches.  The final partial batch is
+// yielded (never dropped).
+class BatchIterator {
+ public:
+  BatchIterator(const Dataset& dataset, int batch_size, Rng& rng,
+                bool shuffle = true);
+
+  // Fills the next batch; returns false at epoch end.
+  bool Next(Tensor& features, std::vector<int>& labels);
+
+  int num_batches() const;
+
+ private:
+  const Dataset& dataset_;
+  int batch_size_;
+  std::vector<int> order_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace mhbench::data

@@ -1,0 +1,109 @@
+#include "data/partition.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace mhbench::data {
+
+Partition IidPartition(int n, int num_clients, Rng& rng) {
+  MHB_CHECK_GT(n, 0);
+  MHB_CHECK_GT(num_clients, 0);
+  MHB_CHECK_GE(n, num_clients) << "fewer samples than clients";
+  const std::vector<int> perm = rng.Permutation(n);
+  Partition out(static_cast<std::size_t>(num_clients));
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i % num_clients)].push_back(
+        perm[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+Partition DirichletPartition(const std::vector<int>& labels, int num_classes,
+                             int num_clients, double alpha, Rng& rng) {
+  MHB_CHECK(!labels.empty());
+  MHB_CHECK_GT(num_classes, 0);
+  MHB_CHECK_GT(num_clients, 0);
+  MHB_CHECK_GT(alpha, 0.0);
+
+  // Bucket sample indices per class, shuffled.
+  std::vector<std::vector<int>> by_class(
+      static_cast<std::size_t>(num_classes));
+  {
+    const std::vector<int> perm =
+        rng.Permutation(static_cast<int>(labels.size()));
+    for (int i : perm) {
+      const int y = labels[static_cast<std::size_t>(i)];
+      MHB_CHECK(y >= 0 && y < num_classes);
+      by_class[static_cast<std::size_t>(y)].push_back(i);
+    }
+  }
+
+  Partition out(static_cast<std::size_t>(num_clients));
+  for (auto& bucket : by_class) {
+    if (bucket.empty()) continue;
+    const std::vector<double> props = rng.Dirichlet(alpha, num_clients);
+    // Convert proportions to cumulative cut points over the bucket.
+    std::size_t start = 0;
+    double cum = 0.0;
+    for (int c = 0; c < num_clients; ++c) {
+      cum += props[static_cast<std::size_t>(c)];
+      const std::size_t end =
+          (c + 1 == num_clients)
+              ? bucket.size()
+              : std::min(bucket.size(),
+                         static_cast<std::size_t>(cum * bucket.size()));
+      for (std::size_t i = start; i < end; ++i) {
+        out[static_cast<std::size_t>(c)].push_back(bucket[i]);
+      }
+      start = std::max(start, end);
+    }
+  }
+
+  // Guarantee non-empty shards: steal one sample from the largest shard.
+  for (auto& shard : out) {
+    if (!shard.empty()) continue;
+    auto largest = std::max_element(
+        out.begin(), out.end(),
+        [](const auto& a, const auto& b) { return a.size() < b.size(); });
+    MHB_CHECK(largest->size() > 1u)
+        << "cannot balance partition: too few samples for"
+        << static_cast<int>(out.size()) << "clients";
+    shard.push_back(largest->back());
+    largest->pop_back();
+  }
+  return out;
+}
+
+Partition NaturalPartition(const Dataset& dataset, int num_users) {
+  MHB_CHECK(!dataset.user_ids.empty())
+      << "dataset has no user ids for a natural partition";
+  MHB_CHECK_GT(num_users, 0);
+  Partition out(static_cast<std::size_t>(num_users));
+  for (std::size_t i = 0; i < dataset.user_ids.size(); ++i) {
+    const int u = dataset.user_ids[i];
+    MHB_CHECK(u >= 0 && u < num_users) << "user id" << u << "out of range";
+    out[static_cast<std::size_t>(u)].push_back(static_cast<int>(i));
+  }
+  // Remove users that received no samples.
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [](const auto& v) { return v.empty(); }),
+            out.end());
+  return out;
+}
+
+void ValidatePartition(const Partition& partition, int n) {
+  std::vector<int> seen(static_cast<std::size_t>(n), 0);
+  for (const auto& shard : partition) {
+    for (int i : shard) {
+      MHB_CHECK(i >= 0 && i < n) << "index out of range in partition";
+      ++seen[static_cast<std::size_t>(i)];
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    MHB_CHECK_EQ(seen[static_cast<std::size_t>(i)], 1)
+        << "sample" << i << "appears wrong number of times";
+  }
+}
+
+}  // namespace mhbench::data

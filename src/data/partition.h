@@ -1,0 +1,32 @@
+// Client data partitioners: IID, Dirichlet non-IID, and natural per-user.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace mhbench::data {
+
+// One index list per client.
+using Partition = std::vector<std::vector<int>>;
+
+// Shuffles [0, n) and deals it into `num_clients` near-equal shards.
+Partition IidPartition(int n, int num_clients, Rng& rng);
+
+// Label-based Dirichlet(alpha) partition: for each class, sample client
+// proportions from Dir(alpha) and deal that class's samples accordingly.
+// Small alpha -> highly skewed shards.  Every client is guaranteed at least
+// one sample (singletons are stolen from the largest shard).
+Partition DirichletPartition(const std::vector<int>& labels, int num_classes,
+                             int num_clients, double alpha, Rng& rng);
+
+// Groups samples by `dataset.user_ids`, one client per user id appearing in
+// the dataset (ids must be in [0, num_users)); users with no samples get
+// empty shards removed.
+Partition NaturalPartition(const Dataset& dataset, int num_users);
+
+// Validation helper: each index appears in exactly one shard, all in range.
+void ValidatePartition(const Partition& partition, int n);
+
+}  // namespace mhbench::data

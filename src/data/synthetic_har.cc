@@ -1,0 +1,88 @@
+#include "data/synthetic_har.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace mhbench::data {
+namespace {
+
+struct HarParams {
+  // [class][axis] frequency and amplitude.
+  std::vector<std::vector<double>> freq, amp;
+  // [user] multiplicative amplitude bias.
+  std::vector<double> user_gain;
+};
+
+Dataset Generate(const SyntheticHarConfig& cfg, const HarParams& hp, int n,
+                 Rng& rng) {
+  Dataset ds;
+  ds.num_classes = cfg.num_classes;
+  ds.features = Tensor({n, cfg.channels, cfg.window});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  ds.user_ids.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(
+        rng.UniformInt(static_cast<std::uint64_t>(cfg.num_classes)));
+    const int user = static_cast<int>(
+        rng.UniformInt(static_cast<std::uint64_t>(cfg.num_users)));
+    ds.labels[static_cast<std::size_t>(i)] = cls;
+    ds.user_ids[static_cast<std::size_t>(i)] = user;
+    const double phase = rng.Uniform(0.0, 2.0 * M_PI);
+    const double gain = hp.user_gain[static_cast<std::size_t>(user)];
+    for (int a = 0; a < cfg.channels; ++a) {
+      const double f = hp.freq[static_cast<std::size_t>(cls)]
+                              [static_cast<std::size_t>(a)];
+      const double amp = hp.amp[static_cast<std::size_t>(cls)]
+                               [static_cast<std::size_t>(a)] *
+                         gain;
+      Scalar* row = ds.features.data().data() +
+                    (static_cast<std::size_t>(i) * cfg.channels + a) *
+                        cfg.window;
+      for (int t = 0; t < cfg.window; ++t) {
+        const double v =
+            amp * std::sin(f * t + phase) + cfg.noise * rng.Gaussian();
+        row[t] = static_cast<Scalar>(v);
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+HarTrainTest MakeSyntheticHar(const SyntheticHarConfig& cfg) {
+  MHB_CHECK_GT(cfg.num_classes, 0);
+  MHB_CHECK_GT(cfg.num_users, 0);
+  MHB_CHECK_GT(cfg.window, 0);
+  Rng rng(cfg.seed ^ 0x5EED0003ULL);
+  HarParams hp;
+  hp.freq.resize(static_cast<std::size_t>(cfg.num_classes));
+  hp.amp.resize(static_cast<std::size_t>(cfg.num_classes));
+  for (int c = 0; c < cfg.num_classes; ++c) {
+    const auto cu = static_cast<std::size_t>(c);
+    hp.freq[cu].resize(static_cast<std::size_t>(cfg.channels));
+    hp.amp[cu].resize(static_cast<std::size_t>(cfg.channels));
+    for (int a = 0; a < cfg.channels; ++a) {
+      const auto au = static_cast<std::size_t>(a);
+      // Distinct frequency bands per class keep classes separable.
+      hp.freq[cu][au] = 0.3 + 0.25 * c + 0.1 * rng.Uniform();
+      hp.amp[cu][au] = rng.Uniform(0.6, 1.4);
+    }
+  }
+  hp.user_gain.resize(static_cast<std::size_t>(cfg.num_users));
+  for (auto& g : hp.user_gain) {
+    g = 1.0 + cfg.user_bias * rng.Gaussian();
+    g = std::max(0.3, g);
+  }
+  HarTrainTest out;
+  Rng train_rng = rng.Fork(1);
+  Rng test_rng = rng.Fork(2);
+  out.train = Generate(cfg, hp, cfg.train_samples, train_rng);
+  out.test = Generate(cfg, hp, cfg.test_samples, test_rng);
+  out.train.Validate();
+  out.test.Validate();
+  return out;
+}
+
+}  // namespace mhbench::data

@@ -1,0 +1,90 @@
+#include "data/synthetic_text.h"
+
+#include "core/error.h"
+
+namespace mhbench::data {
+namespace {
+
+struct ClassVocab {
+  std::vector<std::vector<int>> tokens;  // per class
+};
+
+Dataset Generate(const SyntheticTextConfig& cfg, const ClassVocab& cv, int n,
+                 Rng& rng) {
+  Dataset ds;
+  ds.num_classes = cfg.num_classes;
+  ds.features = Tensor({n, cfg.seq_len});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  if (cfg.num_users > 0) ds.user_ids.resize(static_cast<std::size_t>(n));
+
+  // Per-user dominant class for the natural partition.
+  std::vector<int> user_main;
+  if (cfg.num_users > 0) {
+    Rng urng(cfg.seed ^ 0x5E7DULL);
+    user_main.resize(static_cast<std::size_t>(cfg.num_users));
+    for (auto& c : user_main) {
+      c = static_cast<int>(urng.UniformInt(
+          static_cast<std::uint64_t>(cfg.num_classes)));
+    }
+  }
+
+  for (int i = 0; i < n; ++i) {
+    int cls;
+    if (cfg.num_users > 0) {
+      const int user = static_cast<int>(
+          rng.UniformInt(static_cast<std::uint64_t>(cfg.num_users)));
+      ds.user_ids[static_cast<std::size_t>(i)] = user;
+      if (rng.Uniform() < cfg.user_skew) {
+        cls = user_main[static_cast<std::size_t>(user)];
+      } else {
+        cls = static_cast<int>(
+            rng.UniformInt(static_cast<std::uint64_t>(cfg.num_classes)));
+      }
+    } else {
+      cls = static_cast<int>(
+          rng.UniformInt(static_cast<std::uint64_t>(cfg.num_classes)));
+    }
+    ds.labels[static_cast<std::size_t>(i)] = cls;
+    const auto& toks = cv.tokens[static_cast<std::size_t>(cls)];
+    Scalar* row =
+        ds.features.data().data() + static_cast<std::size_t>(i) * cfg.seq_len;
+    for (int t = 0; t < cfg.seq_len; ++t) {
+      int id;
+      if (rng.Uniform() < cfg.class_token_p) {
+        id = toks[rng.UniformInt(toks.size())];
+      } else {
+        id = static_cast<int>(
+            rng.UniformInt(static_cast<std::uint64_t>(cfg.vocab_size)));
+      }
+      row[t] = static_cast<Scalar>(id);
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+TextTrainTest MakeSyntheticText(const SyntheticTextConfig& cfg) {
+  MHB_CHECK_GT(cfg.num_classes, 0);
+  MHB_CHECK_GT(cfg.vocab_size, 0);
+  MHB_CHECK_GE(cfg.class_tokens, 1);
+  MHB_CHECK_LE(cfg.class_tokens, cfg.vocab_size);
+  Rng rng(cfg.seed ^ 0x5EED0002ULL);
+  ClassVocab cv;
+  cv.tokens.resize(static_cast<std::size_t>(cfg.num_classes));
+  for (auto& toks : cv.tokens) {
+    const auto pick =
+        rng.SampleWithoutReplacement(cfg.vocab_size, cfg.class_tokens);
+    toks.assign(pick.begin(), pick.end());
+  }
+  TextTrainTest out;
+  Rng train_rng = rng.Fork(1);
+  Rng test_rng = rng.Fork(2);
+  out.train = Generate(cfg, cv, cfg.train_samples, train_rng);
+  out.test = Generate(cfg, cv, cfg.test_samples, test_rng);
+  out.train.Validate();
+  out.test.Validate();
+  return out;
+}
+
+}  // namespace mhbench::data

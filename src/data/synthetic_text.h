@@ -1,0 +1,35 @@
+// Synthetic text classification tasks (AG-News / Stack Overflow analogues).
+//
+// Each class owns a preferred token subset; a sample draws each of its
+// `seq_len` token ids from the class subset with probability `class_token_p`
+// and uniformly otherwise.  When `num_users > 0` every sample carries a user
+// id whose class distribution is skewed (Stack Overflow style natural
+// non-IID).
+#pragma once
+
+#include "core/rng.h"
+#include "data/dataset.h"
+
+namespace mhbench::data {
+
+struct SyntheticTextConfig {
+  int num_classes = 4;
+  int vocab_size = 64;
+  int seq_len = 12;
+  int class_tokens = 8;       // size of each class's preferred subset
+  float class_token_p = 0.6f;
+  int train_samples = 2000;
+  int test_samples = 500;
+  int num_users = 0;          // 0 = no user ids
+  float user_skew = 0.7f;     // probability a user's sample is its main class
+  std::uint64_t seed = 1;
+};
+
+struct TextTrainTest {
+  Dataset train;
+  Dataset test;
+};
+
+TextTrainTest MakeSyntheticText(const SyntheticTextConfig& config);
+
+}  // namespace mhbench::data

@@ -1,0 +1,64 @@
+#include "data/synthetic_vision.h"
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace mhbench::data {
+namespace {
+
+Dataset Generate(const SyntheticVisionConfig& cfg,
+                 const std::vector<Tensor>& templates, int n, Rng& rng) {
+  Dataset ds;
+  ds.num_classes = cfg.num_classes;
+  ds.features = Tensor({n, cfg.channels, cfg.image_size, cfg.image_size});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  const std::size_t elems = static_cast<std::size_t>(cfg.channels) *
+                            cfg.image_size * cfg.image_size;
+  for (int i = 0; i < n; ++i) {
+    const int cls = static_cast<int>(rng.UniformInt(
+        static_cast<std::uint64_t>(cfg.num_classes)));
+    const int mode = static_cast<int>(rng.UniformInt(
+        static_cast<std::uint64_t>(cfg.modes_per_class)));
+    ds.labels[static_cast<std::size_t>(i)] = cls;
+    const Tensor& tpl = templates[static_cast<std::size_t>(
+        cls * cfg.modes_per_class + mode)];
+    const auto scale = static_cast<Scalar>(rng.Uniform(0.8, 1.2));
+    Scalar* dst = ds.features.data().data() + static_cast<std::size_t>(i) * elems;
+    const Scalar* src = tpl.data().data();
+    for (std::size_t e = 0; e < elems; ++e) {
+      const double v =
+          scale * src[e] + cfg.noise * rng.Gaussian();
+      dst[e] = static_cast<Scalar>(std::tanh(v));
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+TrainTest MakeSyntheticVision(const SyntheticVisionConfig& cfg) {
+  MHB_CHECK_GT(cfg.num_classes, 0);
+  MHB_CHECK_GT(cfg.modes_per_class, 0);
+  MHB_CHECK_GT(cfg.train_samples, 0);
+  MHB_CHECK_GT(cfg.test_samples, 0);
+  Rng rng(cfg.seed ^ 0x5EED0001ULL);
+  // Fixed class templates shared by train and test.
+  std::vector<Tensor> templates;
+  templates.reserve(
+      static_cast<std::size_t>(cfg.num_classes) * cfg.modes_per_class);
+  for (int c = 0; c < cfg.num_classes * cfg.modes_per_class; ++c) {
+    templates.push_back(Tensor::Randn(
+        {cfg.channels, cfg.image_size, cfg.image_size}, rng, 1.0f));
+  }
+  TrainTest out;
+  Rng train_rng = rng.Fork(1);
+  Rng test_rng = rng.Fork(2);
+  out.train = Generate(cfg, templates, cfg.train_samples, train_rng);
+  out.test = Generate(cfg, templates, cfg.test_samples, test_rng);
+  out.train.Validate();
+  out.test.Validate();
+  return out;
+}
+
+}  // namespace mhbench::data

@@ -1,0 +1,87 @@
+#include "data/tasks.h"
+
+#include "core/error.h"
+#include "data/synthetic_har.h"
+#include "data/synthetic_text.h"
+#include "data/synthetic_vision.h"
+
+namespace mhbench::data {
+namespace {
+
+struct Defaults {
+  int train, test, clients;
+};
+
+Defaults DefaultsFor(const std::string& name) {
+  // Client counts keep the paper's relative population ordering
+  // (CIFAR/HAR-BOX 100, AG-News 50, Stack Overflow 500, UCI-HAR 30) at sim
+  // scale.
+  if (name == "cifar10" || name == "cifar100") return {1200, 400, 20};
+  if (name == "agnews") return {1000, 300, 10};
+  if (name == "stackoverflow") return {1500, 400, 40};
+  if (name == "harbox") return {1200, 400, 20};
+  if (name == "ucihar") return {1000, 300, 10};
+  throw Error("unknown task: " + name);
+}
+
+}  // namespace
+
+Task MakeTask(const std::string& name, const TaskConfig& config) {
+  const Defaults d = DefaultsFor(name);
+  const int train = config.train_samples > 0 ? config.train_samples : d.train;
+  const int test = config.test_samples > 0 ? config.test_samples : d.test;
+  const int clients = config.num_clients > 0 ? config.num_clients : d.clients;
+
+  Task task;
+  task.name = name;
+  task.num_clients = clients;
+
+  if (name == "cifar10" || name == "cifar100") {
+    SyntheticVisionConfig cfg;
+    cfg.num_classes = name == "cifar10" ? 10 : 20;
+    cfg.train_samples = train;
+    cfg.test_samples = test;
+    cfg.seed = config.seed;
+    auto tt = MakeSyntheticVision(cfg);
+    task.train = std::move(tt.train);
+    task.test = std::move(tt.test);
+    task.natural = false;
+  } else if (name == "agnews") {
+    SyntheticTextConfig cfg;
+    cfg.num_classes = 4;
+    cfg.train_samples = train;
+    cfg.test_samples = test;
+    cfg.seed = config.seed;
+    auto tt = MakeSyntheticText(cfg);
+    task.train = std::move(tt.train);
+    task.test = std::move(tt.test);
+    task.natural = false;
+  } else if (name == "stackoverflow") {
+    SyntheticTextConfig cfg;
+    cfg.num_classes = 5;
+    cfg.train_samples = train;
+    cfg.test_samples = test;
+    cfg.num_users = clients;
+    cfg.seed = config.seed;
+    auto tt = MakeSyntheticText(cfg);
+    task.train = std::move(tt.train);
+    task.test = std::move(tt.test);
+    task.natural = true;
+  } else if (name == "harbox" || name == "ucihar") {
+    SyntheticHarConfig cfg;
+    cfg.num_classes = name == "harbox" ? 5 : 6;
+    cfg.train_samples = train;
+    cfg.test_samples = test;
+    cfg.num_users = clients;
+    cfg.seed = config.seed;
+    auto tt = MakeSyntheticHar(cfg);
+    task.train = std::move(tt.train);
+    task.test = std::move(tt.test);
+    task.natural = true;
+  } else {
+    throw Error("unknown task: " + name);
+  }
+  return task;
+}
+
+}  // namespace mhbench::data

@@ -1,0 +1,37 @@
+// Canonical benchmark tasks (the paper's six datasets, sim scale).
+//
+// Input geometry (image size, vocab, sequence length, sensor window) matches
+// the sim-scale model families in models/zoo.cc; the integration tests
+// assert this coupling.
+#pragma once
+
+#include <string>
+
+#include "data/dataset.h"
+
+namespace mhbench::data {
+
+struct TaskConfig {
+  std::uint64_t seed = 1;
+  // 0 = per-task default.
+  int train_samples = 0;
+  int test_samples = 0;
+  int num_clients = 0;
+};
+
+struct Task {
+  std::string name;
+  Dataset train;
+  Dataset test;
+  // True for tasks whose partition follows sample user ids (Stack Overflow,
+  // HAR-BOX, UCI-HAR); false = IID/Dirichlet partitioning over samples.
+  bool natural = false;
+  // Default federated population (for natural tasks this is the user count).
+  int num_clients = 0;
+};
+
+// Known names: "cifar10", "cifar100", "agnews", "stackoverflow", "harbox",
+// "ucihar".  Throws Error for unknown names.
+Task MakeTask(const std::string& name, const TaskConfig& config = {});
+
+}  // namespace mhbench::data

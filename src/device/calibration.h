@@ -1,0 +1,41 @@
+// Calibration constants fitted to the paper's Table I measurements
+// (ResNet-101 x0.5 on Jetson Nano / Orin NX: parameters, per-round training
+// time, memory usage, for SHeteroFL / DepthFL / FedRolex / FeDepth).
+//
+// The fit anchors the cost model: Table I is reproduced by construction;
+// every other (model, ratio, device, method) combination is a structural
+// extrapolation through the formulas in cost_model.cc.
+#pragma once
+
+#include <string>
+
+namespace mhbench::device {
+
+// Local samples processed per federated round (batch x local steps); the
+// unit the per-round training time is defined over.
+double RoundSamples();
+
+// Backward pass cost multiple of forward (standard 2x backward + 1x forward).
+double TrainFlopsMultiplier();
+
+// Per-method multiplier on training FLOPs (DepthFL's extra heads and mutual
+// distillation, FedRolex's scatter bookkeeping, FeDepth's segment-wise
+// passes).  1.0 for unknown methods.
+double MethodTimeFactor(const std::string& algorithm);
+
+// Per-method multiplier on activation memory (DepthFL keeps every head's
+// activations for mutual distillation; FeDepth only backprops one segment).
+double MethodActivationFactor(const std::string& algorithm);
+
+// Batch size the memory model assumes.
+double MemoryModelBatch();
+
+// Fixed framework overhead (runtime, kernels, CUDA context) in MB.
+double BaseMemoryOverheadMb();
+
+// Fitted effective training throughput for the named preset device
+// ("jetson-nano", "jetson-orin-nx", "jetson-tx2-nx", "raspberry-pi-4b"),
+// in GFLOP/s.
+double DeviceGflops(const std::string& device_name);
+
+}  // namespace mhbench::device

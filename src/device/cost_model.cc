@@ -1,0 +1,321 @@
+#include "device/cost_model.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "device/calibration.h"
+
+namespace mhbench::device {
+namespace {
+
+// MobileNet/EfficientNet-style descriptors use inverted-residual blocks
+// with this expansion; encoded via the name to keep the public struct
+// small.
+int ExpansionOf(const PaperModelDesc& d) {
+  if (d.name.rfind("mobilenet", 0) == 0) return 6;
+  if (d.name.rfind("efficientnet", 0) == 0) return 6;
+  return 0;
+}
+
+// Accumulates conv-layer statistics.
+//  - bottleneck: 1x1 (Cin->W) / 3x3 (W->W) / 1x1 (W->Cout), W = Cout/4
+//  - expansion > 0 (MobileNet): 1x1 expand, depthwise 3x3, 1x1 project
+//  - otherwise basic: 3x3 (Cin->Cout) / 3x3 (Cout->Cout)
+struct ConvAccum {
+  double params = 0.0;
+  double flops = 0.0;
+  double acts = 0.0;
+
+  // `spatial` = number of output positions (H*W, or L for 1-D).
+  void Conv(double cin, double cout, double k2, double spatial,
+            bool depthwise = false) {
+    const double weights = depthwise ? cout * k2 : cin * cout * k2;
+    params += weights + 2.0 * cout;  // + batch-norm affine
+    flops += 2.0 * spatial * weights;
+    acts += spatial * cout * 2.0;  // conv output + normalized/activated copy
+  }
+};
+
+ModelStats CnnStats(const PaperModelDesc& d, ScaleAxis axis, double ratio) {
+  int total_blocks = 0;
+  for (int b : d.stage_blocks) total_blocks += b;
+  const int kept_blocks =
+      axis == ScaleAxis::kDepth
+          ? std::max(1, static_cast<int>(std::ceil(ratio * total_blocks)))
+          : total_blocks;
+  const double w = axis == ScaleAxis::kWidth ? ratio : 1.0;
+  const int expansion = ExpansionOf(d);
+
+  auto scaled = [&](int channels) {
+    return std::max(1.0, std::ceil(w * channels));
+  };
+
+  ConvAccum acc;
+  const double dims = d.conv1d ? 1.0 : 2.0;
+  double spatial = d.conv1d ? d.image_size
+                            : static_cast<double>(d.image_size) * d.image_size;
+  const double k2 = d.conv1d ? 3.0 : 9.0;
+
+  // Stem: from input channels to the first stage width.
+  const double first = scaled(d.stage_channels.front());
+  acc.Conv(d.in_channels, first, d.conv1d ? 5.0 : 9.0, spatial);
+
+  double cin = first;
+  double last_cout = first;
+  int flat = 0;
+  for (std::size_t s = 0; s < d.stage_channels.size() && flat < kept_blocks;
+       ++s) {
+    const double cout = scaled(d.stage_channels[s]);
+    for (int b = 0; b < d.stage_blocks[s] && flat < kept_blocks; ++b, ++flat) {
+      const bool first_of_stage = (b == 0);
+      if (first_of_stage && s > 0) spatial /= std::pow(2.0, dims);
+      if (d.inception) {
+        // Three-branch Inception module: 1x1, 1x1 -> 3x3, 1x1.
+        const double b1 = std::max(1.0, cout / 2.0);
+        const double b2 = std::max(1.0, cout / 4.0);
+        const double b3 = std::max(1.0, cout - b1 - b2);
+        acc.Conv(cin, b1, 1.0, spatial);
+        acc.Conv(cin, b2, 1.0, spatial);
+        acc.Conv(b2, b2, k2, spatial);
+        acc.Conv(cin, b3, 1.0, spatial);
+      } else if (d.bottleneck) {
+        const double width = std::max(1.0, cout / 4.0);
+        acc.Conv(cin, width, 1.0, spatial);
+        acc.Conv(width, width, k2, spatial);
+        acc.Conv(width, cout, 1.0, spatial);
+      } else if (expansion > 0) {
+        const double e = expansion * cout;
+        acc.Conv(cin, e, 1.0, spatial);
+        acc.Conv(e, e, k2, spatial, /*depthwise=*/true);
+        acc.Conv(e, cout, 1.0, spatial);
+      } else {
+        acc.Conv(cin, cout, k2, spatial);
+        acc.Conv(cout, cout, k2, spatial);
+      }
+      if (first_of_stage && s > 0) {
+        acc.Conv(cin, cout, 1.0, spatial);  // projection shortcut
+      }
+      cin = cout;
+      last_cout = cout;
+    }
+  }
+  acc.params += last_cout * d.num_classes + d.num_classes;
+  acc.flops += 2.0 * last_cout * d.num_classes;
+  acc.acts += d.num_classes;
+
+  return {acc.params, acc.flops, acc.acts};
+}
+
+ModelStats TransformerStats(const PaperModelDesc& d, ScaleAxis axis,
+                            double ratio) {
+  const int layers =
+      axis == ScaleAxis::kDepth
+          ? std::max(1, static_cast<int>(std::ceil(ratio * d.num_layers)))
+          : d.num_layers;
+  const double f = axis == ScaleAxis::kWidth
+                       ? std::max(1.0, std::ceil(ratio * d.ffn_hidden))
+                       : d.ffn_hidden;
+  const double dm = d.d_model;
+  const double seq = d.seq_len;
+
+  // Per-layer: attention (4 d^2 + 4d), FFN (2 d f + d + f), 2 LayerNorms.
+  const double layer_params =
+      4 * dm * dm + 4 * dm + 2 * dm * f + dm + f + 4 * dm;
+  // ALBERT shares one layer's parameters across all executed layers.
+  const double param_layers = d.shared_layers ? 1.0 : layers;
+  const double params = d.vocab * dm + param_layers * layer_params +
+                        dm * d.num_classes + d.num_classes;
+
+  double flops = 2.0 * seq * layer_params * layers;  // projections + FFN
+  flops += 4.0 * layers * seq * seq * dm;            // attention scores+mix
+  flops += 2.0 * seq * dm;                           // head pooling
+
+  const double acts = layers * seq * (6.0 * dm + f) + seq * dm;
+  return {params, flops, acts};
+}
+
+}  // namespace
+
+ScaleAxis AxisOf(const std::string& algorithm) {
+  if (algorithm == "fjord" || algorithm == "sheterofl" ||
+      algorithm == "fedrolex" || algorithm == "fedavg") {
+    return ScaleAxis::kWidth;
+  }
+  if (algorithm == "depthfl" || algorithm == "inclusivefl" ||
+      algorithm == "fedepth") {
+    return ScaleAxis::kDepth;
+  }
+  if (algorithm == "fedproto" || algorithm == "fedet") {
+    return ScaleAxis::kFull;
+  }
+  throw Error("unknown algorithm for cost axis: " + algorithm);
+}
+
+ModelStats ComputeStats(const PaperModelDesc& desc, ScaleAxis axis,
+                        double ratio) {
+  MHB_CHECK_GT(ratio, 0.0);
+  MHB_CHECK_LE(ratio, 1.0);
+  if (desc.d_model > 0) return TransformerStats(desc, axis, ratio);
+  MHB_CHECK(!desc.stage_channels.empty()) << "empty descriptor" << desc.name;
+  return CnnStats(desc, axis, ratio);
+}
+
+CostModel::CostModel(PaperModelDesc desc) : desc_(std::move(desc)) {}
+
+RoundCost CostModel::Cost(const std::string& algorithm, double ratio,
+                          const DeviceProfile& dev) const {
+  const ScaleAxis axis = AxisOf(algorithm);
+  const ModelStats stats =
+      axis == ScaleAxis::kFull
+          ? ComputeStats(desc_, ScaleAxis::kWidth, 1.0)
+          : ComputeStats(desc_, axis, ratio);
+
+  RoundCost cost;
+  cost.params_m = stats.params / 1e6;
+  cost.gflops_fwd = stats.flops_fwd / 1e9;
+
+  const double train_flops = stats.flops_fwd * TrainFlopsMultiplier() *
+                             RoundSamples() * MethodTimeFactor(algorithm);
+  cost.train_time_s = train_flops / (dev.gflops * 1e9);
+
+  // Weights + gradients + momentum, batch activations, fixed overhead.
+  cost.memory_mb = (stats.params * 3.0 * 4.0 +
+                    stats.activation_elems * MemoryModelBatch() * 4.0 *
+                        MethodActivationFactor(algorithm)) /
+                       1e6 +
+                   BaseMemoryOverheadMb();
+
+  cost.comm_mb = 2.0 * stats.params * 4.0 / 1e6;  // upload + download
+  cost.comm_time_s = cost.comm_mb * 8.0 / dev.bandwidth_mbps;
+  return cost;
+}
+
+PaperModelDesc PaperDesc(const std::string& model_name) {
+  PaperModelDesc d;
+  d.name = model_name;
+  if (model_name == "resnet18") {
+    d.stage_channels = {64, 128, 256, 512};
+    d.stage_blocks = {2, 2, 2, 2};
+  } else if (model_name == "resnet34") {
+    d.stage_channels = {64, 128, 256, 512};
+    d.stage_blocks = {3, 4, 6, 3};
+  } else if (model_name == "resnet50") {
+    d.stage_channels = {256, 512, 1024, 2048};
+    d.stage_blocks = {3, 4, 6, 3};
+    d.bottleneck = true;
+  } else if (model_name == "resnet101") {
+    d.stage_channels = {256, 512, 1024, 2048};
+    d.stage_blocks = {3, 4, 23, 3};
+    d.bottleneck = true;
+  } else if (model_name == "mobilenetv2") {
+    d.stage_channels = {24, 32, 64, 160};
+    d.stage_blocks = {2, 3, 4, 3};
+    d.num_classes = 10;
+  } else if (model_name == "mobilenetv3-small") {
+    d.stage_channels = {16, 24, 48, 96};
+    d.stage_blocks = {1, 2, 3, 2};
+    d.num_classes = 10;
+  } else if (model_name == "mobilenetv3-large") {
+    d.stage_channels = {24, 40, 112, 160};
+    d.stage_blocks = {2, 3, 4, 3};
+    d.num_classes = 10;
+  } else if (model_name == "efficientnet-b0") {
+    d.stage_channels = {24, 40, 112, 320};
+    d.stage_blocks = {2, 3, 4, 2};
+    d.num_classes = 10;
+  } else if (model_name == "googlenet") {
+    d.stage_channels = {192, 480, 832, 1024};
+    d.stage_blocks = {2, 2, 5, 2};
+    d.inception = true;
+    d.num_classes = 10;
+  } else if (model_name == "transformer") {
+    d.d_model = 256;
+    d.ffn_hidden = 1024;
+    d.num_layers = 4;
+    d.vocab = 30000;
+    d.seq_len = 64;
+    d.num_classes = 4;
+  } else if (model_name == "albert-base") {
+    d.d_model = 768;
+    d.ffn_hidden = 3072;
+    d.num_layers = 12;
+    d.vocab = 30000;
+    d.seq_len = 64;
+    d.num_classes = 500;
+    d.shared_layers = true;
+  } else if (model_name == "albert-large") {
+    d.d_model = 1024;
+    d.ffn_hidden = 4096;
+    d.num_layers = 24;
+    d.vocab = 30000;
+    d.seq_len = 64;
+    d.num_classes = 500;
+    d.shared_layers = true;
+  } else if (model_name == "albert-xxlarge") {
+    d.d_model = 4096;
+    d.ffn_hidden = 16384;
+    d.num_layers = 12;
+    d.vocab = 30000;
+    d.seq_len = 64;
+    d.num_classes = 500;
+    d.shared_layers = true;
+  } else if (model_name == "har-cnn") {
+    d.stage_channels = {64, 128};
+    d.stage_blocks = {2, 2};
+    d.conv1d = true;
+    d.image_size = 128;  // window length
+    d.in_channels = 9;
+    d.num_classes = 6;
+  } else if (model_name == "har-cnn-small") {
+    d.stage_channels = {32, 64};
+    d.stage_blocks = {1, 1};
+    d.conv1d = true;
+    d.image_size = 128;
+    d.in_channels = 9;
+    d.num_classes = 6;
+  } else if (model_name == "har-cnn-large") {
+    d.stage_channels = {96, 192};
+    d.stage_blocks = {2, 2};
+    d.conv1d = true;
+    d.image_size = 128;
+    d.in_channels = 9;
+    d.num_classes = 6;
+  } else {
+    throw Error("unknown paper model: " + model_name);
+  }
+  return d;
+}
+
+PaperTaskDescs PaperDescsForTask(const std::string& task_name) {
+  PaperTaskDescs out;
+  if (task_name == "cifar100") {
+    out.primary = PaperDesc("resnet101");
+    out.topology = {PaperDesc("resnet18"), PaperDesc("resnet34"),
+                    PaperDesc("resnet50"), PaperDesc("resnet101")};
+  } else if (task_name == "cifar10") {
+    out.primary = PaperDesc("mobilenetv2");
+    out.topology = {PaperDesc("mobilenetv3-small"), PaperDesc("mobilenetv2"),
+                    PaperDesc("mobilenetv3-large")};
+  } else if (task_name == "agnews") {
+    out.primary = PaperDesc("transformer");
+    // The paper omits topology heterogeneity on AG-News; a two-member
+    // transformer family keeps the builders total.
+    PaperModelDesc small = PaperDesc("transformer");
+    small.name = "transformer-small";
+    small.num_layers = 2;
+    out.topology = {small, PaperDesc("transformer")};
+  } else if (task_name == "stackoverflow") {
+    out.primary = PaperDesc("albert-base");
+    out.topology = {PaperDesc("albert-base"), PaperDesc("albert-large"),
+                    PaperDesc("albert-xxlarge")};
+  } else if (task_name == "harbox" || task_name == "ucihar") {
+    out.primary = PaperDesc("har-cnn");
+    out.topology = {PaperDesc("har-cnn-small"), PaperDesc("har-cnn"),
+                    PaperDesc("har-cnn-large")};
+  } else {
+    throw Error("unknown task: " + task_name);
+  }
+  return out;
+}
+
+}  // namespace mhbench::device

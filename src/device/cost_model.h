@@ -1,0 +1,92 @@
+// Analytic cost model over *paper-scale* model descriptors.
+//
+// The trainable sim-scale networks keep experiments CPU-feasible; system
+// costs (parameters, FLOPs, training time, memory, communication) are
+// computed here from descriptors of the paper's actual models (ResNet-101,
+// MobileNetV2, ALBERT, ...), with per-method factors calibrated against the
+// paper's Table I measurements (see device/calibration.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/device_profile.h"
+
+namespace mhbench::device {
+
+// Axis a heterogeneity method scales the model along.
+enum class ScaleAxis { kWidth, kDepth, kFull };
+
+// Which axis each algorithm scales (by registry name; "fedavg" -> width).
+ScaleAxis AxisOf(const std::string& algorithm);
+
+struct PaperModelDesc {
+  std::string name;
+  // CNN fields.
+  std::vector<int> stage_channels;  // output channels per stage
+  std::vector<int> stage_blocks;
+  bool bottleneck = false;  // ResNet-50/101 style (1x1-3x3-1x1, W = C/4)
+  bool inception = false;   // GoogLeNet style (1x1 / 1x1-3x3 / 1x1 branches)
+  int image_size = 32;
+  int in_channels = 3;
+  int num_classes = 100;
+  bool conv1d = false;  // HAR CNNs operate on 1-D windows
+  // Transformer fields (nonzero d_model selects the transformer formulas).
+  int d_model = 0;
+  int ffn_hidden = 0;
+  int num_layers = 0;
+  int vocab = 0;
+  int seq_len = 0;
+  bool shared_layers = false;  // ALBERT cross-layer parameter sharing
+};
+
+// Structural statistics of a (possibly scaled) model.
+struct ModelStats {
+  double params = 0.0;             // scalar parameter count
+  double flops_fwd = 0.0;          // forward FLOPs per sample
+  double activation_elems = 0.0;   // activation scalars per sample
+};
+
+// Params/FLOPs/activations of `desc` scaled along `axis` by `ratio`.
+ModelStats ComputeStats(const PaperModelDesc& desc, ScaleAxis axis,
+                        double ratio);
+
+// Full system cost of one federated round for one client.
+struct RoundCost {
+  double params_m = 0.0;        // millions of parameters
+  double gflops_fwd = 0.0;      // forward GFLOPs per sample
+  double train_time_s = 0.0;    // one round of local training
+  double memory_mb = 0.0;       // peak training memory
+  double comm_mb = 0.0;         // upload + download payload
+  double comm_time_s = 0.0;     // at the device's bandwidth
+};
+
+class CostModel {
+ public:
+  explicit CostModel(PaperModelDesc desc);
+
+  const PaperModelDesc& desc() const { return desc_; }
+
+  // Cost of running `algorithm` at `ratio` of this model on `dev`.
+  RoundCost Cost(const std::string& algorithm, double ratio,
+                 const DeviceProfile& dev) const;
+
+ private:
+  PaperModelDesc desc_;
+};
+
+// Paper-scale descriptor registry: "resnet18/34/50/101", "mobilenetv2",
+// "mobilenetv3-small", "mobilenetv3-large", "transformer", "albert-base",
+// "albert-large", "albert-xxlarge", "har-cnn", "har-cnn-small",
+// "har-cnn-large".  Throws for unknown names.
+PaperModelDesc PaperDesc(const std::string& model_name);
+
+// Paper-scale models for each benchmark task: the primary (width/depth)
+// model and the topology family (smallest first), mirroring Table II.
+struct PaperTaskDescs {
+  PaperModelDesc primary;
+  std::vector<PaperModelDesc> topology;
+};
+PaperTaskDescs PaperDescsForTask(const std::string& task_name);
+
+}  // namespace mhbench::device

@@ -1,0 +1,26 @@
+#include "device/device_profile.h"
+
+#include "device/calibration.h"
+
+namespace mhbench::device {
+
+DeviceProfile JetsonOrinNx() {
+  return {"jetson-orin-nx", DeviceGflops("jetson-orin-nx"), 100.0, 16384.0,
+          true};
+}
+
+DeviceProfile JetsonTx2Nx() {
+  return {"jetson-tx2-nx", DeviceGflops("jetson-tx2-nx"), 100.0, 4096.0,
+          true};
+}
+
+DeviceProfile JetsonNano() {
+  return {"jetson-nano", DeviceGflops("jetson-nano"), 100.0, 4096.0, true};
+}
+
+DeviceProfile RaspberryPi4() {
+  return {"raspberry-pi-4b", DeviceGflops("raspberry-pi-4b"), 50.0, 2048.0,
+          false};
+}
+
+}  // namespace mhbench::device

@@ -1,0 +1,29 @@
+// Edge device profiles (the paper's Table III hardware plus the IMA-style
+// phone fleet's per-device capabilities).
+#pragma once
+
+#include <string>
+
+namespace mhbench::device {
+
+struct DeviceProfile {
+  std::string name;
+  // Effective training throughput in GFLOP/s (fitted, not peak).
+  double gflops = 1.0;
+  // Up/down link bandwidth in Mbit/s.
+  double bandwidth_mbps = 20.0;
+  // Memory available for training, in MB (GPU memory, or a conservative
+  // budget for CPU-only devices).
+  double memory_mb = 4096.0;
+  bool has_gpu = true;
+};
+
+// Presets for the paper's measurement devices (Table III + Table I).  The
+// gflops values are fitted by device/calibration so that the cost model
+// reproduces Table I's measured training times.
+DeviceProfile JetsonOrinNx();
+DeviceProfile JetsonTx2Nx();
+DeviceProfile JetsonNano();
+DeviceProfile RaspberryPi4();
+
+}  // namespace mhbench::device

@@ -1,0 +1,52 @@
+#include "device/ima_fleet.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "device/calibration.h"
+
+namespace mhbench::device {
+
+Fleet SampleFleet(const FleetConfig& config) {
+  MHB_CHECK_GT(config.num_clients, 0);
+  MHB_CHECK_GE(config.p16gb, 0.0);
+  MHB_CHECK_GE(config.p4gb, 0.0);
+  MHB_CHECK_LE(config.p16gb + config.p4gb, 1.0);
+  MHB_CHECK_GE(config.availability_min, 0.0);
+  MHB_CHECK_LE(config.availability_max, 1.0);
+  MHB_CHECK_LE(config.availability_min, config.availability_max);
+  Rng rng(config.seed ^ 0x1A4FEE7ULL);
+
+  const double median_gflops =
+      DeviceGflops("jetson-nano") * config.median_gflops_scale;
+
+  Fleet fleet(static_cast<std::size_t>(config.num_clients));
+  for (auto& dev : fleet) {
+    dev.gflops =
+        median_gflops * std::exp(config.compute_sigma * rng.Gaussian());
+    dev.bandwidth_mbps = config.median_bandwidth_mbps *
+                         std::exp(config.bandwidth_sigma * rng.Gaussian());
+    // Memory tiers carry the *effective training budget*: Jetson-class
+    // devices share unified memory with the OS and runtime, so only a
+    // fraction of the nominal RAM is available to a training process
+    // (16 GB -> ~8 GB, 4 GB -> ~1.75 GB, CPU-only -> ~0.7 GB).  These
+    // budgets make the memory case bind the way the paper observes.
+    const double u = rng.Uniform();
+    if (u < config.p16gb) {
+      dev.memory_mb = 8192.0;
+      dev.has_gpu = true;
+    } else if (u < config.p16gb + config.p4gb) {
+      dev.memory_mb = 1792.0;
+      dev.has_gpu = true;
+    } else {
+      dev.memory_mb = 704.0;
+      dev.has_gpu = false;
+      dev.gflops /= 6.0;  // CPU-only training penalty
+    }
+    dev.availability =
+        rng.Uniform(config.availability_min, config.availability_max);
+  }
+  return fleet;
+}
+
+}  // namespace mhbench::device

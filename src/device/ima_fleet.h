@@ -1,0 +1,52 @@
+// Synthetic IMA-style device fleet.
+//
+// The paper assigns per-client compute, bandwidth and memory constraints
+// from the IMA dataset (status of 1000+ real phones, Yang et al. WWW'21)
+// and the ScientiaMobile RAM distribution.  Neither is redistributable, so
+// the fleet sampler reproduces their documented shape: compute capability
+// spread over roughly an order of magnitude (log-normal), long-tailed
+// bandwidths, and a three-tier memory distribution (16 GB / 4 GB / no-GPU)
+// with real-world-style proportions.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+
+namespace mhbench::device {
+
+struct ClientDevice {
+  double gflops = 1.0;
+  double bandwidth_mbps = 20.0;
+  double memory_mb = 4096.0;
+  bool has_gpu = true;
+  // Probability the device is online when sampled (state heterogeneity;
+  // phones charge/sleep/roam).
+  double availability = 1.0;
+};
+
+struct FleetConfig {
+  int num_clients = 100;
+  std::uint64_t seed = 11;
+  // Median compute as a fraction of the Jetson Nano's fitted throughput.
+  double median_gflops_scale = 1.0;
+  // Log-normal sigma of the compute distribution (IMA spans ~10x).
+  double compute_sigma = 0.55;
+  double median_bandwidth_mbps = 20.0;
+  double bandwidth_sigma = 0.8;
+  // Memory tier proportions (16 GB GPU / 4 GB GPU / CPU-only), from the
+  // ScientiaMobile-style distribution the paper cites.
+  double p16gb = 0.2;
+  double p4gb = 0.5;  // remainder is CPU-only
+  // Per-device availability sampled uniformly from this range.  Defaults
+  // to always-online (the paper's main grid does not model state
+  // heterogeneity); lower the minimum to study offline devices.
+  double availability_min = 1.0;
+  double availability_max = 1.0;
+};
+
+using Fleet = std::vector<ClientDevice>;
+
+Fleet SampleFleet(const FleetConfig& config);
+
+}  // namespace mhbench::device

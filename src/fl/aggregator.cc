@@ -1,0 +1,45 @@
+#include "fl/aggregator.h"
+
+#include "core/error.h"
+#include "tensor/ops.h"
+
+namespace mhbench::fl {
+
+void MaskedAverager::Accumulate(nn::Module& model,
+                                const models::ParamMapping& mapping,
+                                double weight, const ParamStore& reference) {
+  MHB_CHECK_GT(weight, 0.0);
+  std::vector<nn::NamedParam> params;
+  model.CollectParams("", params);
+  MHB_CHECK_EQ(params.size(), mapping.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto& slice = mapping[i];
+    MHB_CHECK_EQ(params[i].name, slice.name) << "mapping order mismatch";
+    const Tensor& global_ref = reference.Get(slice.name);
+    auto [sit, inserted] = sum_.try_emplace(slice.name, global_ref.shape());
+    if (inserted) weight_.emplace(slice.name, Tensor(global_ref.shape()));
+
+    Tensor weighted = params[i].param->value;
+    weighted.Scale(static_cast<Scalar>(weight));
+    ops::ScatterAddDims(sit->second, weighted, slice.index);
+    const Tensor w(params[i].param->value.shape(),
+                   static_cast<Scalar>(weight));
+    ops::ScatterAddDims(weight_.at(slice.name), w, slice.index);
+  }
+}
+
+void MaskedAverager::ApplyTo(ParamStore& store) {
+  MHB_CHECK(!empty()) << "no accumulated updates";
+  for (auto& [name, acc] : sum_) {
+    Tensor& target = store.GetMutable(name);
+    const Tensor& w = weight_.at(name);
+    MHB_CHECK(acc.shape() == target.shape());
+    for (std::size_t i = 0; i < acc.numel(); ++i) {
+      if (w[i] > 0) target[i] = acc[i] / w[i];
+    }
+  }
+  sum_.clear();
+  weight_.clear();
+}
+
+}  // namespace mhbench::fl

@@ -1,0 +1,37 @@
+// Coordinate-wise masked federated averaging.
+//
+// Clients hold different sub-tensors of the global parameters; the server
+// averages each coordinate over exactly the clients that trained it
+// (HeteroFL-style) and leaves untouched coordinates at their previous
+// value.  This one primitive implements the aggregation of FedAvg, Fjord,
+// SHeteroFL, FedRolex, DepthFL, InclusiveFL and FeDepth.
+#pragma once
+
+#include <map>
+
+#include "fl/param_store.h"
+
+namespace mhbench::fl {
+
+class MaskedAverager {
+ public:
+  MaskedAverager() = default;
+
+  // Adds one client's trained parameters.  `weight` is typically the
+  // client's sample count.  Tensor shapes come from the reference store at
+  // ApplyTo time; accumulation buffers are sized lazily from it.
+  void Accumulate(nn::Module& model, const models::ParamMapping& mapping,
+                  double weight, const ParamStore& reference);
+
+  // Writes averaged coordinates into `store`; coordinates no client touched
+  // keep their previous values.  Clears the accumulator.
+  void ApplyTo(ParamStore& store);
+
+  bool empty() const { return sum_.empty(); }
+
+ private:
+  std::map<std::string, Tensor> sum_;
+  std::map<std::string, Tensor> weight_;
+};
+
+}  // namespace mhbench::fl

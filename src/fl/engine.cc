@@ -1,0 +1,175 @@
+#include "fl/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "core/logging.h"
+#include "data/partition.h"
+#include "fl/evaluation.h"
+#include "nn/lr_schedule.h"
+
+namespace mhbench::fl {
+
+double FlContext::LrMultiplier(int round) const {
+  if (round < 0) return 1.0;
+  switch (config->lr_schedule) {
+    case LrScheduleKind::kConstant:
+      return 1.0;
+    case LrScheduleKind::kStepDecay:
+      return nn::StepDecayLr(config->lr_step, config->lr_gamma)
+          .Multiplier(round, config->rounds);
+    case LrScheduleKind::kCosine:
+      return nn::CosineLr(config->lr_cosine_floor)
+          .Multiplier(round, config->rounds);
+  }
+  return 1.0;
+}
+
+LocalTrainOptions FlContext::local_options(int round) const {
+  LocalTrainOptions opts;
+  opts.optimizer = config->optimizer;
+  opts.epochs = config->local_epochs;
+  opts.batch_size = config->batch_size;
+  opts.lr = config->lr * LrMultiplier(round);
+  opts.momentum = config->momentum;
+  opts.weight_decay = config->weight_decay;
+  opts.grad_clip = config->grad_clip;
+  return opts;
+}
+
+double RunResult::TimeToAccuracy(double target) const {
+  for (const auto& r : curve) {
+    if (r.global_acc >= target) return r.sim_time_s;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double RunResult::StabilityVariance() const {
+  if (client_accuracies.empty()) return 0.0;
+  double mean = 0.0;
+  for (double a : client_accuracies) mean += a;
+  mean /= static_cast<double>(client_accuracies.size());
+  double var = 0.0;
+  for (double a : client_accuracies) var += (a - mean) * (a - mean);
+  return var / static_cast<double>(client_accuracies.size());
+}
+
+double RunResult::MeanClientAccuracy() const {
+  if (client_accuracies.empty()) return 0.0;
+  double mean = 0.0;
+  for (double a : client_accuracies) mean += a;
+  return mean / static_cast<double>(client_accuracies.size());
+}
+
+FlEngine::FlEngine(const data::Task& task, FlConfig config,
+                   std::vector<ClientAssignment> assignments,
+                   MhflAlgorithm& algorithm)
+    : config_(config), algorithm_(algorithm), rng_(config.seed) {
+  ctx_.task = &task;
+  ctx_.config = &config_;
+
+  // Partition the training data into client shards.
+  data::Partition partition;
+  Rng prng = rng_.Fork(0xDA7A);
+  if (task.natural) {
+    partition = data::NaturalPartition(task.train, task.num_clients);
+  } else if (config_.partition == PartitionKind::kDirichlet) {
+    partition = data::DirichletPartition(
+        task.train.labels, task.train.num_classes, task.num_clients,
+        config_.dirichlet_alpha, prng);
+  } else {
+    partition = data::IidPartition(static_cast<int>(task.train.size()),
+                                   task.num_clients, prng);
+  }
+  ctx_.shards.reserve(partition.size());
+  for (const auto& idx : partition) {
+    ctx_.shards.push_back(task.train.Subset(idx));
+  }
+
+  if (assignments.empty()) {
+    ctx_.assignments.assign(ctx_.shards.size(), ClientAssignment{});
+  } else {
+    // Natural partitions can drop empty users; tolerate a longer assignment
+    // list by truncating.
+    MHB_CHECK_GE(assignments.size(), ctx_.shards.size())
+        << "need one assignment per client";
+    assignments.resize(ctx_.shards.size());
+    ctx_.assignments = std::move(assignments);
+  }
+}
+
+RunResult FlEngine::Run() {
+  Rng setup_rng = rng_.Fork(1);
+  algorithm_.Setup(ctx_, setup_rng);
+
+  RunResult result;
+  double sim_time = 0.0;
+  const int num_clients = ctx_.num_clients();
+  const int sample_count = std::max(
+      config_.min_sampled,
+      static_cast<int>(std::lround(config_.sample_fraction * num_clients)));
+
+  auto evaluate_global = [&]() {
+    return EvaluateAccuracy(
+        [&](const Tensor& x) { return algorithm_.GlobalLogits(x); },
+        ctx_.task->test, config_.eval_max_samples);
+  };
+
+  for (int round = 0; round < config_.rounds; ++round) {
+    Rng round_rng = rng_.Fork(static_cast<std::uint64_t>(round) + 100);
+    const std::vector<int> sampled = round_rng.SampleWithoutReplacement(
+        num_clients, std::min(sample_count, num_clients));
+
+    double round_time = 0.0;
+    for (int c : sampled) {
+      const auto& sys = ctx_.assignments[static_cast<std::size_t>(c)].system;
+      const double client_time = sys.compute_time_s + sys.comm_time_s;
+      ++result.total_participations;
+      if (sys.availability < 1.0 &&
+          round_rng.Uniform() >= sys.availability) {
+        // State heterogeneity: the device is offline this round.
+        ++result.offline_skips;
+        continue;
+      }
+      if (config_.round_deadline_s > 0 &&
+          client_time > config_.round_deadline_s) {
+        // Straggler: the synchronous round closes without this client.
+        ++result.straggler_drops;
+        continue;
+      }
+      Rng client_rng = round_rng.Fork(static_cast<std::uint64_t>(c));
+      algorithm_.RunClient(c, round, client_rng);
+      round_time = std::max(round_time, client_time);
+    }
+    if (config_.round_deadline_s > 0) {
+      // The server waits until the deadline regardless of who made it.
+      round_time = config_.round_deadline_s;
+    }
+    algorithm_.FinishRound(round, round_rng);
+    sim_time += round_time;
+
+    if ((round + 1) % config_.eval_every == 0 ||
+        round + 1 == config_.rounds) {
+      const double acc = evaluate_global();
+      result.curve.push_back({round, sim_time, acc});
+      MHB_LOG_DEBUG << algorithm_.name() << " round " << round
+                    << " acc=" << acc << " t=" << sim_time;
+    }
+  }
+
+  result.total_sim_time_s = sim_time;
+  result.final_accuracy =
+      result.curve.empty() ? evaluate_global() : result.curve.back().global_acc;
+
+  // Stability: every client's personalized model on the shared test set.
+  result.client_accuracies.reserve(static_cast<std::size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    result.client_accuracies.push_back(EvaluateAccuracy(
+        [&](const Tensor& x) { return algorithm_.ClientLogits(c, x); },
+        ctx_.task->test, config_.stability_max_samples));
+  }
+  return result;
+}
+
+}  // namespace mhbench::fl

@@ -1,0 +1,132 @@
+// The federated execution engine: client sampling, local-training dispatch,
+// simulated wall clock, and metric collection.  Algorithm behaviour is
+// injected through the MhflAlgorithm interface.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "data/tasks.h"
+#include "fl/client.h"
+
+namespace mhbench::fl {
+
+enum class PartitionKind { kIid, kDirichlet };
+
+enum class LrScheduleKind { kConstant, kStepDecay, kCosine };
+
+struct FlConfig {
+  int rounds = 40;
+  double sample_fraction = 0.25;
+  int min_sampled = 2;
+  int local_epochs = 1;
+  int batch_size = 16;
+  double lr = 0.05;
+  double momentum = 0.9;
+  double weight_decay = 1e-4;
+  double grad_clip = 5.0;
+  // Local optimizer (SGD for the CNN recipes, Adam for transformer tasks).
+  nn::OptimizerKind optimizer = nn::OptimizerKind::kSgd;
+  // Learning-rate schedule over rounds (applied to `lr`).
+  LrScheduleKind lr_schedule = LrScheduleKind::kConstant;
+  int lr_step = 50;          // step-decay period (rounds)
+  double lr_gamma = 0.5;     // step-decay factor
+  double lr_cosine_floor = 0.05;
+  // Synchronous-round deadline in simulated seconds: sampled clients whose
+  // compute+comm time exceeds it are stragglers — they are dropped from the
+  // round and contribute no update (0 disables).  This is the failure mode
+  // the paper's constraint cases are designed to prevent.
+  double round_deadline_s = 0.0;
+  int eval_every = 5;
+  int eval_max_samples = 400;
+  int stability_max_samples = 200;
+  // Used only when the task is not naturally partitioned.
+  PartitionKind partition = PartitionKind::kIid;
+  double dirichlet_alpha = 0.5;
+  std::uint64_t seed = 1;
+};
+
+// Everything an algorithm can see.  Owned by the engine; stable for the
+// run's lifetime.
+struct FlContext {
+  const data::Task* task = nullptr;
+  const FlConfig* config = nullptr;
+  std::vector<data::Dataset> shards;           // per client
+  std::vector<ClientAssignment> assignments;   // per client
+  int num_clients() const { return static_cast<int>(shards.size()); }
+  // Local training options; the learning rate carries the round's schedule
+  // multiplier when `round` is given.
+  LocalTrainOptions local_options(int round = -1) const;
+  // Schedule multiplier for a round (1.0 for kConstant).
+  double LrMultiplier(int round) const;
+};
+
+// Algorithm plug-in interface.  One instance per run.
+class MhflAlgorithm {
+ public:
+  virtual ~MhflAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  // Called once before round 0.  `ctx` outlives the run.
+  virtual void Setup(const FlContext& ctx, Rng& rng) = 0;
+
+  // Local training for one sampled client.
+  virtual void RunClient(int client_id, int round, Rng& rng) = 0;
+
+  // Server aggregation for the round.
+  virtual void FinishRound(int round, Rng& rng) = 0;
+
+  // Global-model logits (eval mode) for the global-accuracy metric.
+  virtual Tensor GlobalLogits(const Tensor& x) = 0;
+
+  // Personalized logits for one client (stability metric).
+  virtual Tensor ClientLogits(int client_id, const Tensor& x) = 0;
+};
+
+struct RoundRecord {
+  int round = 0;
+  double sim_time_s = 0.0;  // cumulative simulated time at evaluation
+  double global_acc = 0.0;
+};
+
+struct RunResult {
+  std::vector<RoundRecord> curve;
+  double final_accuracy = 0.0;
+  double total_sim_time_s = 0.0;
+  // Sampled client-rounds dropped for exceeding the round deadline.
+  int straggler_drops = 0;
+  // Sampled client-rounds skipped because the device was offline.
+  int offline_skips = 0;
+  int total_participations = 0;
+  std::vector<double> client_accuracies;  // per client, end of run
+
+  // First cumulative simulated time at which accuracy reached `target`;
+  // +inf when never reached.
+  double TimeToAccuracy(double target) const;
+  // Variance of client_accuracies (the paper's stability metric; lower is
+  // more stable).
+  double StabilityVariance() const;
+  double MeanClientAccuracy() const;
+};
+
+class FlEngine {
+ public:
+  // `assignments` must be empty (defaults to full capacity) or have one
+  // entry per client.
+  FlEngine(const data::Task& task, FlConfig config,
+           std::vector<ClientAssignment> assignments, MhflAlgorithm& algorithm);
+
+  RunResult Run();
+
+  const FlContext& context() const { return ctx_; }
+
+ private:
+  FlConfig config_;
+  FlContext ctx_;
+  MhflAlgorithm& algorithm_;
+  Rng rng_;
+};
+
+}  // namespace mhbench::fl

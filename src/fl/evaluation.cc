@@ -1,0 +1,34 @@
+#include "fl/evaluation.h"
+
+#include <numeric>
+
+#include "core/error.h"
+#include "nn/loss.h"
+
+namespace mhbench::fl {
+
+double EvaluateAccuracy(const LogitsFn& logits_fn,
+                        const data::Dataset& dataset, int max_samples,
+                        int batch_size) {
+  MHB_CHECK(!dataset.empty());
+  MHB_CHECK_GT(batch_size, 0);
+  const int n = max_samples > 0
+                    ? std::min<int>(max_samples,
+                                    static_cast<int>(dataset.size()))
+                    : static_cast<int>(dataset.size());
+  int correct = 0;
+  for (int start = 0; start < n; start += batch_size) {
+    const int end = std::min(n, start + batch_size);
+    std::vector<int> idx(static_cast<std::size_t>(end - start));
+    std::iota(idx.begin(), idx.end(), start);
+    const Tensor x = dataset.GatherFeatures(idx);
+    const std::vector<int> y = dataset.GatherLabels(idx);
+    const Tensor logits = logits_fn(x);
+    correct += static_cast<int>(nn::Accuracy(logits, y) *
+                                    static_cast<double>(y.size()) +
+                                0.5);
+  }
+  return static_cast<double>(correct) / n;
+}
+
+}  // namespace mhbench::fl

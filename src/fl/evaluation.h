@@ -1,0 +1,19 @@
+// Model evaluation helpers.
+#pragma once
+
+#include <functional>
+
+#include "data/dataset.h"
+
+namespace mhbench::fl {
+
+// Signature: logits for a feature batch (eval mode).
+using LogitsFn = std::function<Tensor(const Tensor&)>;
+
+// Accuracy of `logits_fn` on up to `max_samples` of `dataset` (deterministic
+// prefix; the generators already shuffle), evaluated in batches.
+double EvaluateAccuracy(const LogitsFn& logits_fn,
+                        const data::Dataset& dataset, int max_samples = 0,
+                        int batch_size = 64);
+
+}  // namespace mhbench::fl

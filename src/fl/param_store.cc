@@ -1,0 +1,147 @@
+#include "fl/param_store.h"
+
+#include <cstring>
+#include <fstream>
+#include <iterator>
+
+#include "core/error.h"
+#include "tensor/ops.h"
+#include "tensor/serialize.h"
+
+namespace mhbench::fl {
+
+ParamStore ParamStore::FromModule(nn::Module& module) {
+  ParamStore store;
+  std::vector<nn::NamedParam> params;
+  module.CollectParams("", params);
+  for (auto& p : params) {
+    MHB_CHECK(!store.Has(p.name)) << "duplicate parameter name" << p.name;
+    store.params_[p.name] = p.param->value;
+  }
+  return store;
+}
+
+bool ParamStore::Has(const std::string& name) const {
+  return params_.count(name) > 0;
+}
+
+const Tensor& ParamStore::Get(const std::string& name) const {
+  auto it = params_.find(name);
+  MHB_CHECK(it != params_.end()) << "unknown parameter" << name;
+  return it->second;
+}
+
+Tensor& ParamStore::GetMutable(const std::string& name) {
+  auto it = params_.find(name);
+  MHB_CHECK(it != params_.end()) << "unknown parameter" << name;
+  return it->second;
+}
+
+void ParamStore::Set(const std::string& name, Tensor value) {
+  params_[name] = std::move(value);
+}
+
+std::vector<std::string> ParamStore::Names() const {
+  std::vector<std::string> names;
+  names.reserve(params_.size());
+  for (const auto& [name, t] : params_) names.push_back(name);
+  return names;
+}
+
+std::size_t ParamStore::TotalParams() const {
+  std::size_t n = 0;
+  for (const auto& [name, t] : params_) n += t.numel();
+  return n;
+}
+
+std::size_t ParamStore::TotalBytes() const {
+  return TotalParams() * sizeof(Scalar);
+}
+
+void ParamStore::LoadInto(nn::Module& module,
+                          const models::ParamMapping& mapping) const {
+  std::vector<nn::NamedParam> params;
+  module.CollectParams("", params);
+  MHB_CHECK_EQ(params.size(), mapping.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const auto& slice = mapping[i];
+    MHB_CHECK_EQ(params[i].name, slice.name) << "mapping order mismatch";
+    const Tensor gathered = ops::GatherDims(Get(slice.name), slice.index);
+    MHB_CHECK(gathered.shape() == params[i].param->value.shape())
+        << "gathered shape mismatch for" << slice.name;
+    params[i].param->value = gathered;
+  }
+}
+
+void ParamStore::StoreFrom(nn::Module& module) {
+  std::vector<nn::NamedParam> params;
+  module.CollectParams("", params);
+  for (auto& p : params) {
+    params_[p.name] = p.param->value;
+  }
+}
+
+// Checkpoint format: uint32 entry count, then per entry uint32 name length,
+// raw name bytes, and a SerializeTensor blob.
+std::vector<std::uint8_t> ParamStore::Serialize() const {
+  std::vector<std::uint8_t> out;
+  auto push = [&](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    out.insert(out.end(), b, b + n);
+  };
+  const std::uint32_t count = static_cast<std::uint32_t>(params_.size());
+  push(&count, sizeof(count));
+  for (const auto& [name, tensor] : params_) {
+    const std::uint32_t len = static_cast<std::uint32_t>(name.size());
+    push(&len, sizeof(len));
+    push(name.data(), name.size());
+    const auto blob = SerializeTensor(tensor);
+    out.insert(out.end(), blob.begin(), blob.end());
+  }
+  return out;
+}
+
+ParamStore ParamStore::Deserialize(const std::vector<std::uint8_t>& bytes) {
+  std::size_t offset = 0;
+  auto read = [&](void* p, std::size_t n) {
+    MHB_CHECK_LE(offset + n, bytes.size()) << "truncated checkpoint";
+    std::memcpy(p, bytes.data() + offset, n);
+    offset += n;
+  };
+  std::uint32_t count = 0;
+  read(&count, sizeof(count));
+  ParamStore store;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::uint32_t len = 0;
+    read(&len, sizeof(len));
+    MHB_CHECK_LE(len, 4096u) << "implausible parameter name length";
+    std::string name(len, '\0');
+    read(name.data(), len);
+    store.params_[name] = DeserializeTensor(bytes, offset);
+  }
+  MHB_CHECK_EQ(offset, bytes.size()) << "trailing bytes in checkpoint";
+  return store;
+}
+
+void ParamStore::SaveFile(const std::string& path) const {
+  std::ofstream f(path, std::ios::binary);
+  MHB_CHECK(f.good()) << "cannot open" << path;
+  const auto bytes = Serialize();
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  MHB_CHECK(f.good()) << "write failed for" << path;
+}
+
+ParamStore ParamStore::LoadFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  MHB_CHECK(f.good()) << "cannot open" << path;
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  return Deserialize(bytes);
+}
+
+std::size_t ModuleParamBytes(nn::Module& module) {
+  return module.NumParams() * sizeof(Scalar);
+}
+
+}  // namespace mhbench::fl

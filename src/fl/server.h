@@ -1,0 +1,40 @@
+// Server-side global model holder for weight-sharing algorithms.
+//
+// Owns the full-size multi-head model of a family plus the authoritative
+// ParamStore.  Sub-model dispatch gathers from the store; evaluation syncs
+// the store back into the full model.
+#pragma once
+
+#include "fl/param_store.h"
+#include "models/model_spec.h"
+
+namespace mhbench::fl {
+
+class GlobalModel {
+ public:
+  // Builds the family's full model (all heads) and seeds the store from it.
+  GlobalModel(models::FamilyPtr family, Rng& init_rng);
+
+  ParamStore& store() { return store_; }
+  const ParamStore& store() const { return store_; }
+  const models::ModelFamily& family() const { return *family_; }
+
+  // Logits of the deepest head (eval mode); store values are synced into
+  // the model first.
+  Tensor Logits(const Tensor& x);
+
+  // Mean of all heads' logits (DepthFL's ensemble inference).
+  Tensor EnsembleLogits(const Tensor& x);
+
+  // Direct access to the synced full model (syncs first).
+  models::TrunkModel& SyncedTrunk();
+
+ private:
+  void Sync();
+
+  models::FamilyPtr family_;
+  models::BuiltModel built_;
+  ParamStore store_;
+};
+
+}  // namespace mhbench::fl

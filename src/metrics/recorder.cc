@@ -1,0 +1,29 @@
+#include "metrics/recorder.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace mhbench::metrics {
+
+double MetricBundle::TimeTo(double target) const {
+  MHB_CHECK_EQ(curve_time_s.size(), curve_accuracy.size());
+  for (std::size_t i = 0; i < curve_accuracy.size(); ++i) {
+    if (curve_accuracy[i] >= target) return curve_time_s[i];
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+double CommonTarget(const std::vector<MetricBundle>& bundles,
+                    double fraction) {
+  MHB_CHECK(!bundles.empty());
+  MHB_CHECK_GT(fraction, 0.0);
+  MHB_CHECK_LE(fraction, 1.0);
+  double best = 0.0;
+  for (const auto& b : bundles) {
+    best = std::max(best, b.global_accuracy);
+  }
+  return best * fraction;
+}
+
+}  // namespace mhbench::metrics

@@ -1,0 +1,46 @@
+// The paper's four evaluation metrics for one (constraint, task, algorithm)
+// run, plus the raw curves they derive from.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace mhbench::metrics {
+
+struct MetricBundle {
+  std::string algorithm;
+  std::string task;
+  std::string constraint;
+
+  // (i) Global accuracy: final federated model on the shared test set.
+  double global_accuracy = 0.0;
+  // (ii) Time-to-accuracy: simulated seconds to the common target (+inf if
+  // never reached).  Filled by the suite once the common target is known.
+  double time_to_accuracy_s = std::numeric_limits<double>::infinity();
+  double target_accuracy = 0.0;
+  // (iii) Stability: variance of per-device accuracies (lower = stabler).
+  double stability_variance = 0.0;
+  // (iv) Effectiveness: accuracy gain over the smallest-homogeneous-model
+  // FedAvg baseline.  Filled by the suite.
+  double effectiveness = 0.0;
+
+  double total_sim_time_s = 0.0;
+  double mean_client_accuracy = 0.0;
+  // Straggler accounting (only nonzero when a round deadline was active).
+  double straggler_drop_rate = 0.0;
+  // Accuracy curve with its simulated-time axis.
+  std::vector<double> curve_time_s;
+  std::vector<double> curve_accuracy;
+
+  // First time on the curve reaching `target`; +inf if never.
+  double TimeTo(double target) const;
+};
+
+// Common time-to-accuracy target for a set of runs: `fraction` of the best
+// final accuracy among them (the paper's pre-set-threshold methodology with
+// a target every strong method can reach).
+double CommonTarget(const std::vector<MetricBundle>& bundles,
+                    double fraction = 0.8);
+
+}  // namespace mhbench::metrics

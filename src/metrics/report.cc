@@ -1,0 +1,74 @@
+#include "metrics/report.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/csv.h"
+#include "core/table.h"
+
+namespace mhbench::metrics {
+namespace {
+
+std::string Tta(double v) {
+  if (std::isinf(v)) return "not reached";
+  return AsciiTable::Num(v, 1) + " s";
+}
+
+}  // namespace
+
+std::string RenderMetricPanel(const std::string& title,
+                              const std::vector<MetricBundle>& bundles) {
+  std::ostringstream out;
+  out << "== " << title << " ==\n";
+  AsciiTable top({"Algorithm", "Global acc", "Time-to-acc (target " +
+                                   AsciiTable::Num(
+                                       bundles.empty()
+                                           ? 0.0
+                                           : bundles.front().target_accuracy,
+                                       3) +
+                                   ")"});
+  for (const auto& b : bundles) {
+    top.AddRow({b.algorithm, AsciiTable::Num(b.global_accuracy, 3),
+                Tta(b.time_to_accuracy_s)});
+  }
+  out << top.Render();
+  AsciiTable bottom({"Algorithm", "Stability (var)", "Effectiveness (+acc)"});
+  for (const auto& b : bundles) {
+    bottom.AddRow({b.algorithm, AsciiTable::Num(b.stability_variance, 4),
+                   AsciiTable::Num(b.effectiveness, 3)});
+  }
+  out << bottom.Render();
+  return out.str();
+}
+
+std::string RenderCurves(const std::string& title,
+                         const std::vector<MetricBundle>& bundles) {
+  AsciiChart chart(title, "eval checkpoint", "global accuracy");
+  for (const auto& b : bundles) {
+    chart.AddSeries(b.algorithm, b.curve_accuracy);
+  }
+  return chart.Render();
+}
+
+std::string ToCsv(const std::vector<MetricBundle>& bundles) {
+  CsvWriter csv({"constraint", "task", "algorithm", "global_accuracy",
+                 "time_to_accuracy_s", "target_accuracy",
+                 "stability_variance", "effectiveness", "total_sim_time_s",
+                 "mean_client_accuracy"});
+  for (const auto& b : bundles) {
+    csv.AddRow(std::vector<std::string>{
+        b.constraint, b.task, b.algorithm,
+        AsciiTable::Num(b.global_accuracy, 4),
+        std::isinf(b.time_to_accuracy_s)
+            ? "inf"
+            : AsciiTable::Num(b.time_to_accuracy_s, 1),
+        AsciiTable::Num(b.target_accuracy, 4),
+        AsciiTable::Num(b.stability_variance, 6),
+        AsciiTable::Num(b.effectiveness, 4),
+        AsciiTable::Num(b.total_sim_time_s, 1),
+        AsciiTable::Num(b.mean_client_accuracy, 4)});
+  }
+  return csv.ToString();
+}
+
+}  // namespace mhbench::metrics

@@ -1,0 +1,24 @@
+// Figure-shaped rendering of metric bundles: per-metric tables, accuracy
+// curves, and CSV dumps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/recorder.h"
+
+namespace mhbench::metrics {
+
+// Renders the paper's 2x2 metric panel (global accuracy / time-to-accuracy
+// on top, stability / effectiveness below) for one task as aligned tables.
+std::string RenderMetricPanel(const std::string& title,
+                              const std::vector<MetricBundle>& bundles);
+
+// Renders accuracy-vs-simulated-time curves of the given bundles.
+std::string RenderCurves(const std::string& title,
+                         const std::vector<MetricBundle>& bundles);
+
+// CSV rows (one per bundle) with all four metrics.
+std::string ToCsv(const std::vector<MetricBundle>& bundles);
+
+}  // namespace mhbench::metrics

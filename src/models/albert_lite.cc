@@ -1,0 +1,20 @@
+#include "models/albert_lite.h"
+
+namespace mhbench::models {
+
+AlbertLite::AlbertLite(AlbertLiteConfig config) : config_(std::move(config)) {
+  MHB_CHECK_GT(config_.embed_dim, 0);
+  TransformerLiteConfig inner;
+  inner.name = config_.name;
+  inner.vocab_size = config_.vocab_size;
+  inner.seq_len = config_.seq_len;
+  inner.d_model = config_.d_model;
+  inner.num_heads = config_.num_heads;
+  inner.ffn_hidden = config_.ffn_hidden;
+  inner.num_blocks = config_.num_blocks;
+  inner.num_classes = config_.num_classes;
+  inner.factorized_embed_dim = config_.embed_dim;
+  inner_ = std::make_unique<TransformerLite>(inner);
+}
+
+}  // namespace mhbench::models

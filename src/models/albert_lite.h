@@ -1,0 +1,48 @@
+// ALBERT-style transformer family (stands in for ALBERT base/large/xxlarge
+// on Stack Overflow).
+//
+// Implemented as a TransformerLite with ALBERT's factorized embedding
+// (tokens embed into a small dimension and are projected up to d_model).
+// ALBERT's cross-layer parameter sharing is modeled at the *cost* level by
+// the device cost descriptors (its parameter count does not grow with
+// depth); the trainable sim-scale network keeps per-layer parameters so the
+// depth-heterogeneous algorithms have distinct per-layer tensors to
+// aggregate — see DESIGN.md.
+#pragma once
+
+#include "models/transformer_lite.h"
+
+namespace mhbench::models {
+
+struct AlbertLiteConfig {
+  std::string name = "albert-lite";
+  int vocab_size = 64;
+  int seq_len = 12;
+  int d_model = 16;
+  int num_heads = 2;
+  int ffn_hidden = 32;
+  int num_blocks = 4;
+  int num_classes = 5;
+  int embed_dim = 8;  // factorized embedding dimension
+};
+
+class AlbertLite : public ModelFamily {
+ public:
+  explicit AlbertLite(AlbertLiteConfig config);
+
+  std::string name() const override { return config_.name; }
+  int num_classes() const override { return inner_->num_classes(); }
+  Shape sample_shape() const override { return inner_->sample_shape(); }
+  int total_blocks() const override { return inner_->total_blocks(); }
+  BuiltModel Build(const BuildSpec& spec, Rng& init_rng) const override {
+    return inner_->Build(spec, init_rng);
+  }
+
+  const AlbertLiteConfig& config() const { return config_; }
+
+ private:
+  AlbertLiteConfig config_;
+  std::unique_ptr<TransformerLite> inner_;
+};
+
+}  // namespace mhbench::models

@@ -1,0 +1,24 @@
+#include "models/efficientnet_like.h"
+
+#include <cmath>
+
+namespace mhbench::models {
+
+EfficientNetLike::EfficientNetLike(EfficientNetLikeConfig config)
+    : config_(std::move(config)) {
+  MHB_CHECK_GE(config_.compound, 0);
+  MHB_CHECK_LE(config_.compound, 4);
+  MobileNetLikeConfig inner;
+  inner.name = config_.name;
+  inner.num_classes = config_.num_classes;
+  inner.expansion = 4;  // EfficientNet MBConv expansion (vs 2 in our V2)
+  const double width_mult = std::pow(1.1, config_.compound);
+  inner.stage_channels = {
+      static_cast<int>(std::lround(8 * width_mult)),
+      static_cast<int>(std::lround(16 * width_mult)),
+  };
+  inner.stage_blocks = {1 + config_.compound / 2, 2 + (config_.compound + 1) / 2};
+  inner_ = std::make_unique<MobileNetLike>(inner);
+}
+
+}  // namespace mhbench::models

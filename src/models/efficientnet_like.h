@@ -1,0 +1,41 @@
+// EfficientNet-style family (the third CV architecture the paper names for
+// topology heterogeneity, Section III).
+//
+// EfficientNets are MBConv (inverted-residual) networks under compound
+// scaling, so the family reuses the MobileNetLike block structure with
+// EfficientNet's higher expansion factor and a deeper/wider compound
+// configuration; the compound coefficient picks the preset.
+#pragma once
+
+#include "models/mobilenet_like.h"
+
+namespace mhbench::models {
+
+struct EfficientNetLikeConfig {
+  std::string name = "efficientnet-like";
+  int num_classes = 10;
+  // Compound scaling coefficient: 0 = B0 analogue, each step widens by
+  // ~1.1x and deepens by one block per stage.
+  int compound = 0;
+};
+
+class EfficientNetLike : public ModelFamily {
+ public:
+  explicit EfficientNetLike(EfficientNetLikeConfig config);
+
+  std::string name() const override { return config_.name; }
+  int num_classes() const override { return inner_->num_classes(); }
+  Shape sample_shape() const override { return inner_->sample_shape(); }
+  int total_blocks() const override { return inner_->total_blocks(); }
+  BuiltModel Build(const BuildSpec& spec, Rng& init_rng) const override {
+    return inner_->Build(spec, init_rng);
+  }
+
+  const EfficientNetLikeConfig& config() const { return config_; }
+
+ private:
+  EfficientNetLikeConfig config_;
+  std::unique_ptr<MobileNetLike> inner_;
+};
+
+}  // namespace mhbench::models

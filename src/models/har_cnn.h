@@ -1,0 +1,37 @@
+// 1-D CNN family for human-activity-recognition tasks (stands in for the
+// customized CNNs of Ek et al. used by the paper's HAR experiments).
+//
+// Structure: conv1d-bn-relu stem over [channels, window] sensor input, then
+// residual conv1d blocks per stage, GAP head(s).
+#pragma once
+
+#include "models/model_spec.h"
+
+namespace mhbench::models {
+
+struct HarCnnConfig {
+  std::string name = "har-cnn";
+  int in_channels = 3;   // accelerometer axes
+  int window = 32;       // samples per window
+  int num_classes = 6;
+  std::vector<int> stage_channels = {8, 16};
+  std::vector<int> stage_blocks = {1, 1};
+};
+
+class HarCnn : public ModelFamily {
+ public:
+  explicit HarCnn(HarCnnConfig config);
+
+  std::string name() const override { return config_.name; }
+  int num_classes() const override { return config_.num_classes; }
+  Shape sample_shape() const override;
+  int total_blocks() const override;
+  BuiltModel Build(const BuildSpec& spec, Rng& init_rng) const override;
+
+  const HarCnnConfig& config() const { return config_; }
+
+ private:
+  HarCnnConfig config_;
+};
+
+}  // namespace mhbench::models

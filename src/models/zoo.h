@@ -1,0 +1,39 @@
+// Task -> model family registry (sim scale).
+//
+// Mirrors Table II of the paper: each data task has a primary family used by
+// width/depth heterogeneity and a list of distinct architectures used by
+// topology heterogeneity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/model_spec.h"
+
+namespace mhbench::models {
+
+struct TaskModels {
+  // Family used by width- and depth-level algorithms (built at ratios).
+  FamilyPtr primary;
+  // Distinct architectures for topology-level algorithms, smallest first
+  // (MobileNet family / ResNet family / ALBERT family analogues).
+  std::vector<FamilyPtr> topology;
+};
+
+// Known task names: "cifar10", "cifar100", "agnews", "stackoverflow",
+// "harbox", "ucihar".  Throws Error for unknown names.
+TaskModels MakeTaskModels(const std::string& task_name);
+
+// Number of classes each sim-scale task uses.
+int TaskNumClasses(const std::string& task_name);
+
+// All task names in canonical order.
+const std::vector<std::string>& AllTaskNames();
+
+// The mixed-architecture CV pool the paper's Section III motivates
+// ("ResNet, EfficientNet, MobileNet, and GoogleLeNet"): one member per
+// family, smallest first.  Used by the mixed-topology example and tests;
+// the benchmark grid itself follows Table II (MakeTaskModels).
+std::vector<FamilyPtr> MakeMixedCvFamilies(int num_classes);
+
+}  // namespace mhbench::models

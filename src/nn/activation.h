@@ -1,0 +1,38 @@
+// Elementwise activations (shape-preserving, any rank).
+#pragma once
+
+#include "nn/module.h"
+
+namespace mhbench::nn {
+
+class ReLU : public Module {
+ public:
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  void CollectParams(const std::string&, std::vector<NamedParam>&) override {}
+
+ private:
+  Tensor cached_input_;
+};
+
+class Gelu : public Module {
+ public:
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  void CollectParams(const std::string&, std::vector<NamedParam>&) override {}
+
+ private:
+  Tensor cached_input_;
+};
+
+class Tanh : public Module {
+ public:
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  void CollectParams(const std::string&, std::vector<NamedParam>&) override {}
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace mhbench::nn

@@ -1,0 +1,165 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace mhbench::nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int d_model, int heads,
+                                               Rng& rng)
+    : d_model_(d_model),
+      heads_(heads),
+      wq_(d_model, d_model, rng),
+      wk_(d_model, d_model, rng),
+      wv_(d_model, d_model, rng),
+      wo_(d_model, d_model, rng) {
+  MHB_CHECK_GT(heads, 0);
+  MHB_CHECK_EQ(d_model % heads, 0) << "d_model must divide into heads";
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x, bool train) {
+  MHB_CHECK_EQ(x.ndim(), 3);
+  MHB_CHECK_EQ(x.dim(2), d_model_);
+  const int n = x.dim(0), l = x.dim(1), d = d_model_, h = heads_;
+  const int dh = d / h;
+  cached_n_ = n;
+  cached_l_ = l;
+
+  const Tensor x2 = x.Reshape({n * l, d});
+  cached_q_ = wq_.Forward(x2, train);
+  cached_k_ = wk_.Forward(x2, train);
+  cached_v_ = wv_.Forward(x2, train);
+  cached_attn_ = Tensor({n, h, l, l});
+  cached_concat_ = Tensor({n * l, d});
+
+  const Scalar scale = 1.0f / std::sqrt(static_cast<Scalar>(dh));
+  const Scalar* pq = cached_q_.data().data();
+  const Scalar* pk = cached_k_.data().data();
+  const Scalar* pv = cached_v_.data().data();
+  Scalar* pa = cached_attn_.data().data();
+  Scalar* po = cached_concat_.data().data();
+
+  std::vector<Scalar> scores(static_cast<std::size_t>(l));
+  for (int b = 0; b < n; ++b) {
+    for (int hd = 0; hd < h; ++hd) {
+      Scalar* attn =
+          pa + ((static_cast<std::size_t>(b) * h + hd) * l) * l;
+      for (int i = 0; i < l; ++i) {
+        const Scalar* qrow =
+            pq + (static_cast<std::size_t>(b) * l + i) * d + hd * dh;
+        Scalar mx = -1e30f;
+        for (int j = 0; j < l; ++j) {
+          const Scalar* krow =
+              pk + (static_cast<std::size_t>(b) * l + j) * d + hd * dh;
+          Scalar s = 0;
+          for (int k = 0; k < dh; ++k) s += qrow[k] * krow[k];
+          s *= scale;
+          scores[static_cast<std::size_t>(j)] = s;
+          mx = std::max(mx, s);
+        }
+        double sum = 0.0;
+        for (int j = 0; j < l; ++j) {
+          const Scalar e = std::exp(scores[static_cast<std::size_t>(j)] - mx);
+          attn[static_cast<std::size_t>(i) * l + j] = e;
+          sum += e;
+        }
+        const Scalar inv = static_cast<Scalar>(1.0 / sum);
+        Scalar* orow =
+            po + (static_cast<std::size_t>(b) * l + i) * d + hd * dh;
+        for (int k = 0; k < dh; ++k) orow[k] = 0;
+        for (int j = 0; j < l; ++j) {
+          const Scalar a = attn[static_cast<std::size_t>(i) * l + j] * inv;
+          attn[static_cast<std::size_t>(i) * l + j] = a;
+          const Scalar* vrow =
+              pv + (static_cast<std::size_t>(b) * l + j) * d + hd * dh;
+          for (int k = 0; k < dh; ++k) orow[k] += a * vrow[k];
+        }
+      }
+    }
+  }
+  Tensor y2 = wo_.Forward(cached_concat_, train);
+  return y2.Reshape({n, l, d});
+}
+
+Tensor MultiHeadSelfAttention::Backward(const Tensor& grad_out) {
+  MHB_CHECK(!cached_q_.empty()) << "Backward before Forward";
+  const int n = cached_n_, l = cached_l_, d = d_model_, h = heads_;
+  const int dh = d / h;
+  MHB_CHECK(grad_out.shape() == Shape({n, l, d}));
+
+  const Tensor g2 = grad_out.Reshape({n * l, d});
+  const Tensor d_concat = wo_.Backward(g2);  // also accumulates dWo
+
+  Tensor dq({n * l, d}), dk({n * l, d}), dv({n * l, d});
+  const Scalar scale = 1.0f / std::sqrt(static_cast<Scalar>(dh));
+
+  const Scalar* pq = cached_q_.data().data();
+  const Scalar* pk = cached_k_.data().data();
+  const Scalar* pv = cached_v_.data().data();
+  const Scalar* pa = cached_attn_.data().data();
+  const Scalar* pdo = d_concat.data().data();
+  Scalar* pdq = dq.data().data();
+  Scalar* pdk = dk.data().data();
+  Scalar* pdv = dv.data().data();
+
+  std::vector<Scalar> da(static_cast<std::size_t>(l));
+  for (int b = 0; b < n; ++b) {
+    for (int hd = 0; hd < h; ++hd) {
+      const Scalar* attn =
+          pa + ((static_cast<std::size_t>(b) * h + hd) * l) * l;
+      for (int i = 0; i < l; ++i) {
+        const Scalar* dorow =
+            pdo + (static_cast<std::size_t>(b) * l + i) * d + hd * dh;
+        const Scalar* arow = attn + static_cast<std::size_t>(i) * l;
+        // dA_ij = dO_i . V_j ;   dV_j += A_ij * dO_i
+        double dot = 0.0;
+        for (int j = 0; j < l; ++j) {
+          const Scalar* vrow =
+              pv + (static_cast<std::size_t>(b) * l + j) * d + hd * dh;
+          Scalar s = 0;
+          for (int k = 0; k < dh; ++k) s += dorow[k] * vrow[k];
+          da[static_cast<std::size_t>(j)] = s;
+          dot += static_cast<double>(s) * arow[j];
+          Scalar* dvrow =
+              pdv + (static_cast<std::size_t>(b) * l + j) * d + hd * dh;
+          for (int k = 0; k < dh; ++k) dvrow[k] += arow[j] * dorow[k];
+        }
+        // Softmax jacobian, then dQ_i += dS_ij * K_j, dK_j += dS_ij * Q_i.
+        const Scalar* qrow =
+            pq + (static_cast<std::size_t>(b) * l + i) * d + hd * dh;
+        Scalar* dqrow =
+            pdq + (static_cast<std::size_t>(b) * l + i) * d + hd * dh;
+        for (int j = 0; j < l; ++j) {
+          const Scalar ds =
+              arow[j] *
+              (da[static_cast<std::size_t>(j)] - static_cast<Scalar>(dot)) *
+              scale;
+          const Scalar* krow =
+              pk + (static_cast<std::size_t>(b) * l + j) * d + hd * dh;
+          Scalar* dkrow =
+              pdk + (static_cast<std::size_t>(b) * l + j) * d + hd * dh;
+          for (int k = 0; k < dh; ++k) {
+            dqrow[k] += ds * krow[k];
+            dkrow[k] += ds * qrow[k];
+          }
+        }
+      }
+    }
+  }
+
+  Tensor dx2 = wq_.Backward(dq);
+  dx2.AddInPlace(wk_.Backward(dk));
+  dx2.AddInPlace(wv_.Backward(dv));
+  return dx2.Reshape({n, l, d});
+}
+
+void MultiHeadSelfAttention::CollectParams(const std::string& prefix,
+                                           std::vector<NamedParam>& out) {
+  wq_.CollectParams(JoinName(prefix, "wq"), out);
+  wk_.CollectParams(JoinName(prefix, "wk"), out);
+  wv_.CollectParams(JoinName(prefix, "wv"), out);
+  wo_.CollectParams(JoinName(prefix, "wo"), out);
+}
+
+}  // namespace mhbench::nn

@@ -1,0 +1,174 @@
+#include "nn/conv.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace mhbench::nn {
+namespace {
+
+// [N*OH*OW, out_c] rows ordered (n, oy, ox) -> [N, out_c, OH, OW].
+Tensor RowsToNCHW(const Tensor& rows, int n, int oc, int oh, int ow) {
+  Tensor out({n, oc, oh, ow});
+  const Scalar* in = rows.data().data();
+  Scalar* o = out.data().data();
+  std::size_t row = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int y = 0; y < oh; ++y) {
+      for (int x = 0; x < ow; ++x, ++row) {
+        const Scalar* irow = in + row * static_cast<std::size_t>(oc);
+        for (int c = 0; c < oc; ++c) {
+          o[((static_cast<std::size_t>(b) * oc + c) * oh + y) * ow + x] =
+              irow[c];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+// Inverse of RowsToNCHW.
+Tensor NCHWToRows(const Tensor& t) {
+  const int n = t.dim(0), c = t.dim(1), h = t.dim(2), w = t.dim(3);
+  Tensor rows({n * h * w, c});
+  const Scalar* in = t.data().data();
+  Scalar* o = rows.data().data();
+  std::size_t row = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x, ++row) {
+        Scalar* orow = o + row * static_cast<std::size_t>(c);
+        for (int ch = 0; ch < c; ++ch) {
+          orow[ch] =
+              in[((static_cast<std::size_t>(b) * c + ch) * h + y) * w + x];
+        }
+      }
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+Conv2d::Conv2d(int in_channels, int out_channels, int kernel, int stride,
+               int pad, Rng& rng, bool bias)
+    : stride_(stride), pad_h_(pad), pad_w_(pad) {
+  MHB_CHECK_GT(in_channels, 0);
+  MHB_CHECK_GT(out_channels, 0);
+  MHB_CHECK_GT(kernel, 0);
+  const int fan_in = in_channels * kernel * kernel;
+  weight_ = Parameter(KaimingNormal(
+      {out_channels, in_channels, kernel, kernel}, fan_in, rng));
+  if (bias) bias_ = Parameter(Tensor({out_channels}));
+}
+
+Conv2d::Conv2d(Tensor weight, Tensor bias_or_empty, int stride, int pad)
+    : Conv2d(std::move(weight), std::move(bias_or_empty), stride, pad, pad) {}
+
+Conv2d::Conv2d(Tensor weight, Tensor bias_or_empty, int stride, int pad_h,
+               int pad_w)
+    : stride_(stride), pad_h_(pad_h), pad_w_(pad_w) {
+  MHB_CHECK_EQ(weight.ndim(), 4);
+  if (!bias_or_empty.empty()) {
+    MHB_CHECK_EQ(bias_or_empty.ndim(), 1);
+    MHB_CHECK_EQ(bias_or_empty.dim(0), weight.dim(0));
+    bias_ = Parameter(std::move(bias_or_empty));
+  }
+  weight_ = Parameter(std::move(weight));
+}
+
+Tensor Conv2d::Forward(const Tensor& x, bool /*train*/) {
+  MHB_CHECK_EQ(x.ndim(), 4);
+  MHB_CHECK_EQ(x.dim(1), in_channels());
+  cached_input_shape_ = x.shape();
+  cached_cols_ =
+      ops::Im2Col(x, kernel_h(), kernel_w(), stride_, pad_h_, pad_w_);
+  const int n = x.dim(0);
+  const int oh = (x.dim(2) + 2 * pad_h_ - kernel_h()) / stride_ + 1;
+  const int ow = (x.dim(3) + 2 * pad_w_ - kernel_w()) / stride_ + 1;
+  const Tensor w2 = weight_.value.Reshape(
+      {out_channels(), in_channels() * kernel_h() * kernel_w()});
+  Tensor rows = ops::MatmulTransB(cached_cols_, w2);  // [N*OH*OW, out_c]
+  if (has_bias()) {
+    const int oc = out_channels();
+    Scalar* p = rows.data().data();
+    const std::size_t nrows = static_cast<std::size_t>(rows.dim(0));
+    for (std::size_t r = 0; r < nrows; ++r) {
+      for (int c = 0; c < oc; ++c) {
+        p[r * static_cast<std::size_t>(oc) + c] += bias_.value[static_cast<std::size_t>(c)];
+      }
+    }
+  }
+  return RowsToNCHW(rows, n, out_channels(), oh, ow);
+}
+
+Tensor Conv2d::Backward(const Tensor& grad_out) {
+  MHB_CHECK(!cached_cols_.empty()) << "Backward before Forward";
+  MHB_CHECK_EQ(grad_out.ndim(), 4);
+  MHB_CHECK_EQ(grad_out.dim(1), out_channels());
+  const Tensor grows = NCHWToRows(grad_out);  // [N*OH*OW, out_c]
+  // dW = G^T * cols, reshaped back to [out_c, in_c, kh, kw].
+  Tensor dw2 = ops::MatmulTransA(grows, cached_cols_);
+  weight_.grad.AddInPlace(dw2.Reshape(weight_.value.shape()));
+  if (has_bias()) {
+    const int oc = out_channels();
+    const Scalar* p = grows.data().data();
+    const std::size_t nrows = static_cast<std::size_t>(grows.dim(0));
+    for (std::size_t r = 0; r < nrows; ++r) {
+      for (int c = 0; c < oc; ++c) {
+        bias_.grad[static_cast<std::size_t>(c)] += p[r * static_cast<std::size_t>(oc) + c];
+      }
+    }
+  }
+  const Tensor w2 = weight_.value.Reshape(
+      {out_channels(), in_channels() * kernel_h() * kernel_w()});
+  const Tensor dcols = ops::Matmul(grows, w2);  // [N*OH*OW, CKK]
+  return ops::Col2Im(dcols, cached_input_shape_, kernel_h(), kernel_w(),
+                     stride_, pad_h_, pad_w_);
+}
+
+void Conv2d::CollectParams(const std::string& prefix,
+                           std::vector<NamedParam>& out) {
+  out.push_back({JoinName(prefix, "weight"), &weight_});
+  if (has_bias()) out.push_back({JoinName(prefix, "bias"), &bias_});
+}
+
+namespace {
+Tensor Unsqueeze1dWeight(Tensor w) {
+  MHB_CHECK_EQ(w.ndim(), 3);
+  const int oc = w.dim(0), ic = w.dim(1), k = w.dim(2);
+  return w.Reshape({oc, ic, 1, k});
+}
+}  // namespace
+
+Conv1d::Conv1d(int in_channels, int out_channels, int kernel, int stride,
+               int pad, Rng& rng, bool bias)
+    : conv_(KaimingNormal({out_channels, in_channels, 1, kernel},
+                          in_channels * kernel, rng),
+            bias ? Tensor({out_channels}) : Tensor(), stride, /*pad_h=*/0,
+            pad) {}
+
+Conv1d::Conv1d(Tensor weight, Tensor bias_or_empty, int stride, int pad)
+    : conv_(Unsqueeze1dWeight(std::move(weight)), std::move(bias_or_empty),
+            stride, /*pad_h=*/0, pad) {}
+
+Tensor Conv1d::Forward(const Tensor& x, bool train) {
+  MHB_CHECK_EQ(x.ndim(), 3);  // [N, C, L]
+  const int n = x.dim(0), c = x.dim(1), l = x.dim(2);
+  const Tensor x4 = x.Reshape({n, c, 1, l});
+  Tensor y4 = conv_.Forward(x4, train);  // [N, OC, 1, OL]
+  return y4.Reshape({y4.dim(0), y4.dim(1), y4.dim(3)});
+}
+
+Tensor Conv1d::Backward(const Tensor& grad_out) {
+  MHB_CHECK_EQ(grad_out.ndim(), 3);
+  const int n = grad_out.dim(0), c = grad_out.dim(1), l = grad_out.dim(2);
+  Tensor gx4 = conv_.Backward(grad_out.Reshape({n, c, 1, l}));
+  return gx4.Reshape({gx4.dim(0), gx4.dim(1), gx4.dim(3)});
+}
+
+void Conv1d::CollectParams(const std::string& prefix,
+                           std::vector<NamedParam>& out) {
+  conv_.CollectParams(prefix, out);
+}
+
+}  // namespace mhbench::nn

@@ -1,0 +1,29 @@
+#include "nn/dropout.h"
+
+namespace mhbench::nn {
+
+Dropout::Dropout(Scalar rate, Rng& rng) : rate_(rate), rng_(rng.Fork(0xD09)) {
+  MHB_CHECK_GE(rate, 0.0f);
+  MHB_CHECK_LT(rate, 1.0f);
+}
+
+Tensor Dropout::Forward(const Tensor& x, bool train) {
+  if (!train || rate_ == 0.0f) {
+    cached_mask_ = Tensor();
+    return x;
+  }
+  cached_mask_ = Tensor(x.shape());
+  const Scalar scale = 1.0f / (1.0f - rate_);
+  auto mask = cached_mask_.data();
+  for (auto& m : mask) {
+    m = rng_.Uniform() < rate_ ? 0.0f : scale;
+  }
+  return x.Mul(cached_mask_);
+}
+
+Tensor Dropout::Backward(const Tensor& grad_out) {
+  if (cached_mask_.empty()) return grad_out;
+  return grad_out.Mul(cached_mask_);
+}
+
+}  // namespace mhbench::nn

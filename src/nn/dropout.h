@@ -1,0 +1,24 @@
+// Inverted dropout (identity in eval mode).
+#pragma once
+
+#include "core/rng.h"
+#include "nn/module.h"
+
+namespace mhbench::nn {
+
+class Dropout : public Module {
+ public:
+  // `rate` in [0, 1); the module owns a forked RNG stream for mask draws.
+  Dropout(Scalar rate, Rng& rng);
+
+  Tensor Forward(const Tensor& x, bool train) override;
+  Tensor Backward(const Tensor& grad_out) override;
+  void CollectParams(const std::string&, std::vector<NamedParam>&) override {}
+
+ private:
+  Scalar rate_;
+  Rng rng_;
+  Tensor cached_mask_;  // scaled keep mask; empty when last pass was eval
+};
+
+}  // namespace mhbench::nn

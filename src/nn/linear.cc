@@ -1,0 +1,65 @@
+#include "nn/linear.h"
+
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace mhbench::nn {
+
+Linear::Linear(int in_features, int out_features, Rng& rng, bool bias) {
+  MHB_CHECK_GT(in_features, 0);
+  MHB_CHECK_GT(out_features, 0);
+  weight_ = Parameter(
+      KaimingNormal({out_features, in_features}, in_features, rng));
+  if (bias) bias_ = Parameter(Tensor({out_features}));
+}
+
+Linear::Linear(Tensor weight, Tensor bias_or_empty) {
+  MHB_CHECK_EQ(weight.ndim(), 2);
+  if (!bias_or_empty.empty()) {
+    MHB_CHECK_EQ(bias_or_empty.ndim(), 1);
+    MHB_CHECK_EQ(bias_or_empty.dim(0), weight.dim(0));
+    bias_ = Parameter(std::move(bias_or_empty));
+  }
+  weight_ = Parameter(std::move(weight));
+}
+
+Tensor Linear::Forward(const Tensor& x, bool /*train*/) {
+  MHB_CHECK_EQ(x.ndim(), 2);
+  MHB_CHECK_EQ(x.dim(1), in_features());
+  cached_input_ = x;
+  Tensor y = ops::MatmulTransB(x, weight_.value);  // [n, out]
+  if (has_bias()) {
+    const int n = y.dim(0), out = y.dim(1);
+    for (int i = 0; i < n; ++i) {
+      Scalar* row = y.data().data() + static_cast<std::size_t>(i) * out;
+      for (int j = 0; j < out; ++j) row[j] += bias_.value[static_cast<std::size_t>(j)];
+    }
+  }
+  return y;
+}
+
+Tensor Linear::Backward(const Tensor& grad_out) {
+  MHB_CHECK(!cached_input_.empty()) << "Backward before Forward";
+  MHB_CHECK_EQ(grad_out.ndim(), 2);
+  MHB_CHECK_EQ(grad_out.dim(0), cached_input_.dim(0));
+  MHB_CHECK_EQ(grad_out.dim(1), out_features());
+  // dW = dY^T X ; dX = dY W ; db = colsum(dY)
+  weight_.grad.AddInPlace(ops::MatmulTransA(grad_out, cached_input_));
+  if (has_bias()) {
+    const int n = grad_out.dim(0), out = grad_out.dim(1);
+    for (int i = 0; i < n; ++i) {
+      const Scalar* row =
+          grad_out.data().data() + static_cast<std::size_t>(i) * out;
+      for (int j = 0; j < out; ++j) bias_.grad[static_cast<std::size_t>(j)] += row[j];
+    }
+  }
+  return ops::Matmul(grad_out, weight_.value);
+}
+
+void Linear::CollectParams(const std::string& prefix,
+                           std::vector<NamedParam>& out) {
+  out.push_back({JoinName(prefix, "weight"), &weight_});
+  if (has_bias()) out.push_back({JoinName(prefix, "bias"), &bias_});
+}
+
+}  // namespace mhbench::nn

@@ -1,0 +1,24 @@
+#include "nn/module.h"
+
+namespace mhbench::nn {
+
+void Module::ZeroGrad() {
+  std::vector<NamedParam> params;
+  CollectParams("", params);
+  for (auto& p : params) p.param->ZeroGrad();
+}
+
+std::size_t Module::NumParams() {
+  std::vector<NamedParam> params;
+  CollectParams("", params);
+  std::size_t n = 0;
+  for (auto& p : params) n += p.param->value.numel();
+  return n;
+}
+
+std::string JoinName(const std::string& prefix, const std::string& name) {
+  if (prefix.empty()) return name;
+  return prefix + "/" + name;
+}
+
+}  // namespace mhbench::nn

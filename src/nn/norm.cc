@@ -1,0 +1,247 @@
+#include "nn/norm.h"
+
+#include <cmath>
+
+namespace mhbench::nn {
+namespace {
+
+// Decomposes [N, C, ...] into (batch, channels, spatial) extents.
+void SplitNCS(const Shape& shape, int& n, int& c, int& s) {
+  MHB_CHECK_GE(static_cast<int>(shape.size()), 2);
+  n = shape[0];
+  c = shape[1];
+  s = 1;
+  for (std::size_t d = 2; d < shape.size(); ++d) s *= shape[d];
+}
+
+}  // namespace
+
+BatchNorm::BatchNorm(int channels, Scalar momentum, Scalar eps)
+    : gamma_(Tensor({channels}, 1.0f)),
+      beta_(Tensor({channels})),
+      running_mean_(Tensor({channels})),
+      running_var_(Tensor({channels}, 1.0f)),
+      momentum_(momentum),
+      eps_(eps) {
+  MHB_CHECK_GT(channels, 0);
+}
+
+BatchNorm::BatchNorm(Tensor gamma, Tensor beta, Tensor running_mean,
+                     Tensor running_var, Scalar momentum, Scalar eps)
+    : gamma_(std::move(gamma)),
+      beta_(std::move(beta)),
+      running_mean_(std::move(running_mean)),
+      running_var_(std::move(running_var)),
+      momentum_(momentum),
+      eps_(eps) {
+  const int c = gamma_.value.dim(0);
+  MHB_CHECK_EQ(beta_.value.dim(0), c);
+  MHB_CHECK_EQ(running_mean_.value.dim(0), c);
+  MHB_CHECK_EQ(running_var_.value.dim(0), c);
+}
+
+Tensor BatchNorm::Forward(const Tensor& x, bool train) {
+  int n = 0, c = 0, s = 0;
+  SplitNCS(x.shape(), n, c, s);
+  MHB_CHECK_EQ(c, channels());
+  cached_shape_ = x.shape();
+  cached_train_ = train;
+
+  const std::size_t m = static_cast<std::size_t>(n) * static_cast<std::size_t>(s);
+  Tensor y(x.shape());
+  cached_xhat_ = Tensor(x.shape());
+  cached_std_.assign(static_cast<std::size_t>(c), 1.0f);
+
+  const Scalar* px = x.data().data();
+  Scalar* py = y.data().data();
+  Scalar* pxh = cached_xhat_.data().data();
+
+  auto offset = [&](int b, int ch, int sp) {
+    return (static_cast<std::size_t>(b) * c + static_cast<std::size_t>(ch)) *
+               static_cast<std::size_t>(s) +
+           static_cast<std::size_t>(sp);
+  };
+
+  for (int ch = 0; ch < c; ++ch) {
+    Scalar mean, var;
+    if (train) {
+      double sum = 0.0;
+      for (int b = 0; b < n; ++b) {
+        for (int sp = 0; sp < s; ++sp) sum += px[offset(b, ch, sp)];
+      }
+      mean = static_cast<Scalar>(sum / static_cast<double>(m));
+      double vsum = 0.0;
+      for (int b = 0; b < n; ++b) {
+        for (int sp = 0; sp < s; ++sp) {
+          const double d = px[offset(b, ch, sp)] - mean;
+          vsum += d * d;
+        }
+      }
+      var = static_cast<Scalar>(vsum / static_cast<double>(m));
+      auto chu = static_cast<std::size_t>(ch);
+      running_mean_.value[chu] =
+          (1 - momentum_) * running_mean_.value[chu] + momentum_ * mean;
+      running_var_.value[chu] =
+          (1 - momentum_) * running_var_.value[chu] + momentum_ * var;
+    } else {
+      mean = running_mean_.value[static_cast<std::size_t>(ch)];
+      var = running_var_.value[static_cast<std::size_t>(ch)];
+    }
+    const Scalar stdv = std::sqrt(var + eps_);
+    cached_std_[static_cast<std::size_t>(ch)] = stdv;
+    const Scalar g = gamma_.value[static_cast<std::size_t>(ch)];
+    const Scalar bta = beta_.value[static_cast<std::size_t>(ch)];
+    for (int b = 0; b < n; ++b) {
+      for (int sp = 0; sp < s; ++sp) {
+        const std::size_t o = offset(b, ch, sp);
+        const Scalar xh = (px[o] - mean) / stdv;
+        pxh[o] = xh;
+        py[o] = g * xh + bta;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm::Backward(const Tensor& grad_out) {
+  MHB_CHECK(grad_out.shape() == cached_shape_);
+  int n = 0, c = 0, s = 0;
+  SplitNCS(cached_shape_, n, c, s);
+  const double m = static_cast<double>(n) * s;
+
+  Tensor gx(cached_shape_);
+  const Scalar* pg = grad_out.data().data();
+  const Scalar* pxh = cached_xhat_.data().data();
+  Scalar* pgx = gx.data().data();
+
+  auto offset = [&](int b, int ch, int sp) {
+    return (static_cast<std::size_t>(b) * c + static_cast<std::size_t>(ch)) *
+               static_cast<std::size_t>(s) +
+           static_cast<std::size_t>(sp);
+  };
+
+  for (int ch = 0; ch < c; ++ch) {
+    const auto chu = static_cast<std::size_t>(ch);
+    double sum_g = 0.0, sum_gxh = 0.0;
+    for (int b = 0; b < n; ++b) {
+      for (int sp = 0; sp < s; ++sp) {
+        const std::size_t o = offset(b, ch, sp);
+        sum_g += pg[o];
+        sum_gxh += static_cast<double>(pg[o]) * pxh[o];
+      }
+    }
+    gamma_.grad[chu] += static_cast<Scalar>(sum_gxh);
+    beta_.grad[chu] += static_cast<Scalar>(sum_g);
+
+    const Scalar g = gamma_.value[chu];
+    const Scalar inv_std = 1.0f / cached_std_[chu];
+    if (cached_train_) {
+      // Standard batch-norm backward with batch statistics.
+      for (int b = 0; b < n; ++b) {
+        for (int sp = 0; sp < s; ++sp) {
+          const std::size_t o = offset(b, ch, sp);
+          const double term = m * pg[o] - sum_g - pxh[o] * sum_gxh;
+          pgx[o] = static_cast<Scalar>(g * inv_std * term / m);
+        }
+      }
+    } else {
+      // Eval-mode stats are constants w.r.t. x.
+      for (int b = 0; b < n; ++b) {
+        for (int sp = 0; sp < s; ++sp) {
+          const std::size_t o = offset(b, ch, sp);
+          pgx[o] = g * inv_std * pg[o];
+        }
+      }
+    }
+  }
+  return gx;
+}
+
+void BatchNorm::CollectParams(const std::string& prefix,
+                              std::vector<NamedParam>& out) {
+  out.push_back({JoinName(prefix, "gamma"), &gamma_});
+  out.push_back({JoinName(prefix, "beta"), &beta_});
+  out.push_back({JoinName(prefix, "running_mean"), &running_mean_});
+  out.push_back({JoinName(prefix, "running_var"), &running_var_});
+}
+
+LayerNorm::LayerNorm(int dim, Scalar eps)
+    : gamma_(Tensor({dim}, 1.0f)), beta_(Tensor({dim})), eps_(eps) {
+  MHB_CHECK_GT(dim, 0);
+}
+
+Tensor LayerNorm::Forward(const Tensor& x, bool /*train*/) {
+  MHB_CHECK_GE(x.ndim(), 2);
+  const int d = x.dim(x.ndim() - 1);
+  MHB_CHECK_EQ(d, dim());
+  const std::size_t rows = x.numel() / static_cast<std::size_t>(d);
+  Tensor y(x.shape());
+  cached_xhat_ = Tensor(x.shape());
+  cached_inv_std_.assign(rows, 1.0f);
+
+  const Scalar* px = x.data().data();
+  Scalar* py = y.data().data();
+  Scalar* pxh = cached_xhat_.data().data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const Scalar* xr = px + r * static_cast<std::size_t>(d);
+    double sum = 0.0;
+    for (int j = 0; j < d; ++j) sum += xr[j];
+    const double mean = sum / d;
+    double vsum = 0.0;
+    for (int j = 0; j < d; ++j) {
+      const double diff = xr[j] - mean;
+      vsum += diff * diff;
+    }
+    const double inv_std = 1.0 / std::sqrt(vsum / d + eps_);
+    cached_inv_std_[r] = static_cast<Scalar>(inv_std);
+    Scalar* yr = py + r * static_cast<std::size_t>(d);
+    Scalar* xhr = pxh + r * static_cast<std::size_t>(d);
+    for (int j = 0; j < d; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      const Scalar xh = static_cast<Scalar>((xr[j] - mean) * inv_std);
+      xhr[j] = xh;
+      yr[j] = gamma_.value[ju] * xh + beta_.value[ju];
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::Backward(const Tensor& grad_out) {
+  MHB_CHECK(grad_out.shape() == cached_xhat_.shape());
+  const int d = dim();
+  const std::size_t rows = grad_out.numel() / static_cast<std::size_t>(d);
+  Tensor gx(grad_out.shape());
+  const Scalar* pg = grad_out.data().data();
+  const Scalar* pxh = cached_xhat_.data().data();
+  Scalar* pgx = gx.data().data();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const Scalar* gr = pg + r * static_cast<std::size_t>(d);
+    const Scalar* xhr = pxh + r * static_cast<std::size_t>(d);
+    Scalar* gxr = pgx + r * static_cast<std::size_t>(d);
+    double sum_g = 0.0, sum_gxh = 0.0;
+    for (int j = 0; j < d; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      const double gh = static_cast<double>(gr[j]) * gamma_.value[ju];
+      sum_g += gh;
+      sum_gxh += gh * xhr[j];
+      gamma_.grad[ju] += gr[j] * xhr[j];
+      beta_.grad[ju] += gr[j];
+    }
+    const double inv_std = cached_inv_std_[r];
+    for (int j = 0; j < d; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      const double gh = static_cast<double>(gr[j]) * gamma_.value[ju];
+      gxr[j] = static_cast<Scalar>(
+          inv_std * (gh - sum_g / d - xhr[j] * sum_gxh / d));
+    }
+  }
+  return gx;
+}
+
+void LayerNorm::CollectParams(const std::string& prefix,
+                              std::vector<NamedParam>& out) {
+  out.push_back({JoinName(prefix, "gamma"), &gamma_});
+  out.push_back({JoinName(prefix, "beta"), &beta_});
+}
+
+}  // namespace mhbench::nn

@@ -1,0 +1,340 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace mhbench::ops {
+namespace {
+
+// Iterates over every combination of the given per-dimension index lists,
+// yielding (src_linear_offset_into_selected, dst_multi_index).  Shared by the
+// gather/scatter family.
+//
+// `full_shape` is the shape of the large tensor; `index` selects positions
+// in it.  The callback receives the linear offset in the *small* tensor and
+// the linear offset in the *large* tensor.
+void ForEachSelected(const Shape& full_shape, const DimIndices& index,
+                     const std::function<void(std::size_t small_off,
+                                              std::size_t large_off)>& fn) {
+  const int nd = static_cast<int>(full_shape.size());
+  MHB_CHECK_EQ(static_cast<int>(index.size()), nd);
+
+  // Effective per-dimension index lists (identity when absent).
+  std::vector<std::vector<int>> idx(static_cast<std::size_t>(nd));
+  for (int d = 0; d < nd; ++d) {
+    const auto du = static_cast<std::size_t>(d);
+    if (index[du].has_value()) {
+      idx[du] = *index[du];
+      for (int i : idx[du]) {
+        MHB_CHECK(i >= 0 && i < full_shape[du])
+            << "index" << i << "out of range for dim" << d << "of"
+            << ShapeToString(full_shape);
+      }
+    } else {
+      idx[du].resize(static_cast<std::size_t>(full_shape[du]));
+      for (int i = 0; i < full_shape[du]; ++i) idx[du][static_cast<std::size_t>(i)] = i;
+    }
+  }
+
+  // Strides of the large tensor.
+  std::vector<std::size_t> stride(static_cast<std::size_t>(nd), 1);
+  for (int d = nd - 2; d >= 0; --d) {
+    const auto du = static_cast<std::size_t>(d);
+    stride[du] = stride[du + 1] * static_cast<std::size_t>(full_shape[du + 1]);
+  }
+
+  // Odometer over the small tensor's coordinates.
+  std::vector<std::size_t> pos(static_cast<std::size_t>(nd), 0);
+  std::size_t small_off = 0;
+  for (;;) {
+    std::size_t large_off = 0;
+    for (int d = 0; d < nd; ++d) {
+      const auto du = static_cast<std::size_t>(d);
+      large_off += stride[du] * static_cast<std::size_t>(idx[du][pos[du]]);
+    }
+    fn(small_off, large_off);
+    ++small_off;
+    int d = nd - 1;
+    for (; d >= 0; --d) {
+      const auto du = static_cast<std::size_t>(d);
+      if (++pos[du] < idx[du].size()) break;
+      pos[du] = 0;
+    }
+    if (d < 0) break;
+  }
+}
+
+Shape SelectedShape(const Shape& full_shape, const DimIndices& index) {
+  Shape out = full_shape;
+  for (std::size_t d = 0; d < index.size(); ++d) {
+    if (index[d].has_value()) {
+      MHB_CHECK(!index[d]->empty()) << "empty index list for dim" << d;
+      out[d] = static_cast<int>(index[d]->size());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tensor Matmul(const Tensor& a, const Tensor& b) {
+  MHB_CHECK_EQ(a.ndim(), 2);
+  MHB_CHECK_EQ(b.ndim(), 2);
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  MHB_CHECK_EQ(k, b.dim(0));
+  Tensor c({m, n});
+  const Scalar* pa = a.data().data();
+  const Scalar* pb = b.data().data();
+  Scalar* pc = c.data().data();
+  // ikj loop order: streams through B and C rows for cache friendliness.
+  for (int i = 0; i < m; ++i) {
+    Scalar* crow = pc + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const Scalar aik = pa[static_cast<std::size_t>(i) * k + kk];
+      if (aik == 0.0f) continue;
+      const Scalar* brow = pb + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatmulTransB(const Tensor& a, const Tensor& b) {
+  MHB_CHECK_EQ(a.ndim(), 2);
+  MHB_CHECK_EQ(b.ndim(), 2);
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  MHB_CHECK_EQ(k, b.dim(1));
+  Tensor c({m, n});
+  const Scalar* pa = a.data().data();
+  const Scalar* pb = b.data().data();
+  Scalar* pc = c.data().data();
+  for (int i = 0; i < m; ++i) {
+    const Scalar* arow = pa + static_cast<std::size_t>(i) * k;
+    Scalar* crow = pc + static_cast<std::size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const Scalar* brow = pb + static_cast<std::size_t>(j) * k;
+      Scalar acc = 0.0f;
+      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor MatmulTransA(const Tensor& a, const Tensor& b) {
+  MHB_CHECK_EQ(a.ndim(), 2);
+  MHB_CHECK_EQ(b.ndim(), 2);
+  const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  MHB_CHECK_EQ(m, b.dim(0));
+  Tensor c({k, n});
+  const Scalar* pa = a.data().data();
+  const Scalar* pb = b.data().data();
+  Scalar* pc = c.data().data();
+  for (int i = 0; i < m; ++i) {
+    const Scalar* arow = pa + static_cast<std::size_t>(i) * k;
+    const Scalar* brow = pb + static_cast<std::size_t>(i) * n;
+    for (int kk = 0; kk < k; ++kk) {
+      const Scalar av = arow[kk];
+      if (av == 0.0f) continue;
+      Scalar* crow = pc + static_cast<std::size_t>(kk) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor Transpose2d(const Tensor& a) {
+  MHB_CHECK_EQ(a.ndim(), 2);
+  const int m = a.dim(0), n = a.dim(1);
+  Tensor out({n, m});
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < n; ++j) {
+      out[static_cast<std::size_t>(j) * m + i] =
+          a[static_cast<std::size_t>(i) * n + j];
+    }
+  }
+  return out;
+}
+
+Tensor SoftmaxRows(const Tensor& logits) {
+  MHB_CHECK_EQ(logits.ndim(), 2);
+  const int n = logits.dim(0), c = logits.dim(1);
+  Tensor out({n, c});
+  for (int i = 0; i < n; ++i) {
+    const Scalar* row = logits.data().data() + static_cast<std::size_t>(i) * c;
+    Scalar* orow = out.data().data() + static_cast<std::size_t>(i) * c;
+    Scalar mx = row[0];
+    for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (int j = 0; j < c; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      sum += orow[j];
+    }
+    const Scalar inv = static_cast<Scalar>(1.0 / sum);
+    for (int j = 0; j < c; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+Tensor LogSoftmaxRows(const Tensor& logits) {
+  MHB_CHECK_EQ(logits.ndim(), 2);
+  const int n = logits.dim(0), c = logits.dim(1);
+  Tensor out({n, c});
+  for (int i = 0; i < n; ++i) {
+    const Scalar* row = logits.data().data() + static_cast<std::size_t>(i) * c;
+    Scalar* orow = out.data().data() + static_cast<std::size_t>(i) * c;
+    Scalar mx = row[0];
+    for (int j = 1; j < c; ++j) mx = std::max(mx, row[j]);
+    double sum = 0.0;
+    for (int j = 0; j < c; ++j) sum += std::exp(row[j] - mx);
+    const Scalar lse = mx + static_cast<Scalar>(std::log(sum));
+    for (int j = 0; j < c; ++j) orow[j] = row[j] - lse;
+  }
+  return out;
+}
+
+std::vector<int> ArgmaxRows(const Tensor& t) {
+  MHB_CHECK_EQ(t.ndim(), 2);
+  const int n = t.dim(0), c = t.dim(1);
+  std::vector<int> out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Scalar* row = t.data().data() + static_cast<std::size_t>(i) * c;
+    int best = 0;
+    for (int j = 1; j < c; ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[static_cast<std::size_t>(i)] = best;
+  }
+  return out;
+}
+
+Tensor Im2Col(const Tensor& input, int kh, int kw, int stride, int pad_h,
+              int pad_w) {
+  MHB_CHECK_EQ(input.ndim(), 4);
+  MHB_CHECK_GT(stride, 0);
+  MHB_CHECK_GE(pad_h, 0);
+  MHB_CHECK_GE(pad_w, 0);
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2),
+            w = input.dim(3);
+  const int oh = (h + 2 * pad_h - kh) / stride + 1;
+  const int ow = (w + 2 * pad_w - kw) / stride + 1;
+  MHB_CHECK_GT(oh, 0);
+  MHB_CHECK_GT(ow, 0);
+  Tensor cols({n * oh * ow, c * kh * kw});
+  const Scalar* in = input.data().data();
+  Scalar* out = cols.data().data();
+  const std::size_t in_cs = static_cast<std::size_t>(h) * w;
+  const std::size_t in_ns = static_cast<std::size_t>(c) * in_cs;
+  std::size_t row = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox, ++row) {
+        Scalar* orow = out + row * static_cast<std::size_t>(c) * kh * kw;
+        std::size_t col = 0;
+        for (int ch = 0; ch < c; ++ch) {
+          const Scalar* plane = in + static_cast<std::size_t>(b) * in_ns +
+                                static_cast<std::size_t>(ch) * in_cs;
+          for (int ky = 0; ky < kh; ++ky) {
+            const int iy = oy * stride + ky - pad_h;
+            for (int kx = 0; kx < kw; ++kx, ++col) {
+              const int ix = ox * stride + kx - pad_w;
+              orow[col] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
+                              ? plane[static_cast<std::size_t>(iy) * w + ix]
+                              : 0.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor Col2Im(const Tensor& cols, const Shape& input_shape, int kh, int kw,
+              int stride, int pad_h, int pad_w) {
+  MHB_CHECK_EQ(cols.ndim(), 2);
+  MHB_CHECK_EQ(static_cast<int>(input_shape.size()), 4);
+  const int n = input_shape[0], c = input_shape[1], h = input_shape[2],
+            w = input_shape[3];
+  const int oh = (h + 2 * pad_h - kh) / stride + 1;
+  const int ow = (w + 2 * pad_w - kw) / stride + 1;
+  MHB_CHECK_EQ(cols.dim(0), n * oh * ow);
+  MHB_CHECK_EQ(cols.dim(1), c * kh * kw);
+  Tensor grad(input_shape);
+  const Scalar* in = cols.data().data();
+  Scalar* out = grad.data().data();
+  const std::size_t out_cs = static_cast<std::size_t>(h) * w;
+  const std::size_t out_ns = static_cast<std::size_t>(c) * out_cs;
+  std::size_t row = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox, ++row) {
+        const Scalar* irow = in + row * static_cast<std::size_t>(c) * kh * kw;
+        std::size_t col = 0;
+        for (int ch = 0; ch < c; ++ch) {
+          Scalar* plane = out + static_cast<std::size_t>(b) * out_ns +
+                          static_cast<std::size_t>(ch) * out_cs;
+          for (int ky = 0; ky < kh; ++ky) {
+            const int iy = oy * stride + ky - pad_h;
+            for (int kx = 0; kx < kw; ++kx, ++col) {
+              const int ix = ox * stride + kx - pad_w;
+              if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+                plane[static_cast<std::size_t>(iy) * w + ix] += irow[col];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad;
+}
+
+Tensor GatherDims(const Tensor& src, const DimIndices& index) {
+  Tensor out(SelectedShape(src.shape(), index));
+  const Scalar* ps = src.data().data();
+  Scalar* po = out.data().data();
+  ForEachSelected(src.shape(), index,
+                  [&](std::size_t small_off, std::size_t large_off) {
+                    po[small_off] = ps[large_off];
+                  });
+  return out;
+}
+
+void ScatterAddDims(Tensor& dst, const Tensor& src, const DimIndices& index) {
+  const Shape expect = SelectedShape(dst.shape(), index);
+  MHB_CHECK(src.shape() == expect)
+      << "scatter source" << ShapeToString(src.shape()) << "expected"
+      << ShapeToString(expect);
+  const Scalar* ps = src.data().data();
+  Scalar* pd = dst.data().data();
+  ForEachSelected(dst.shape(), index,
+                  [&](std::size_t small_off, std::size_t large_off) {
+                    pd[large_off] += ps[small_off];
+                  });
+}
+
+void ScatterAssignDims(Tensor& dst, const Tensor& src,
+                       const DimIndices& index) {
+  const Shape expect = SelectedShape(dst.shape(), index);
+  MHB_CHECK(src.shape() == expect)
+      << "scatter source" << ShapeToString(src.shape()) << "expected"
+      << ShapeToString(expect);
+  const Scalar* ps = src.data().data();
+  Scalar* pd = dst.data().data();
+  ForEachSelected(dst.shape(), index,
+                  [&](std::size_t small_off, std::size_t large_off) {
+                    pd[large_off] = ps[small_off];
+                  });
+}
+
+void ScatterCountDims(Tensor& counts, const DimIndices& index) {
+  Scalar* pd = counts.data().data();
+  ForEachSelected(counts.shape(), index,
+                  [&](std::size_t, std::size_t large_off) {
+                    pd[large_off] += 1.0f;
+                  });
+}
+
+}  // namespace mhbench::ops

@@ -1,0 +1,70 @@
+// Free-function tensor operations: GEMM variants, im2col for convolutions,
+// softmax, and the gather/scatter primitives that sub-model extraction and
+// masked federated aggregation are built on.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mhbench::ops {
+
+// C[m,n] = A[m,k] * B[k,n].
+Tensor Matmul(const Tensor& a, const Tensor& b);
+
+// C[m,n] = A[m,k] * B[n,k]^T.
+Tensor MatmulTransB(const Tensor& a, const Tensor& b);
+
+// C[k,n] = A[m,k]^T * B[m,n].
+Tensor MatmulTransA(const Tensor& a, const Tensor& b);
+
+// Transpose of a rank-2 tensor.
+Tensor Transpose2d(const Tensor& a);
+
+// Row-wise softmax of logits [n, c].
+Tensor SoftmaxRows(const Tensor& logits);
+
+// Row-wise log-softmax of logits [n, c].
+Tensor LogSoftmaxRows(const Tensor& logits);
+
+// Index of the max element in each row of [n, c].
+std::vector<int> ArgmaxRows(const Tensor& t);
+
+// im2col for 2-D convolution.  Input [N, C, H, W]; returns
+// [N*OH*OW, C*KH*KW] with zero padding (pad_h, pad_w) and stride `stride`.
+Tensor Im2Col(const Tensor& input, int kh, int kw, int stride, int pad_h,
+              int pad_w);
+inline Tensor Im2Col(const Tensor& input, int kh, int kw, int stride,
+                     int pad) {
+  return Im2Col(input, kh, kw, stride, pad, pad);
+}
+
+// Adjoint of Im2Col: scatters columns [N*OH*OW, C*KH*KW] back into an
+// input-shaped gradient [N, C, H, W].
+Tensor Col2Im(const Tensor& cols, const Shape& input_shape, int kh, int kw,
+              int stride, int pad_h, int pad_w);
+inline Tensor Col2Im(const Tensor& cols, const Shape& input_shape, int kh,
+                     int kw, int stride, int pad) {
+  return Col2Im(cols, input_shape, kh, kw, stride, pad, pad);
+}
+
+// Per-dimension index selection.  `index[d]`, when present, lists the kept
+// indices along dimension d (in order, duplicates allowed); absent means
+// keep the whole dimension.  This is the sub-model *extraction* primitive.
+using DimIndices = std::vector<std::optional<std::vector<int>>>;
+Tensor GatherDims(const Tensor& src, const DimIndices& index);
+
+// Adjoint of GatherDims: adds `src` values into `dst` at the positions the
+// index selects.  `dst` retains its shape.  This is the server-side
+// *aggregation* primitive (scatter-add of client updates).
+void ScatterAddDims(Tensor& dst, const Tensor& src, const DimIndices& index);
+
+// Scatter-assign variant (overwrites instead of accumulating).
+void ScatterAssignDims(Tensor& dst, const Tensor& src, const DimIndices& index);
+
+// Adds 1 to `counts` at every position the index selects (for computing
+// per-coordinate contribution counts during aggregation).
+void ScatterCountDims(Tensor& counts, const DimIndices& index);
+
+}  // namespace mhbench::ops

@@ -1,0 +1,27 @@
+// Byte-level tensor serialization.
+//
+// Used by the FL layer to measure payload sizes (communication cost) and by
+// tests to round-trip parameter states.  Format: int32 ndim, int32 extents,
+// float32 data, little-endian (asserted at compile time for this platform).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mhbench {
+
+// Serializes a tensor to bytes.
+std::vector<std::uint8_t> SerializeTensor(const Tensor& t);
+
+// Parses a tensor serialized by SerializeTensor.  `offset` is advanced past
+// the consumed bytes.  Throws Error on malformed input.
+Tensor DeserializeTensor(const std::vector<std::uint8_t>& bytes,
+                         std::size_t& offset);
+
+// Serialized size in bytes without materializing the buffer.
+std::size_t SerializedTensorBytes(const Tensor& t);
+
+}  // namespace mhbench

@@ -1,0 +1,172 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "core/rng.h"
+
+namespace mhbench {
+
+std::size_t ShapeNumel(const Shape& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    MHB_CHECK_GT(d, 0) << "in shape" << ShapeToString(shape);
+    n *= static_cast<std::size_t>(d);
+  }
+  return shape.empty() ? 0 : n;
+}
+
+std::string ShapeToString(const Shape& shape) {
+  std::ostringstream s;
+  s << "[";
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) s << ", ";
+    s << shape[i];
+  }
+  s << "]";
+  return s.str();
+}
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)), data_(ShapeNumel(shape_), 0.0f) {}
+
+Tensor::Tensor(Shape shape, Scalar fill)
+    : shape_(std::move(shape)), data_(ShapeNumel(shape_), fill) {}
+
+Tensor::Tensor(Shape shape, std::vector<Scalar> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  MHB_CHECK_EQ(data_.size(), ShapeNumel(shape_))
+      << "for shape" << ShapeToString(shape_);
+}
+
+Tensor Tensor::FromVector(std::vector<Scalar> values) {
+  const int n = static_cast<int>(values.size());
+  MHB_CHECK_GT(n, 0);
+  return Tensor({n}, std::move(values));
+}
+
+Tensor Tensor::Scalar1(Scalar v) { return Tensor({1}, std::vector<Scalar>{v}); }
+
+Tensor Tensor::Randn(Shape shape, Rng& rng, Scalar stddev) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) {
+    v = static_cast<Scalar>(rng.Gaussian(0.0, stddev));
+  }
+  return t;
+}
+
+int Tensor::dim(int i) const {
+  MHB_CHECK_GE(i, 0);
+  MHB_CHECK_LT(i, ndim());
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+std::size_t Tensor::Offset(std::span<const int> idx) const {
+  MHB_CHECK_EQ(static_cast<int>(idx.size()), ndim());
+  std::size_t off = 0;
+  for (std::size_t d = 0; d < idx.size(); ++d) {
+    MHB_DCHECK(idx[d] >= 0 && idx[d] < shape_[d]);
+    off = off * static_cast<std::size_t>(shape_[d]) +
+          static_cast<std::size_t>(idx[d]);
+  }
+  return off;
+}
+
+Scalar& Tensor::at(std::initializer_list<int> idx) {
+  return data_[Offset(std::span<const int>(idx.begin(), idx.size()))];
+}
+
+Scalar Tensor::at(std::initializer_list<int> idx) const {
+  return data_[Offset(std::span<const int>(idx.begin(), idx.size()))];
+}
+
+Tensor Tensor::Reshape(Shape new_shape) const {
+  MHB_CHECK_EQ(ShapeNumel(new_shape), numel())
+      << ShapeToString(shape_) << "->" << ShapeToString(new_shape);
+  return Tensor(std::move(new_shape), data_);
+}
+
+void Tensor::Fill(Scalar v) {
+  for (auto& x : data_) x = v;
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  MHB_CHECK(shape_ == other.shape_)
+      << ShapeToString(shape_) << "vs" << ShapeToString(other.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::SubInPlace(const Tensor& other) {
+  MHB_CHECK(shape_ == other.shape_)
+      << ShapeToString(shape_) << "vs" << ShapeToString(other.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Tensor::MulInPlace(const Tensor& other) {
+  MHB_CHECK(shape_ == other.shape_)
+      << ShapeToString(shape_) << "vs" << ShapeToString(other.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Tensor::AxpyInPlace(Scalar alpha, const Tensor& other) {
+  MHB_CHECK(shape_ == other.shape_)
+      << ShapeToString(shape_) << "vs" << ShapeToString(other.shape_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Tensor::Scale(Scalar alpha) {
+  for (auto& x : data_) x *= alpha;
+}
+
+Tensor Tensor::Add(const Tensor& other) const {
+  Tensor out = *this;
+  out.AddInPlace(other);
+  return out;
+}
+
+Tensor Tensor::Sub(const Tensor& other) const {
+  Tensor out = *this;
+  out.SubInPlace(other);
+  return out;
+}
+
+Tensor Tensor::Mul(const Tensor& other) const {
+  Tensor out = *this;
+  out.MulInPlace(other);
+  return out;
+}
+
+double Tensor::Sum() const {
+  double s = 0.0;
+  for (Scalar v : data_) s += v;
+  return s;
+}
+
+double Tensor::Mean() const {
+  MHB_CHECK_GT(numel(), 0u);
+  return Sum() / static_cast<double>(numel());
+}
+
+Scalar Tensor::MaxAbs() const {
+  Scalar m = 0.0f;
+  for (Scalar v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Tensor::SquaredL2() const {
+  double s = 0.0;
+  for (Scalar v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+bool Tensor::AllClose(const Tensor& other, Scalar tol) const {
+  if (shape_ != other.shape_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::abs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace mhbench

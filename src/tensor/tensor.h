@@ -1,0 +1,100 @@
+// Dense float32 tensor with value semantics.
+//
+// Tensors are row-major and own their storage (copy = deep copy).  This is
+// the only numeric container in the library; all layer parameters,
+// activations and gradients are `Tensor`s.  Shape arithmetic is checked with
+// MHB_CHECK at API boundaries.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+
+namespace mhbench {
+
+class Rng;
+
+using Scalar = float;
+using Shape = std::vector<int>;
+
+// Number of elements implied by a shape (product of extents).
+std::size_t ShapeNumel(const Shape& shape);
+
+// "[2, 3, 4]" - for error messages.
+std::string ShapeToString(const Shape& shape);
+
+class Tensor {
+ public:
+  // Empty (rank-0, zero elements) tensor.
+  Tensor() = default;
+
+  // Zero-initialized tensor of the given shape.  Extents must be positive.
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, Scalar fill);
+
+  // Takes ownership of `values`; size must match the shape.
+  Tensor(Shape shape, std::vector<Scalar> values);
+
+  static Tensor FromVector(std::vector<Scalar> values);  // rank-1
+  static Tensor Scalar1(Scalar v);                       // shape [1]
+
+  // Gaussian-initialized tensor (used by parameter initializers and tests).
+  static Tensor Randn(Shape shape, Rng& rng, Scalar stddev = 1.0f);
+
+  const Shape& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int dim(int i) const;
+  std::size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  std::span<Scalar> data() { return data_; }
+  std::span<const Scalar> data() const { return data_; }
+
+  Scalar& operator[](std::size_t i) { return data_[i]; }
+  Scalar operator[](std::size_t i) const { return data_[i]; }
+
+  // Multi-index access (size must equal ndim()); bounds-checked in debug.
+  Scalar& at(std::initializer_list<int> idx);
+  Scalar at(std::initializer_list<int> idx) const;
+
+  // Linear offset of a multi-index.
+  std::size_t Offset(std::span<const int> idx) const;
+
+  // Returns a tensor sharing no storage with this one, with a new shape of
+  // equal element count.
+  Tensor Reshape(Shape new_shape) const;
+
+  // In-place fill.
+  void Fill(Scalar v);
+
+  // Elementwise in-place ops (shapes must match exactly).
+  void AddInPlace(const Tensor& other);
+  void SubInPlace(const Tensor& other);
+  void MulInPlace(const Tensor& other);
+  void AxpyInPlace(Scalar alpha, const Tensor& other);  // this += alpha*other
+  void Scale(Scalar alpha);
+
+  // Elementwise binary (returns new tensor; shapes must match).
+  Tensor Add(const Tensor& other) const;
+  Tensor Sub(const Tensor& other) const;
+  Tensor Mul(const Tensor& other) const;
+
+  // Reductions.
+  double Sum() const;
+  double Mean() const;
+  Scalar MaxAbs() const;
+  double SquaredL2() const;
+
+  // True iff shapes are equal and all elements differ by at most `tol`.
+  bool AllClose(const Tensor& other, Scalar tol = 1e-5f) const;
+
+ private:
+  Shape shape_;
+  std::vector<Scalar> data_;
+};
+
+}  // namespace mhbench

@@ -1,0 +1,117 @@
+// Every MHFL algorithm must run end-to-end on a small heterogeneous
+// population and learn above chance.
+#include <gtest/gtest.h>
+
+#include "algorithms/registry.h"
+#include "data/tasks.h"
+#include "fl/engine.h"
+#include "models/zoo.h"
+
+namespace mhbench::algorithms {
+namespace {
+
+struct Case {
+  std::string algorithm;
+  std::string task;
+};
+
+std::ostream& operator<<(std::ostream& os, const Case& c) {
+  return os << c.algorithm << "_on_" << c.task;
+}
+
+class AlgorithmRunTest : public ::testing::TestWithParam<Case> {};
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  for (const auto& info : AllAlgorithms()) {
+    cases.push_back({info.name, "cifar10"});
+  }
+  // Cross-domain smoke coverage for a representative per level.
+  cases.push_back({"sheterofl", "agnews"});
+  cases.push_back({"depthfl", "ucihar"});
+  cases.push_back({"fedrolex", "harbox"});
+  cases.push_back({"fedavg", "stackoverflow"});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, AlgorithmRunTest, ::testing::ValuesIn(AllCases()),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return info.param.algorithm + "_" + info.param.task;
+    });
+
+TEST_P(AlgorithmRunTest, RunsAndLearns) {
+  const Case c = GetParam();
+  data::TaskConfig tcfg;
+  tcfg.train_samples = 240;
+  tcfg.test_samples = 120;
+  tcfg.num_clients = 6;
+  const data::Task task = data::MakeTask(c.task, tcfg);
+  const auto tm = models::MakeTaskModels(c.task);
+
+  AlgorithmOptions opts;
+  opts.fedavg_ratio = 0.5;
+  auto alg = MakeAlgorithm(c.algorithm, tm, opts);
+  EXPECT_EQ(alg->name(), c.algorithm);
+
+  std::vector<fl::ClientAssignment> assign =
+      fl::UniformCapacityAssignments(6, RatioLadder());
+  for (std::size_t i = 0; i < assign.size(); ++i) {
+    assign[i].arch_index = static_cast<int>(i);  // topology diversity
+  }
+
+  fl::FlConfig cfg;
+  cfg.rounds = 10;
+  cfg.sample_fraction = 0.5;
+  cfg.eval_every = 10;
+  cfg.eval_max_samples = 120;
+  cfg.stability_max_samples = 48;
+  fl::FlEngine engine(task, cfg, assign, *alg);
+  const fl::RunResult result = engine.Run();
+
+  const double chance = 1.0 / task.train.num_classes;
+  // All algorithms must clear chance on these easy synthetic tasks within
+  // 10 rounds.  The margin is modest because slow starters (FedProto's
+  // stateful from-scratch clients, Fjord's width subsampling) only pull
+  // clearly ahead after ~15 rounds; the benches cover long-run behaviour.
+  EXPECT_GT(result.final_accuracy, chance + 0.04)
+      << c.algorithm << " on " << c.task;
+  EXPECT_EQ(result.client_accuracies.size(),
+            static_cast<std::size_t>(engine.context().num_clients()));
+  for (double acc : result.client_accuracies) {
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 1.0);
+  }
+}
+
+TEST(RegistryTest, AllNamesConstructible) {
+  const auto tm = models::MakeTaskModels("cifar10");
+  for (const auto& info : AllAlgorithms()) {
+    EXPECT_NE(MakeAlgorithm(info.name, tm), nullptr) << info.name;
+  }
+}
+
+TEST(RegistryTest, UnknownNameThrows) {
+  const auto tm = models::MakeTaskModels("cifar10");
+  EXPECT_THROW(MakeAlgorithm("fedsgd", tm), Error);
+  EXPECT_THROW(LevelOf("fedsgd"), Error);
+}
+
+TEST(RegistryTest, LevelsMatchPaperTable) {
+  EXPECT_EQ(LevelOf("fjord"), HeteroLevel::kWidth);
+  EXPECT_EQ(LevelOf("sheterofl"), HeteroLevel::kWidth);
+  EXPECT_EQ(LevelOf("fedrolex"), HeteroLevel::kWidth);
+  EXPECT_EQ(LevelOf("fedepth"), HeteroLevel::kDepth);
+  EXPECT_EQ(LevelOf("inclusivefl"), HeteroLevel::kDepth);
+  EXPECT_EQ(LevelOf("depthfl"), HeteroLevel::kDepth);
+  EXPECT_EQ(LevelOf("fedproto"), HeteroLevel::kTopology);
+  EXPECT_EQ(LevelOf("fedet"), HeteroLevel::kTopology);
+  EXPECT_EQ(LevelOf("fedavg"), HeteroLevel::kHomogeneous);
+}
+
+TEST(RegistryTest, RatioLadderMatchesPaper) {
+  EXPECT_EQ(RatioLadder(), (std::vector<double>{0.25, 0.5, 0.75, 1.0}));
+}
+
+}  // namespace
+}  // namespace mhbench::algorithms

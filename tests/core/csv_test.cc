@@ -1,0 +1,37 @@
+#include "core/csv.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace mhbench {
+namespace {
+
+TEST(CsvTest, BasicRoundTrip) {
+  CsvWriter w({"a", "b"});
+  w.AddRow(std::vector<std::string>{"1", "2"});
+  w.AddRow(std::vector<double>{3.5, 4.5});
+  EXPECT_EQ(w.ToString(), "a,b\n1,2\n3.5,4.5\n");
+}
+
+TEST(CsvTest, QuotesSpecialCharacters) {
+  CsvWriter w({"x"});
+  w.AddRow(std::vector<std::string>{"hello, world"});
+  w.AddRow(std::vector<std::string>{"say \"hi\""});
+  const std::string out = w.ToString();
+  EXPECT_NE(out.find("\"hello, world\""), std::string::npos);
+  EXPECT_NE(out.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(CsvTest, RejectsMismatchedRowWidth) {
+  CsvWriter w({"a", "b"});
+  EXPECT_THROW(w.AddRow(std::vector<std::string>{"only-one"}), Error);
+}
+
+TEST(CsvTest, WriteFileFailsOnBadPath) {
+  CsvWriter w({"a"});
+  EXPECT_THROW(w.WriteFile("/nonexistent-dir/x.csv"), Error);
+}
+
+}  // namespace
+}  // namespace mhbench

@@ -1,0 +1,43 @@
+#include "core/env.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+namespace mhbench {
+namespace {
+
+TEST(EnvTest, FallbackWhenUnset) {
+  unsetenv("MHB_TEST_UNSET");
+  EXPECT_EQ(EnvInt("MHB_TEST_UNSET", 7), 7);
+  EXPECT_DOUBLE_EQ(EnvDouble("MHB_TEST_UNSET", 1.5), 1.5);
+  EXPECT_EQ(EnvString("MHB_TEST_UNSET", "x"), "x");
+}
+
+TEST(EnvTest, ParsesValues) {
+  setenv("MHB_TEST_INT", "42", 1);
+  setenv("MHB_TEST_DBL", "2.25", 1);
+  setenv("MHB_TEST_STR", "hello", 1);
+  EXPECT_EQ(EnvInt("MHB_TEST_INT", 0), 42);
+  EXPECT_DOUBLE_EQ(EnvDouble("MHB_TEST_DBL", 0), 2.25);
+  EXPECT_EQ(EnvString("MHB_TEST_STR", ""), "hello");
+  unsetenv("MHB_TEST_INT");
+  unsetenv("MHB_TEST_DBL");
+  unsetenv("MHB_TEST_STR");
+}
+
+TEST(EnvTest, FallbackOnGarbage) {
+  setenv("MHB_TEST_BAD", "not-a-number", 1);
+  EXPECT_EQ(EnvInt("MHB_TEST_BAD", 3), 3);
+  EXPECT_DOUBLE_EQ(EnvDouble("MHB_TEST_BAD", 0.5), 0.5);
+  unsetenv("MHB_TEST_BAD");
+}
+
+TEST(EnvTest, FallbackOnTrailingJunk) {
+  setenv("MHB_TEST_JUNK", "42abc", 1);
+  EXPECT_EQ(EnvInt("MHB_TEST_JUNK", 3), 3);
+  unsetenv("MHB_TEST_JUNK");
+}
+
+}  // namespace
+}  // namespace mhbench

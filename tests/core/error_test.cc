@@ -1,0 +1,74 @@
+#include "core/error.h"
+
+#include <gtest/gtest.h>
+
+namespace mhbench {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  MHB_CHECK(true);
+  MHB_CHECK(1 + 1 == 2) << "never evaluated";
+  SUCCEED();
+}
+
+TEST(CheckTest, FailingCheckThrowsWithLocation) {
+  try {
+    MHB_CHECK(false) << "context" << 42;
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("error_test.cc"), std::string::npos);
+    EXPECT_NE(what.find("check failed"), std::string::npos);
+    EXPECT_NE(what.find("context"), std::string::npos);
+    EXPECT_NE(what.find("42"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, ComparisonMacrosIncludeValues) {
+  try {
+    const int a = 3, b = 5;
+    MHB_CHECK_EQ(a, b);
+    FAIL();
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("3"), std::string::npos);
+    EXPECT_NE(what.find("5"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, AllComparisonMacros) {
+  MHB_CHECK_EQ(2, 2);
+  MHB_CHECK_NE(2, 3);
+  MHB_CHECK_LT(2, 3);
+  MHB_CHECK_LE(2, 2);
+  MHB_CHECK_GT(3, 2);
+  MHB_CHECK_GE(3, 3);
+  EXPECT_THROW(MHB_CHECK_NE(2, 2), Error);
+  EXPECT_THROW(MHB_CHECK_LT(3, 2), Error);
+  EXPECT_THROW(MHB_CHECK_GE(2, 3), Error);
+}
+
+TEST(CheckTest, MessageOnlyBuiltOnFailure) {
+  // The streamed expression must not be evaluated when the check passes.
+  int evaluations = 0;
+  auto count = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  MHB_CHECK(true) << count();
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_THROW(MHB_CHECK(false) << count(), Error);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(DcheckTest, BehaviourMatchesBuildType) {
+#ifdef NDEBUG
+  MHB_DCHECK(false) << "compiled out";
+  SUCCEED();
+#else
+  EXPECT_THROW(MHB_DCHECK(false) << "live", Error);
+#endif
+}
+
+}  // namespace
+}  // namespace mhbench

@@ -1,0 +1,64 @@
+#include "core/table.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace mhbench {
+namespace {
+
+TEST(AsciiTableTest, RendersHeaderAndRows) {
+  AsciiTable t({"Method", "Acc"});
+  t.AddRow({"FedAvg", "0.91"});
+  t.AddRow({"SHeteroFL", "0.94"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("Method"), std::string::npos);
+  EXPECT_NE(out.find("SHeteroFL"), std::string::npos);
+  EXPECT_NE(out.find("0.94"), std::string::npos);
+}
+
+TEST(AsciiTableTest, HandlesRaggedRows) {
+  AsciiTable t({"a", "b", "c"});
+  t.AddRow({"1"});
+  t.AddRow({"1", "2", "3", "4"});
+  const std::string out = t.Render();
+  EXPECT_NE(out.find("4"), std::string::npos);
+}
+
+TEST(AsciiTableTest, NumFormatsPrecision) {
+  EXPECT_EQ(AsciiTable::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(AsciiTable::Num(3.14159, 4), "3.1416");
+  EXPECT_EQ(AsciiTable::Num(10.0, 0), "10");
+}
+
+TEST(AsciiChartTest, RendersSeriesAndLegend) {
+  AsciiChart c("Accuracy vs round", "round", "acc");
+  c.AddSeries("fedavg", {0.1, 0.5, 0.8});
+  c.AddSeries("hetero", {0.2, 0.6, 0.9});
+  const std::string out = c.Render(40, 8);
+  EXPECT_NE(out.find("Accuracy vs round"), std::string::npos);
+  EXPECT_NE(out.find("fedavg"), std::string::npos);
+  EXPECT_NE(out.find("hetero"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(AsciiChartTest, EmptySeriesDoesNotCrash) {
+  AsciiChart c("t", "x", "y");
+  EXPECT_FALSE(c.Render().empty());
+}
+
+TEST(AsciiChartTest, ConstantSeries) {
+  AsciiChart c("t", "x", "y");
+  c.AddSeries("flat", {1.0, 1.0, 1.0});
+  EXPECT_FALSE(c.Render(20, 5).empty());
+}
+
+TEST(AsciiChartTest, IgnoresNonFiniteValues) {
+  AsciiChart c("t", "x", "y");
+  c.AddSeries("s", {1.0, std::nan(""), 2.0});
+  const std::string out = c.Render(20, 5);
+  EXPECT_FALSE(out.empty());
+}
+
+}  // namespace
+}  // namespace mhbench

@@ -1,0 +1,222 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/loader.h"
+#include "data/partition.h"
+#include "data/tasks.h"
+
+namespace mhbench::data {
+namespace {
+
+TEST(DatasetTest, SubsetAndGather) {
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.features = Tensor({4, 2}, std::vector<Scalar>{1, 1, 2, 2, 3, 3, 4, 4});
+  ds.labels = {0, 1, 0, 1};
+  const std::vector<int> idx = {3, 0};
+  const Dataset sub = ds.Subset(idx);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub.labels[0], 1);
+  EXPECT_EQ(sub.features.at({0, 0}), 4.0f);
+  EXPECT_EQ(sub.features.at({1, 0}), 1.0f);
+}
+
+TEST(DatasetTest, ValidateCatchesBadLabels) {
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.features = Tensor({1, 1});
+  ds.labels = {5};
+  EXPECT_THROW(ds.Validate(), Error);
+}
+
+TEST(DatasetTest, GatherOutOfRangeThrows) {
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.features = Tensor({2, 1});
+  ds.labels = {0, 1};
+  const std::vector<int> idx = {2};
+  EXPECT_THROW(ds.GatherFeatures(idx), Error);
+}
+
+class TaskGenTest : public ::testing::TestWithParam<std::string> {};
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, TaskGenTest,
+                         ::testing::Values("cifar10", "cifar100", "agnews",
+                                           "stackoverflow", "harbox",
+                                           "ucihar"));
+
+TEST_P(TaskGenTest, GeneratesValidDatasets) {
+  TaskConfig cfg;
+  cfg.train_samples = 200;
+  cfg.test_samples = 80;
+  cfg.num_clients = 8;
+  const Task task = MakeTask(GetParam(), cfg);
+  task.train.Validate();
+  task.test.Validate();
+  EXPECT_EQ(task.train.size(), 200u);
+  EXPECT_EQ(task.test.size(), 80u);
+  EXPECT_EQ(task.name, GetParam());
+  // All classes present in train data.
+  std::set<int> seen(task.train.labels.begin(), task.train.labels.end());
+  EXPECT_EQ(static_cast<int>(seen.size()), task.train.num_classes);
+}
+
+TEST_P(TaskGenTest, DeterministicForSameSeed) {
+  TaskConfig cfg;
+  cfg.train_samples = 60;
+  cfg.test_samples = 30;
+  const Task a = MakeTask(GetParam(), cfg);
+  const Task b = MakeTask(GetParam(), cfg);
+  EXPECT_TRUE(a.train.features.AllClose(b.train.features, 0.0f));
+  EXPECT_EQ(a.train.labels, b.train.labels);
+}
+
+TEST_P(TaskGenTest, DifferentSeedsDiffer) {
+  TaskConfig a_cfg, b_cfg;
+  a_cfg.train_samples = b_cfg.train_samples = 60;
+  a_cfg.test_samples = b_cfg.test_samples = 30;
+  b_cfg.seed = 99;
+  const Task a = MakeTask(GetParam(), a_cfg);
+  const Task b = MakeTask(GetParam(), b_cfg);
+  EXPECT_FALSE(a.train.features.AllClose(b.train.features, 1e-6f));
+}
+
+TEST(TaskGenTest, NaturalTasksCarryUserIds) {
+  TaskConfig cfg;
+  cfg.train_samples = 100;
+  cfg.test_samples = 40;
+  cfg.num_clients = 5;
+  for (const char* name : {"stackoverflow", "harbox", "ucihar"}) {
+    const Task task = MakeTask(name, cfg);
+    EXPECT_TRUE(task.natural) << name;
+    EXPECT_EQ(task.train.user_ids.size(), task.train.size()) << name;
+  }
+  for (const char* name : {"cifar10", "cifar100", "agnews"}) {
+    const Task task = MakeTask(name, cfg);
+    EXPECT_FALSE(task.natural) << name;
+    EXPECT_TRUE(task.train.user_ids.empty()) << name;
+  }
+}
+
+TEST(TaskGenTest, UnknownTaskThrows) {
+  EXPECT_THROW(MakeTask("imagenet", {}), Error);
+}
+
+TEST(IidPartitionTest, CoversAllSamplesEvenly) {
+  Rng rng(1);
+  const Partition p = IidPartition(100, 7, rng);
+  ValidatePartition(p, 100);
+  for (const auto& shard : p) {
+    EXPECT_GE(shard.size(), 14u);
+    EXPECT_LE(shard.size(), 15u);
+  }
+}
+
+TEST(IidPartitionTest, MoreClientsThanSamplesThrows) {
+  Rng rng(1);
+  EXPECT_THROW(IidPartition(3, 5, rng), Error);
+}
+
+TEST(DirichletPartitionTest, ValidAndNonEmpty) {
+  Rng rng(2);
+  std::vector<int> labels(300);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 10);
+  }
+  const Partition p = DirichletPartition(labels, 10, 12, 0.5, rng);
+  ValidatePartition(p, 300);
+  for (const auto& shard : p) EXPECT_FALSE(shard.empty());
+}
+
+TEST(DirichletPartitionTest, SmallAlphaMoreSkewedThanLarge) {
+  Rng rng(3);
+  std::vector<int> labels(1000);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    labels[i] = static_cast<int>(i % 5);
+  }
+  auto skew = [&](double alpha) {
+    Rng r(7);
+    const Partition p = DirichletPartition(labels, 5, 10, alpha, r);
+    // Mean over clients of (max class share within the client's shard).
+    double total = 0;
+    for (const auto& shard : p) {
+      std::vector<int> counts(5, 0);
+      for (int i : shard) ++counts[static_cast<std::size_t>(labels[static_cast<std::size_t>(i)])];
+      const int mx = *std::max_element(counts.begin(), counts.end());
+      total += static_cast<double>(mx) / static_cast<double>(shard.size());
+    }
+    return total / static_cast<double>(p.size());
+  };
+  EXPECT_GT(skew(0.1), skew(100.0) + 0.1);
+}
+
+TEST(NaturalPartitionTest, GroupsByUser) {
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.features = Tensor({5, 1});
+  ds.labels = {0, 1, 0, 1, 0};
+  ds.user_ids = {1, 0, 1, 2, 1};
+  const Partition p = NaturalPartition(ds, 3);
+  ASSERT_EQ(p.size(), 3u);
+  ValidatePartition(p, 5);
+  // User 1 owns samples 0, 2, 4.
+  bool found = false;
+  for (const auto& shard : p) {
+    if (shard.size() == 3) {
+      EXPECT_EQ(shard, (std::vector<int>{0, 2, 4}));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NaturalPartitionTest, RequiresUserIds) {
+  Dataset ds;
+  ds.num_classes = 1;
+  ds.features = Tensor({1, 1});
+  ds.labels = {0};
+  EXPECT_THROW(NaturalPartition(ds, 2), Error);
+}
+
+TEST(BatchIteratorTest, CoversEpochWithPartialTail) {
+  Dataset ds;
+  ds.num_classes = 2;
+  ds.features = Tensor({7, 1});
+  for (int i = 0; i < 7; ++i) ds.features[static_cast<std::size_t>(i)] = static_cast<Scalar>(i);
+  ds.labels = {0, 1, 0, 1, 0, 1, 0};
+  Rng rng(1);
+  BatchIterator it(ds, 3, rng);
+  EXPECT_EQ(it.num_batches(), 3);
+  Tensor x;
+  std::vector<int> y;
+  std::multiset<float> seen;
+  int batches = 0;
+  while (it.Next(x, y)) {
+    ++batches;
+    for (std::size_t i = 0; i < x.numel(); ++i) seen.insert(x[i]);
+  }
+  EXPECT_EQ(batches, 3);
+  EXPECT_EQ(seen.size(), 7u);  // every sample exactly once
+}
+
+TEST(BatchIteratorTest, NoShuffleKeepsOrder) {
+  Dataset ds;
+  ds.num_classes = 1;
+  ds.features = Tensor({3, 1}, std::vector<Scalar>{10, 20, 30});
+  ds.labels = {0, 0, 0};
+  Rng rng(1);
+  BatchIterator it(ds, 2, rng, /*shuffle=*/false);
+  Tensor x;
+  std::vector<int> y;
+  ASSERT_TRUE(it.Next(x, y));
+  EXPECT_EQ(x[0], 10.0f);
+  EXPECT_EQ(x[1], 20.0f);
+  ASSERT_TRUE(it.Next(x, y));
+  EXPECT_EQ(x[0], 30.0f);
+  EXPECT_FALSE(it.Next(x, y));
+}
+
+}  // namespace
+}  // namespace mhbench::data

@@ -1,0 +1,208 @@
+// Statistical properties of the synthetic task generators: classes must be
+// distinguishable (the benchmark's accuracy dynamics depend on it) and the
+// natural partitions must be skewed the way the real datasets are.
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_har.h"
+#include "data/synthetic_text.h"
+#include "data/synthetic_vision.h"
+
+namespace mhbench::data {
+namespace {
+
+// Mean feature vector per class.
+std::map<int, std::vector<double>> ClassMeans(const Dataset& ds) {
+  const std::size_t elems = ds.features.numel() / ds.size();
+  std::map<int, std::vector<double>> sums;
+  std::map<int, int> counts;
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    const int y = ds.labels[i];
+    auto& s = sums[y];
+    s.resize(elems, 0.0);
+    const Scalar* row = ds.features.data().data() + i * elems;
+    for (std::size_t e = 0; e < elems; ++e) s[e] += row[e];
+    counts[y]++;
+  }
+  for (auto& [y, s] : sums) {
+    for (auto& v : s) v /= counts[y];
+  }
+  return sums;
+}
+
+double Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    d += (a[i] - b[i]) * (a[i] - b[i]);
+  }
+  return std::sqrt(d);
+}
+
+TEST(VisionStatsTest, ClassMeansSeparated) {
+  SyntheticVisionConfig cfg;
+  cfg.train_samples = 1000;
+  cfg.test_samples = 100;
+  const auto tt = MakeSyntheticVision(cfg);
+  const auto means = ClassMeans(tt.train);
+  ASSERT_EQ(static_cast<int>(means.size()), cfg.num_classes);
+  // Every pair of class means must be clearly separated relative to the
+  // tanh-squashed feature scale.
+  for (auto it = means.begin(); it != means.end(); ++it) {
+    for (auto jt = std::next(it); jt != means.end(); ++jt) {
+      EXPECT_GT(Distance(it->second, jt->second), 1.0)
+          << it->first << " vs " << jt->first;
+    }
+  }
+}
+
+TEST(VisionStatsTest, FeaturesBoundedByTanh) {
+  SyntheticVisionConfig cfg;
+  cfg.train_samples = 200;
+  cfg.test_samples = 50;
+  const auto tt = MakeSyntheticVision(cfg);
+  for (std::size_t i = 0; i < tt.train.features.numel(); ++i) {
+    EXPECT_GE(tt.train.features[i], -1.0f);
+    EXPECT_LE(tt.train.features[i], 1.0f);
+  }
+}
+
+TEST(VisionStatsTest, TrainTestShareTemplates) {
+  // Same seed -> train and test come from the same class templates, so the
+  // class means of both splits must be close (learnability transfers).
+  SyntheticVisionConfig cfg;
+  cfg.train_samples = 1500;
+  cfg.test_samples = 1500;
+  const auto tt = MakeSyntheticVision(cfg);
+  const auto train_means = ClassMeans(tt.train);
+  const auto test_means = ClassMeans(tt.test);
+  for (const auto& [cls, mean] : train_means) {
+    ASSERT_TRUE(test_means.count(cls));
+    // Cross-split distance of the same class must be smaller than the
+    // distance to any *other* class's test mean (nearest-centroid transfer).
+    const double same = Distance(mean, test_means.at(cls));
+    for (const auto& [other, omean] : test_means) {
+      if (other == cls) continue;
+      EXPECT_LT(same, Distance(mean, omean)) << cls << " vs " << other;
+    }
+  }
+}
+
+TEST(TextStatsTest, ClassTokenBias) {
+  SyntheticTextConfig cfg;
+  cfg.train_samples = 2000;
+  cfg.test_samples = 100;
+  const auto tt = MakeSyntheticText(cfg);
+  // Per class, the top-8 most frequent tokens should carry well over the
+  // uniform share of the mass (class_token_p = 0.6).
+  std::map<int, std::map<int, int>> freq;
+  std::map<int, int> totals;
+  for (std::size_t i = 0; i < tt.train.size(); ++i) {
+    const int y = tt.train.labels[i];
+    const Scalar* row =
+        tt.train.features.data().data() + i * static_cast<std::size_t>(cfg.seq_len);
+    for (int t = 0; t < cfg.seq_len; ++t) {
+      freq[y][static_cast<int>(row[t])]++;
+      totals[y]++;
+    }
+  }
+  for (const auto& [y, counts] : freq) {
+    std::vector<int> sorted;
+    for (const auto& [tok, c] : counts) sorted.push_back(c);
+    std::sort(sorted.rbegin(), sorted.rend());
+    int top8 = 0;
+    for (int k = 0; k < 8 && k < static_cast<int>(sorted.size()); ++k) {
+      top8 += sorted[static_cast<std::size_t>(k)];
+    }
+    const double share = static_cast<double>(top8) / totals[y];
+    EXPECT_GT(share, 0.5) << "class " << y;  // uniform would be 8/64 = .125
+  }
+}
+
+TEST(TextStatsTest, UserSkewInNaturalMode) {
+  SyntheticTextConfig cfg;
+  cfg.train_samples = 3000;
+  cfg.test_samples = 100;
+  cfg.num_users = 20;
+  cfg.user_skew = 0.7f;
+  const auto tt = MakeSyntheticText(cfg);
+  // Per user, the dominant class share should be near user_skew, far above
+  // the uniform 1/num_classes.
+  std::map<int, std::map<int, int>> by_user;
+  for (std::size_t i = 0; i < tt.train.size(); ++i) {
+    by_user[tt.train.user_ids[i]][tt.train.labels[i]]++;
+  }
+  double mean_share = 0;
+  for (const auto& [u, counts] : by_user) {
+    int total = 0, mx = 0;
+    for (const auto& [c, n] : counts) {
+      total += n;
+      mx = std::max(mx, n);
+    }
+    mean_share += static_cast<double>(mx) / total;
+  }
+  mean_share /= static_cast<double>(by_user.size());
+  EXPECT_GT(mean_share, 0.55);
+}
+
+TEST(HarStatsTest, ClassesSeparableInFrequency) {
+  SyntheticHarConfig cfg;
+  cfg.train_samples = 1200;
+  cfg.test_samples = 100;
+  const auto tt = MakeSyntheticHar(cfg);
+  // Mean absolute first-difference grows with signal frequency, so class
+  // ordering by that statistic should be strongly correlated with class id
+  // (frequencies increase with class by construction).
+  std::map<int, double> stat;
+  std::map<int, int> counts;
+  const std::size_t elems = tt.train.features.numel() / tt.train.size();
+  const int window = cfg.window;
+  for (std::size_t i = 0; i < tt.train.size(); ++i) {
+    const Scalar* row = tt.train.features.data().data() + i * elems;
+    double d = 0;
+    for (int t = 1; t < window; ++t) {
+      d += std::abs(row[t] - row[t - 1]);
+    }
+    stat[tt.train.labels[i]] += d;
+    counts[tt.train.labels[i]]++;
+  }
+  double prev = -1;
+  int increasing = 0;
+  for (int c = 0; c < cfg.num_classes; ++c) {
+    const double v = stat[c] / counts[c];
+    if (v > prev) ++increasing;
+    prev = v;
+  }
+  // Allow one inversion from noise.
+  EXPECT_GE(increasing, cfg.num_classes - 1);
+}
+
+TEST(HarStatsTest, UserGainVariesAcrossUsers) {
+  SyntheticHarConfig cfg;
+  cfg.train_samples = 2000;
+  cfg.test_samples = 100;
+  cfg.num_users = 10;
+  const auto tt = MakeSyntheticHar(cfg);
+  // Mean absolute amplitude per user should vary (per-user gain).
+  std::map<int, double> amp;
+  std::map<int, int> counts;
+  const std::size_t elems = tt.train.features.numel() / tt.train.size();
+  for (std::size_t i = 0; i < tt.train.size(); ++i) {
+    const Scalar* row = tt.train.features.data().data() + i * elems;
+    double a = 0;
+    for (std::size_t e = 0; e < elems; ++e) a += std::abs(row[e]);
+    amp[tt.train.user_ids[i]] += a / static_cast<double>(elems);
+    counts[tt.train.user_ids[i]]++;
+  }
+  double lo = 1e30, hi = 0;
+  for (const auto& [u, a] : amp) {
+    const double v = a / counts[u];
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(hi / lo, 1.15);
+}
+
+}  // namespace
+}  // namespace mhbench::data

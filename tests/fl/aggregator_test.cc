@@ -1,0 +1,102 @@
+#include "fl/aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "nn/linear.h"
+
+namespace mhbench::fl {
+namespace {
+
+// A one-parameter "model" for aggregation math checks.
+struct Fixture {
+  ParamStore store;
+  Fixture() { store.Set("weight", Tensor({4, 4}, 0.0f)); }
+
+  // Builds a linear holding `value` on rows `rows` (all 4 columns).
+  static std::pair<std::unique_ptr<nn::Linear>, models::ParamMapping>
+  ClientModel(const std::vector<int>& rows, float value) {
+    auto lin = std::make_unique<nn::Linear>(
+        Tensor({static_cast<int>(rows.size()), 4}, value), Tensor());
+    models::ParamMapping mapping = {
+        {"weight", {rows, std::nullopt}},
+    };
+    return {std::move(lin), mapping};
+  }
+};
+
+TEST(MaskedAveragerTest, SingleClientOverwritesItsSlice) {
+  Fixture f;
+  MaskedAverager avg;
+  auto [m, map] = Fixture::ClientModel({0, 1}, 3.0f);
+  avg.Accumulate(*m, map, 10.0, f.store);
+  avg.ApplyTo(f.store);
+  const Tensor& w = f.store.Get("weight");
+  for (int j = 0; j < 4; ++j) {
+    EXPECT_EQ(w.at({0, j}), 3.0f);
+    EXPECT_EQ(w.at({1, j}), 3.0f);
+    EXPECT_EQ(w.at({2, j}), 0.0f);  // untouched rows keep old values
+    EXPECT_EQ(w.at({3, j}), 0.0f);
+  }
+}
+
+TEST(MaskedAveragerTest, OverlapAveragedNonOverlapKept) {
+  Fixture f;
+  MaskedAverager avg;
+  auto [m1, map1] = Fixture::ClientModel({0, 1}, 2.0f);
+  auto [m2, map2] = Fixture::ClientModel({1, 2}, 6.0f);
+  avg.Accumulate(*m1, map1, 1.0, f.store);
+  avg.Accumulate(*m2, map2, 1.0, f.store);
+  avg.ApplyTo(f.store);
+  const Tensor& w = f.store.Get("weight");
+  EXPECT_EQ(w.at({0, 0}), 2.0f);  // only client 1
+  EXPECT_EQ(w.at({1, 0}), 4.0f);  // both: (2+6)/2
+  EXPECT_EQ(w.at({2, 0}), 6.0f);  // only client 2
+  EXPECT_EQ(w.at({3, 0}), 0.0f);  // nobody
+}
+
+TEST(MaskedAveragerTest, WeightedAverage) {
+  Fixture f;
+  MaskedAverager avg;
+  auto [m1, map1] = Fixture::ClientModel({0}, 1.0f);
+  auto [m2, map2] = Fixture::ClientModel({0}, 4.0f);
+  avg.Accumulate(*m1, map1, 3.0, f.store);
+  avg.Accumulate(*m2, map2, 1.0, f.store);
+  avg.ApplyTo(f.store);
+  // (3*1 + 1*4) / 4 = 1.75
+  EXPECT_NEAR(f.store.Get("weight").at({0, 0}), 1.75f, 1e-6);
+}
+
+TEST(MaskedAveragerTest, ApplyClearsAccumulator) {
+  Fixture f;
+  MaskedAverager avg;
+  auto [m, map] = Fixture::ClientModel({0}, 1.0f);
+  avg.Accumulate(*m, map, 1.0, f.store);
+  avg.ApplyTo(f.store);
+  EXPECT_TRUE(avg.empty());
+  EXPECT_THROW(avg.ApplyTo(f.store), Error);
+}
+
+TEST(MaskedAveragerTest, RejectsNonPositiveWeight) {
+  Fixture f;
+  MaskedAverager avg;
+  auto [m, map] = Fixture::ClientModel({0}, 1.0f);
+  EXPECT_THROW(avg.Accumulate(*m, map, 0.0, f.store), Error);
+}
+
+TEST(MaskedAveragerTest, IdempotentOnIdenticalClients) {
+  // Averaging k identical clients equals any one of them.
+  Fixture f;
+  MaskedAverager avg;
+  for (int k = 0; k < 5; ++k) {
+    auto [m, map] = Fixture::ClientModel({0, 1, 2, 3}, 7.0f);
+    avg.Accumulate(*m, map, 2.0, f.store);
+  }
+  avg.ApplyTo(f.store);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_NEAR(f.store.Get("weight")[i], 7.0f, 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace mhbench::fl

@@ -1,0 +1,117 @@
+// State heterogeneity: devices that are sometimes offline when sampled.
+#include <gtest/gtest.h>
+
+#include "algorithms/registry.h"
+#include "constraints/computation_limited.h"
+#include "data/tasks.h"
+#include "device/ima_fleet.h"
+#include "fl/engine.h"
+#include "models/zoo.h"
+
+namespace mhbench::fl {
+namespace {
+
+TEST(AvailabilityTest, DefaultFleetAlwaysOnline) {
+  device::FleetConfig cfg;
+  cfg.num_clients = 50;
+  const device::Fleet fleet = device::SampleFleet(cfg);
+  for (const auto& d : fleet) {
+    EXPECT_DOUBLE_EQ(d.availability, 1.0);
+  }
+}
+
+TEST(AvailabilityTest, RangeSampled) {
+  device::FleetConfig cfg;
+  cfg.num_clients = 200;
+  cfg.availability_min = 0.5;
+  cfg.availability_max = 0.9;
+  const device::Fleet fleet = device::SampleFleet(cfg);
+  double lo = 1.0, hi = 0.0;
+  for (const auto& d : fleet) {
+    EXPECT_GE(d.availability, 0.5);
+    EXPECT_LE(d.availability, 0.9);
+    lo = std::min(lo, d.availability);
+    hi = std::max(hi, d.availability);
+  }
+  EXPECT_LT(lo, 0.6);
+  EXPECT_GT(hi, 0.8);
+}
+
+TEST(AvailabilityTest, InvalidRangeThrows) {
+  device::FleetConfig cfg;
+  cfg.availability_min = 0.9;
+  cfg.availability_max = 0.5;
+  EXPECT_THROW(device::SampleFleet(cfg), Error);
+  cfg.availability_min = -0.1;
+  cfg.availability_max = 1.0;
+  EXPECT_THROW(device::SampleFleet(cfg), Error);
+}
+
+TEST(AvailabilityTest, ConstraintBuilderPropagates) {
+  device::FleetConfig cfg;
+  cfg.num_clients = 20;
+  cfg.availability_min = 0.6;
+  cfg.availability_max = 0.8;
+  const device::Fleet fleet = device::SampleFleet(cfg);
+  const auto built =
+      constraints::BuildComputationLimited("sheterofl", "cifar10", fleet);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_DOUBLE_EQ(built.assignments[i].system.availability,
+                     fleet[i].availability);
+  }
+}
+
+TEST(AvailabilityTest, OfflineClientsSkipRounds) {
+  data::TaskConfig tcfg;
+  tcfg.train_samples = 160;
+  tcfg.test_samples = 80;
+  tcfg.num_clients = 4;
+  const data::Task task = data::MakeTask("cifar10", tcfg);
+  const auto tm = models::MakeTaskModels("cifar10");
+  auto alg = algorithms::MakeAlgorithm("fedavg", tm);
+  std::vector<ClientAssignment> assignments(4);
+  for (auto& a : assignments) a.system.availability = 0.5;
+  FlConfig cfg;
+  cfg.rounds = 20;
+  cfg.sample_fraction = 1.0;
+  cfg.eval_every = 20;
+  cfg.eval_max_samples = 40;
+  cfg.stability_max_samples = 20;
+  FlEngine engine(task, cfg, assignments, *alg);
+  const RunResult r = engine.Run();
+  EXPECT_EQ(r.total_participations, 80);
+  // ~50% of client-rounds skipped; allow wide slack for the small sample.
+  EXPECT_GT(r.offline_skips, 20);
+  EXPECT_LT(r.offline_skips, 60);
+  EXPECT_EQ(r.straggler_drops, 0);
+}
+
+TEST(AvailabilityTest, AlwaysOnlineConsumesNoRandomness) {
+  // availability == 1.0 must not consume RNG draws, so runs with and
+  // without the feature compiled-in remain bit-identical.
+  data::TaskConfig tcfg;
+  tcfg.train_samples = 120;
+  tcfg.test_samples = 60;
+  tcfg.num_clients = 3;
+  const data::Task task = data::MakeTask("cifar10", tcfg);
+  const auto tm = models::MakeTaskModels("cifar10");
+  FlConfig cfg;
+  cfg.rounds = 3;
+  cfg.sample_fraction = 1.0;
+  cfg.eval_every = 3;
+  cfg.eval_max_samples = 60;
+  cfg.stability_max_samples = 20;
+  auto run = [&](double availability) {
+    auto alg = algorithms::MakeAlgorithm("sheterofl", tm);
+    std::vector<ClientAssignment> assignments(3);
+    for (auto& a : assignments) a.system.availability = availability;
+    FlEngine engine(task, cfg, assignments, *alg);
+    return engine.Run().final_accuracy;
+  };
+  EXPECT_DOUBLE_EQ(run(1.0), run(1.0));
+  // Lower availability changes the trajectory (clients skip).
+  EXPECT_NE(run(1.0), run(0.3));
+}
+
+}  // namespace
+}  // namespace mhbench::fl

@@ -1,0 +1,72 @@
+#include "fl/evaluation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace mhbench::fl {
+namespace {
+
+data::Dataset TwoClassDataset(int n) {
+  data::Dataset ds;
+  ds.num_classes = 2;
+  ds.features = Tensor({n, 1});
+  ds.labels.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    ds.features[static_cast<std::size_t>(i)] = i % 2 == 0 ? -1.0f : 1.0f;
+    ds.labels[static_cast<std::size_t>(i)] = i % 2;
+  }
+  return ds;
+}
+
+// Perfect classifier on the dataset above.
+Tensor PerfectLogits(const Tensor& x) {
+  Tensor logits({x.dim(0), 2});
+  for (int i = 0; i < x.dim(0); ++i) {
+    logits.at({i, 0}) = -x[static_cast<std::size_t>(i)];
+    logits.at({i, 1}) = x[static_cast<std::size_t>(i)];
+  }
+  return logits;
+}
+
+TEST(EvaluationTest, PerfectClassifierScoresOne) {
+  const auto ds = TwoClassDataset(100);
+  EXPECT_DOUBLE_EQ(EvaluateAccuracy(PerfectLogits, ds), 1.0);
+}
+
+TEST(EvaluationTest, InvertedClassifierScoresZero) {
+  const auto ds = TwoClassDataset(100);
+  auto inverted = [](const Tensor& x) {
+    Tensor l = PerfectLogits(x);
+    l.Scale(-1.0f);
+    return l;
+  };
+  EXPECT_DOUBLE_EQ(EvaluateAccuracy(inverted, ds), 0.0);
+}
+
+TEST(EvaluationTest, MaxSamplesLimitsEvaluation) {
+  auto ds = TwoClassDataset(100);
+  // Corrupt labels beyond the first 10 samples; with max_samples=10 the
+  // corruption is invisible.
+  for (std::size_t i = 10; i < 100; ++i) ds.labels[i] = 1 - ds.labels[i];
+  EXPECT_DOUBLE_EQ(EvaluateAccuracy(PerfectLogits, ds, 10), 1.0);
+  EXPECT_LT(EvaluateAccuracy(PerfectLogits, ds), 0.2);
+}
+
+TEST(EvaluationTest, BatchBoundariesDoNotChangeResult) {
+  const auto ds = TwoClassDataset(37);  // prime-ish, forces a partial batch
+  const double a = EvaluateAccuracy(PerfectLogits, ds, 0, 8);
+  const double b = EvaluateAccuracy(PerfectLogits, ds, 0, 37);
+  const double c = EvaluateAccuracy(PerfectLogits, ds, 0, 5);
+  EXPECT_DOUBLE_EQ(a, b);
+  EXPECT_DOUBLE_EQ(b, c);
+}
+
+TEST(EvaluationTest, EmptyDatasetThrows) {
+  data::Dataset ds;
+  ds.num_classes = 2;
+  EXPECT_THROW(EvaluateAccuracy(PerfectLogits, ds), Error);
+}
+
+}  // namespace
+}  // namespace mhbench::fl

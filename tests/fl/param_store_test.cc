@@ -1,0 +1,87 @@
+#include "fl/param_store.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "models/zoo.h"
+
+namespace mhbench::fl {
+namespace {
+
+TEST(ParamStoreTest, FromModuleSnapshotsAllParams) {
+  Rng rng(1);
+  const auto tm = models::MakeTaskModels("cifar100");
+  models::BuildSpec spec;
+  spec.multi_head = true;
+  auto built = tm.primary->Build(spec, rng);
+  ParamStore store = ParamStore::FromModule(*built.net);
+  std::vector<nn::NamedParam> params;
+  built.net->CollectParams("", params);
+  EXPECT_EQ(store.size(), params.size());
+  EXPECT_EQ(store.TotalParams(), built.net->NumParams());
+  EXPECT_EQ(store.TotalBytes(), built.net->NumParams() * 4);
+}
+
+TEST(ParamStoreTest, GetUnknownThrows) {
+  ParamStore store;
+  EXPECT_THROW(store.Get("nope"), Error);
+  EXPECT_THROW(store.GetMutable("nope"), Error);
+  EXPECT_FALSE(store.Has("nope"));
+}
+
+TEST(ParamStoreTest, SetAndGet) {
+  ParamStore store;
+  store.Set("w", Tensor::FromVector({1, 2, 3}));
+  EXPECT_TRUE(store.Has("w"));
+  EXPECT_TRUE(store.Get("w").AllClose(Tensor::FromVector({1, 2, 3})));
+}
+
+TEST(ParamStoreTest, LoadIntoSubModelGathersSlices) {
+  Rng rng(2);
+  const auto tm = models::MakeTaskModels("cifar100");
+  models::BuildSpec full_spec;
+  full_spec.multi_head = true;
+  auto global = tm.primary->Build(full_spec, rng);
+  ParamStore store = ParamStore::FromModule(*global.net);
+
+  models::BuildSpec half;
+  half.width_ratio = 0.5;
+  auto sub = tm.primary->Build(half, rng);
+  store.LoadInto(*sub.net, sub.mapping);
+
+  // Every loaded tensor equals the gather of the same-named global tensor.
+  std::vector<nn::NamedParam> params;
+  sub.net->CollectParams("", params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Tensor expect =
+        ops::GatherDims(store.Get(sub.mapping[i].name), sub.mapping[i].index);
+    EXPECT_TRUE(params[i].param->value.AllClose(expect, 0.0f))
+        << sub.mapping[i].name;
+  }
+}
+
+TEST(ParamStoreTest, RoundTripLoadStore) {
+  Rng rng(3);
+  const auto tm = models::MakeTaskModels("cifar10");
+  auto built = tm.primary->Build(models::BuildSpec{}, rng);
+  ParamStore store = ParamStore::FromModule(*built.net);
+  // Perturb module, write back, reload: store must follow.
+  std::vector<nn::NamedParam> params;
+  built.net->CollectParams("", params);
+  params[0].param->value.Fill(42.0f);
+  store.StoreFrom(*built.net);
+  EXPECT_EQ(store.Get(params[0].name)[0], 42.0f);
+}
+
+TEST(ParamStoreTest, NamesSorted) {
+  ParamStore store;
+  store.Set("b", Tensor({1}));
+  store.Set("a", Tensor({1}));
+  const auto names = store.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+}
+
+}  // namespace
+}  // namespace mhbench::fl

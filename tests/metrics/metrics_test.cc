@@ -1,0 +1,72 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+#include "metrics/recorder.h"
+#include "metrics/report.h"
+
+namespace mhbench::metrics {
+namespace {
+
+MetricBundle MakeBundle(const std::string& name, double acc) {
+  MetricBundle b;
+  b.algorithm = name;
+  b.task = "cifar10";
+  b.constraint = "computation";
+  b.global_accuracy = acc;
+  b.curve_time_s = {10, 20, 30};
+  b.curve_accuracy = {acc * 0.5, acc * 0.8, acc};
+  return b;
+}
+
+TEST(MetricBundleTest, TimeToTarget) {
+  const MetricBundle b = MakeBundle("a", 0.5);
+  EXPECT_DOUBLE_EQ(b.TimeTo(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(b.TimeTo(0.45), 30.0);
+  EXPECT_TRUE(std::isinf(b.TimeTo(0.6)));
+}
+
+TEST(CommonTargetTest, FractionOfBest) {
+  const std::vector<MetricBundle> bundles = {MakeBundle("a", 0.4),
+                                             MakeBundle("b", 0.6)};
+  EXPECT_NEAR(CommonTarget(bundles, 0.5), 0.3, 1e-9);
+  EXPECT_NEAR(CommonTarget(bundles, 1.0), 0.6, 1e-9);
+  EXPECT_THROW(CommonTarget({}, 0.5), Error);
+  EXPECT_THROW(CommonTarget(bundles, 0.0), Error);
+}
+
+TEST(ReportTest, PanelContainsAllAlgorithms) {
+  std::vector<MetricBundle> bundles = {MakeBundle("sheterofl", 0.5),
+                                       MakeBundle("depthfl", 0.45)};
+  bundles[0].time_to_accuracy_s = 120.0;
+  bundles[1].time_to_accuracy_s =
+      std::numeric_limits<double>::infinity();
+  const std::string panel = RenderMetricPanel("test panel", bundles);
+  EXPECT_NE(panel.find("sheterofl"), std::string::npos);
+  EXPECT_NE(panel.find("depthfl"), std::string::npos);
+  EXPECT_NE(panel.find("not reached"), std::string::npos);
+  EXPECT_NE(panel.find("120.0 s"), std::string::npos);
+}
+
+TEST(ReportTest, CurvesRenderLegend) {
+  const std::vector<MetricBundle> bundles = {MakeBundle("fjord", 0.3)};
+  const std::string out = RenderCurves("curves", bundles);
+  EXPECT_NE(out.find("fjord"), std::string::npos);
+}
+
+TEST(ReportTest, CsvHasHeaderAndRows) {
+  std::vector<MetricBundle> bundles = {MakeBundle("a", 0.5),
+                                       MakeBundle("b", 0.4)};
+  bundles[0].time_to_accuracy_s =
+      std::numeric_limits<double>::infinity();
+  const std::string csv = ToCsv(bundles);
+  EXPECT_NE(csv.find("constraint,task,algorithm"), std::string::npos);
+  EXPECT_NE(csv.find("inf"), std::string::npos);
+  // Header + 2 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+}  // namespace
+}  // namespace mhbench::metrics

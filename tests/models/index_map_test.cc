@@ -1,0 +1,93 @@
+#include "models/index_map.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "nn/linear.h"
+
+namespace mhbench::models {
+namespace {
+
+TEST(ScaledCountTest, CeilAndClamp) {
+  EXPECT_EQ(ScaledCount(8, 1.0), 8);
+  EXPECT_EQ(ScaledCount(8, 0.5), 4);
+  EXPECT_EQ(ScaledCount(8, 0.75), 6);
+  EXPECT_EQ(ScaledCount(8, 0.25), 2);
+  EXPECT_EQ(ScaledCount(8, 0.01), 1);  // never zero
+  EXPECT_EQ(ScaledCount(3, 0.5), 2);   // ceil
+}
+
+TEST(ScaledCountTest, InvalidArgsThrow) {
+  EXPECT_THROW(ScaledCount(0, 0.5), Error);
+  EXPECT_THROW(ScaledCount(4, 0.0), Error);
+  EXPECT_THROW(ScaledCount(4, 1.5), Error);
+}
+
+TEST(PrefixIndicesTest, Sequence) {
+  EXPECT_EQ(PrefixIndices(8, 3), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(PrefixIndices(3, 3), (std::vector<int>{0, 1, 2}));
+  EXPECT_THROW(PrefixIndices(2, 3), Error);
+  EXPECT_THROW(PrefixIndices(2, 0), Error);
+}
+
+TEST(PrefixIndicesTest, NestednessProperty) {
+  // Smaller prefixes are strict subsets of larger ones (HeteroFL's key
+  // invariant).
+  const auto small = PrefixIndices(16, 4);
+  const auto large = PrefixIndices(16, 12);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i], large[i]);
+  }
+}
+
+TEST(RollingIndicesTest, WrapsAround) {
+  EXPECT_EQ(RollingIndices(4, 3, 2), (std::vector<int>{2, 3, 0}));
+  EXPECT_EQ(RollingIndices(4, 4, 1), (std::vector<int>{1, 2, 3, 0}));
+  EXPECT_EQ(RollingIndices(4, 2, 0), (std::vector<int>{0, 1}));
+}
+
+TEST(RollingIndicesTest, CoversAllChannelsOverFullCycle) {
+  // Over `full` consecutive offsets, every channel is selected at least
+  // keep times in total (FedRolex's coverage property).
+  const int full = 8, keep = 3;
+  std::vector<int> counts(full, 0);
+  for (int offset = 0; offset < full; ++offset) {
+    for (int i : RollingIndices(full, keep, offset)) {
+      counts[static_cast<std::size_t>(i)]++;
+    }
+  }
+  for (int c : counts) EXPECT_EQ(c, keep);
+}
+
+TEST(MappingBuilderTest, FinalizeZipsWithModuleParams) {
+  Rng rng(1);
+  nn::Linear lin(4, 3, rng);
+  MappingBuilder mb;
+  std::vector<int> out_idx = {0, 1, 2};
+  mb.AddLinear(&out_idx, nullptr, true);
+  const ParamMapping m = mb.Finalize(lin);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0].name, "weight");
+  EXPECT_EQ(m[1].name, "bias");
+  ASSERT_TRUE(m[0].index[0].has_value());
+  EXPECT_FALSE(m[0].index[1].has_value());
+}
+
+TEST(MappingBuilderTest, SlotCountMismatchThrows) {
+  Rng rng(2);
+  nn::Linear lin(4, 3, rng);
+  MappingBuilder mb;
+  mb.Add({std::nullopt, std::nullopt});  // only one slot for two params
+  EXPECT_THROW(mb.Finalize(lin), Error);
+}
+
+TEST(MappingBuilderTest, RankMismatchThrows) {
+  Rng rng(3);
+  nn::Linear lin(4, 3, rng, /*bias=*/false);
+  MappingBuilder mb;
+  mb.Add({std::nullopt});  // rank 1 slot for rank 2 weight
+  EXPECT_THROW(mb.Finalize(lin), Error);
+}
+
+}  // namespace
+}  // namespace mhbench::models

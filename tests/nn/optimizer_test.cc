@@ -1,0 +1,110 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "nn/linear.h"
+#include "nn/norm.h"
+
+namespace mhbench::nn {
+namespace {
+
+TEST(SgdTest, PlainStepMovesAgainstGradient) {
+  Linear lin(Tensor({1, 1}, {1.0f}), Tensor());
+  SgdOptions opts;
+  opts.lr = 0.1;
+  opts.momentum = 0.0;
+  Sgd sgd(lin, opts);
+  lin.weight().grad[0] = 2.0f;
+  sgd.Step();
+  EXPECT_NEAR(lin.weight().value[0], 1.0f - 0.1f * 2.0f, 1e-6);
+}
+
+TEST(SgdTest, MomentumAccumulates) {
+  Linear lin(Tensor({1, 1}, {0.0f}), Tensor());
+  SgdOptions opts;
+  opts.lr = 1.0;
+  opts.momentum = 0.5;
+  Sgd sgd(lin, opts);
+  lin.weight().grad[0] = 1.0f;
+  sgd.Step();  // v = 1, w = -1
+  EXPECT_NEAR(lin.weight().value[0], -1.0f, 1e-6);
+  sgd.Step();  // v = 1.5, w = -2.5 (grad still 1 from not zeroing)
+  EXPECT_NEAR(lin.weight().value[0], -2.5f, 1e-6);
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Linear lin(Tensor({1, 1}, {10.0f}), Tensor());
+  SgdOptions opts;
+  opts.lr = 0.1;
+  opts.momentum = 0.0;
+  opts.weight_decay = 0.1;
+  Sgd sgd(lin, opts);
+  // zero gradient: only decay acts
+  sgd.Step();
+  EXPECT_NEAR(lin.weight().value[0], 10.0f - 0.1f * (0.1f * 10.0f), 1e-5);
+}
+
+TEST(SgdTest, NoDecayOnNormParams) {
+  BatchNorm bn(1);
+  bn.gamma().value[0] = 5.0f;
+  SgdOptions opts;
+  opts.lr = 0.1;
+  opts.momentum = 0.0;
+  opts.weight_decay = 1.0;
+  Sgd sgd(bn, opts);
+  sgd.Step();
+  EXPECT_NEAR(bn.gamma().value[0], 5.0f, 1e-6);
+}
+
+TEST(SgdTest, RunningStatsNeverTouched) {
+  BatchNorm bn(1);
+  bn.running_mean().value[0] = 3.0f;
+  bn.running_mean().grad[0] = 100.0f;  // would move it if treated as param
+  SgdOptions opts;
+  opts.lr = 1.0;
+  Sgd sgd(bn, opts);
+  sgd.Step();
+  EXPECT_NEAR(bn.running_mean().value[0], 3.0f, 1e-6);
+}
+
+TEST(SgdTest, ZeroGradClears) {
+  Linear lin(Tensor({1, 1}, {1.0f}), Tensor());
+  Sgd sgd(lin, {});
+  lin.weight().grad[0] = 5.0f;
+  sgd.ZeroGrad();
+  EXPECT_EQ(lin.weight().grad[0], 0.0f);
+}
+
+TEST(SgdTest, ClipGradNorm) {
+  Linear lin(Tensor({1, 2}, std::vector<Scalar>{0, 0}), Tensor());
+  Sgd sgd(lin, {});
+  lin.weight().grad[0] = 3.0f;
+  lin.weight().grad[1] = 4.0f;  // norm 5
+  sgd.ClipGradNorm(1.0);
+  const double norm = std::sqrt(lin.weight().grad.SquaredL2());
+  EXPECT_NEAR(norm, 1.0, 1e-5);
+  // Below the max it is a no-op.
+  sgd.ClipGradNorm(10.0);
+  EXPECT_NEAR(std::sqrt(lin.weight().grad.SquaredL2()), 1.0, 1e-5);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  // Minimize (w - 3)^2 via gradient 2(w - 3).
+  Linear lin(Tensor({1, 1}, {0.0f}), Tensor());
+  SgdOptions opts;
+  opts.lr = 0.1;
+  opts.momentum = 0.9;
+  Sgd sgd(lin, opts);
+  for (int i = 0; i < 200; ++i) {
+    sgd.ZeroGrad();
+    lin.weight().grad[0] = 2.0f * (lin.weight().value[0] - 3.0f);
+    sgd.Step();
+  }
+  EXPECT_NEAR(lin.weight().value[0], 3.0f, 1e-3);
+}
+
+}  // namespace
+}  // namespace mhbench::nn

@@ -1,0 +1,124 @@
+#include <optional>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "tensor/ops.h"
+
+namespace mhbench {
+namespace {
+
+using ops::DimIndices;
+
+TEST(GatherDimsTest, SelectRowsOfMatrix) {
+  Tensor m({3, 2}, std::vector<Scalar>{1, 2, 3, 4, 5, 6});
+  DimIndices idx = {std::vector<int>{0, 2}, std::nullopt};
+  const Tensor g = ops::GatherDims(m, idx);
+  EXPECT_TRUE(g.AllClose(Tensor({2, 2}, std::vector<Scalar>{1, 2, 5, 6})));
+}
+
+TEST(GatherDimsTest, SelectRowsAndCols) {
+  Tensor m({3, 3}, std::vector<Scalar>{1, 2, 3, 4, 5, 6, 7, 8, 9});
+  DimIndices idx = {std::vector<int>{1, 2}, std::vector<int>{0, 2}};
+  EXPECT_TRUE(ops::GatherDims(m, idx).AllClose(
+      Tensor({2, 2}, std::vector<Scalar>{4, 6, 7, 9})));
+}
+
+TEST(GatherDimsTest, IdentityWhenAllAbsent) {
+  Rng rng(1);
+  Tensor t = Tensor::Randn({2, 3, 4}, rng);
+  DimIndices idx(3, std::nullopt);
+  EXPECT_TRUE(ops::GatherDims(t, idx).AllClose(t));
+}
+
+TEST(GatherDimsTest, NonContiguousAndReordered) {
+  Tensor v = Tensor::FromVector({10, 20, 30, 40});
+  DimIndices idx = {std::vector<int>{3, 0}};
+  EXPECT_TRUE(
+      ops::GatherDims(v, idx).AllClose(Tensor::FromVector({40, 10})));
+}
+
+TEST(GatherDimsTest, Rank4ConvWeightSlicing) {
+  // Slice out-channels {1} and in-channels {0, 2} of a [2, 3, 1, 1] weight.
+  Tensor w({2, 3, 1, 1}, std::vector<Scalar>{1, 2, 3, 4, 5, 6});
+  DimIndices idx = {std::vector<int>{1}, std::vector<int>{0, 2}, std::nullopt,
+                    std::nullopt};
+  EXPECT_TRUE(ops::GatherDims(w, idx).AllClose(
+      Tensor({1, 2, 1, 1}, std::vector<Scalar>{4, 6})));
+}
+
+TEST(GatherDimsTest, OutOfRangeIndexThrows) {
+  Tensor v = Tensor::FromVector({1, 2});
+  DimIndices idx = {std::vector<int>{2}};
+  EXPECT_THROW(ops::GatherDims(v, idx), Error);
+  DimIndices neg = {std::vector<int>{-1}};
+  EXPECT_THROW(ops::GatherDims(v, neg), Error);
+}
+
+TEST(GatherDimsTest, WrongArityThrows) {
+  Tensor v({2, 2});
+  DimIndices idx = {std::nullopt};
+  EXPECT_THROW(ops::GatherDims(v, idx), Error);
+}
+
+TEST(ScatterAddTest, AccumulatesIntoSelection) {
+  Tensor dst({3}, 0.0f);
+  Tensor src = Tensor::FromVector({5, 7});
+  DimIndices idx = {std::vector<int>{0, 2}};
+  ops::ScatterAddDims(dst, src, idx);
+  ops::ScatterAddDims(dst, src, idx);
+  EXPECT_TRUE(dst.AllClose(Tensor::FromVector({10, 0, 14})));
+}
+
+TEST(ScatterAssignTest, OverwritesSelection) {
+  Tensor dst({3}, 1.0f);
+  Tensor src = Tensor::FromVector({5, 7});
+  DimIndices idx = {std::vector<int>{0, 2}};
+  ops::ScatterAssignDims(dst, src, idx);
+  EXPECT_TRUE(dst.AllClose(Tensor::FromVector({5, 1, 7})));
+}
+
+TEST(ScatterTest, ShapeMismatchThrows) {
+  Tensor dst({3});
+  Tensor src({3});  // selection is 2 elements, src has 3
+  DimIndices idx = {std::vector<int>{0, 2}};
+  EXPECT_THROW(ops::ScatterAddDims(dst, src, idx), Error);
+}
+
+TEST(ScatterCountTest, CountsSelections) {
+  Tensor counts({2, 2}, 0.0f);
+  DimIndices idx = {std::vector<int>{0}, std::nullopt};
+  ops::ScatterCountDims(counts, idx);
+  DimIndices idx2 = {std::nullopt, std::vector<int>{1}};
+  ops::ScatterCountDims(counts, idx2);
+  EXPECT_TRUE(counts.AllClose(Tensor({2, 2}, std::vector<Scalar>{1, 2, 0, 1})));
+}
+
+TEST(GatherScatterTest, RoundTripRestoresSelection) {
+  // Gather then scatter-assign back is the identity on selected coords.
+  Rng rng(2);
+  Tensor t = Tensor::Randn({4, 5}, rng);
+  DimIndices idx = {std::vector<int>{1, 3}, std::vector<int>{0, 2, 4}};
+  const Tensor g = ops::GatherDims(t, idx);
+  Tensor t2 = t;
+  ops::ScatterAssignDims(t2, g, idx);
+  EXPECT_TRUE(t2.AllClose(t));
+}
+
+TEST(GatherScatterTest, AdjointProperty) {
+  // <Gather(x), y> == <x, ScatterAdd(0, y)> when indices are unique.
+  Rng rng(3);
+  Tensor x = Tensor::Randn({5, 4}, rng);
+  DimIndices idx = {std::vector<int>{0, 2, 4}, std::vector<int>{1, 3}};
+  const Tensor gx = ops::GatherDims(x, idx);
+  Tensor y = Tensor::Randn(gx.shape(), rng);
+  Tensor sy({5, 4});
+  ops::ScatterAddDims(sy, y, idx);
+  double lhs = 0, rhs = 0;
+  for (std::size_t i = 0; i < gx.numel(); ++i) lhs += static_cast<double>(gx[i]) * y[i];
+  for (std::size_t i = 0; i < x.numel(); ++i) rhs += static_cast<double>(x[i]) * sy[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+}  // namespace
+}  // namespace mhbench

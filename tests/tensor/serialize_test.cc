@@ -1,0 +1,54 @@
+#include "tensor/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace mhbench {
+namespace {
+
+TEST(SerializeTest, RoundTrip) {
+  Rng rng(1);
+  Tensor t = Tensor::Randn({3, 4, 2}, rng);
+  const auto bytes = SerializeTensor(t);
+  std::size_t off = 0;
+  const Tensor u = DeserializeTensor(bytes, off);
+  EXPECT_EQ(off, bytes.size());
+  EXPECT_TRUE(u.AllClose(t, 0.0f));
+}
+
+TEST(SerializeTest, SizePrediction) {
+  Tensor t({5, 7});
+  EXPECT_EQ(SerializeTensor(t).size(), SerializedTensorBytes(t));
+  // 4 (ndim) + 2*4 (extents) + 35*4 (data).
+  EXPECT_EQ(SerializedTensorBytes(t), 4u + 8u + 140u);
+}
+
+TEST(SerializeTest, MultipleTensorsInOneBuffer) {
+  Tensor a = Tensor::FromVector({1, 2});
+  Tensor b = Tensor::FromVector({3});
+  auto bytes = SerializeTensor(a);
+  const auto more = SerializeTensor(b);
+  bytes.insert(bytes.end(), more.begin(), more.end());
+  std::size_t off = 0;
+  EXPECT_TRUE(DeserializeTensor(bytes, off).AllClose(a));
+  EXPECT_TRUE(DeserializeTensor(bytes, off).AllClose(b));
+  EXPECT_EQ(off, bytes.size());
+}
+
+TEST(SerializeTest, TruncatedBufferThrows) {
+  Tensor t({4, 4});
+  auto bytes = SerializeTensor(t);
+  bytes.resize(bytes.size() - 8);
+  std::size_t off = 0;
+  EXPECT_THROW(DeserializeTensor(bytes, off), Error);
+}
+
+TEST(SerializeTest, GarbageHeaderThrows) {
+  std::vector<std::uint8_t> bytes = {0xFF, 0xFF, 0xFF, 0x7F};  // ndim huge
+  std::size_t off = 0;
+  EXPECT_THROW(DeserializeTensor(bytes, off), Error);
+}
+
+}  // namespace
+}  // namespace mhbench

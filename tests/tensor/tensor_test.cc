@@ -1,0 +1,138 @@
+#include "tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace mhbench {
+namespace {
+
+TEST(ShapeTest, NumelProduct) {
+  EXPECT_EQ(ShapeNumel({2, 3, 4}), 24u);
+  EXPECT_EQ(ShapeNumel({5}), 5u);
+  EXPECT_EQ(ShapeNumel({}), 0u);
+}
+
+TEST(ShapeTest, RejectsNonPositiveExtent) {
+  EXPECT_THROW(ShapeNumel({2, 0}), Error);
+  EXPECT_THROW(ShapeNumel({-1}), Error);
+}
+
+TEST(ShapeTest, ToString) {
+  EXPECT_EQ(ShapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(ShapeToString({}), "[]");
+}
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FillConstructor) {
+  Tensor t({4}, 2.5f);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 2.5f);
+}
+
+TEST(TensorTest, FromVector) {
+  Tensor t = Tensor::FromVector({1, 2, 3});
+  EXPECT_EQ(t.ndim(), 1);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t[1], 2.0f);
+}
+
+TEST(TensorTest, VectorSizeMustMatchShape) {
+  EXPECT_THROW(Tensor({2, 2}, std::vector<Scalar>{1, 2, 3}), Error);
+}
+
+TEST(TensorTest, MultiIndexAccess) {
+  Tensor t({2, 3});
+  t.at({1, 2}) = 7.0f;
+  EXPECT_EQ(t.at({1, 2}), 7.0f);
+  EXPECT_EQ(t[5], 7.0f);  // row-major: 1*3 + 2
+}
+
+TEST(TensorTest, OffsetRowMajor) {
+  Tensor t({2, 3, 4});
+  const int idx[] = {1, 2, 3};
+  EXPECT_EQ(t.Offset(std::span<const int>(idx, 3)), 1u * 12 + 2u * 4 + 3u);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshape({2, 3});
+  EXPECT_EQ(r.at({1, 0}), 4.0f);
+  EXPECT_THROW(t.Reshape({4}), Error);
+}
+
+TEST(TensorTest, ValueSemanticsDeepCopy) {
+  Tensor a({2}, 1.0f);
+  Tensor b = a;
+  b[0] = 99.0f;
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(TensorTest, ElementwiseOps) {
+  Tensor a = Tensor::FromVector({1, 2, 3});
+  Tensor b = Tensor::FromVector({4, 5, 6});
+  EXPECT_TRUE(a.Add(b).AllClose(Tensor::FromVector({5, 7, 9})));
+  EXPECT_TRUE(b.Sub(a).AllClose(Tensor::FromVector({3, 3, 3})));
+  EXPECT_TRUE(a.Mul(b).AllClose(Tensor::FromVector({4, 10, 18})));
+}
+
+TEST(TensorTest, InPlaceOpsRequireMatchingShape) {
+  Tensor a({2});
+  Tensor b({3});
+  EXPECT_THROW(a.AddInPlace(b), Error);
+  EXPECT_THROW(a.SubInPlace(b), Error);
+  EXPECT_THROW(a.MulInPlace(b), Error);
+  EXPECT_THROW(a.AxpyInPlace(1.0f, b), Error);
+}
+
+TEST(TensorTest, Axpy) {
+  Tensor a = Tensor::FromVector({1, 1});
+  Tensor b = Tensor::FromVector({2, 4});
+  a.AxpyInPlace(0.5f, b);
+  EXPECT_TRUE(a.AllClose(Tensor::FromVector({2, 3})));
+}
+
+TEST(TensorTest, ScaleAndFill) {
+  Tensor a = Tensor::FromVector({1, 2});
+  a.Scale(3.0f);
+  EXPECT_TRUE(a.AllClose(Tensor::FromVector({3, 6})));
+  a.Fill(0.5f);
+  EXPECT_TRUE(a.AllClose(Tensor::FromVector({0.5, 0.5})));
+}
+
+TEST(TensorTest, Reductions) {
+  Tensor a = Tensor::FromVector({1, -2, 3});
+  EXPECT_DOUBLE_EQ(a.Sum(), 2.0);
+  EXPECT_NEAR(a.Mean(), 2.0 / 3.0, 1e-9);
+  EXPECT_EQ(a.MaxAbs(), 3.0f);
+  EXPECT_DOUBLE_EQ(a.SquaredL2(), 14.0);
+}
+
+TEST(TensorTest, AllCloseToleranceAndShape) {
+  Tensor a = Tensor::FromVector({1.0f, 2.0f});
+  Tensor b = Tensor::FromVector({1.0f, 2.0001f});
+  EXPECT_TRUE(a.AllClose(b, 1e-3f));
+  EXPECT_FALSE(a.AllClose(b, 1e-6f));
+  EXPECT_FALSE(a.AllClose(Tensor({2, 1}, std::vector<Scalar>{1, 2})));
+}
+
+TEST(TensorTest, RandnStatistics) {
+  Rng rng(1);
+  Tensor t = Tensor::Randn({10000}, rng, 2.0f);
+  EXPECT_NEAR(t.Mean(), 0.0, 0.1);
+  EXPECT_NEAR(t.SquaredL2() / 10000.0, 4.0, 0.3);
+}
+
+TEST(TensorTest, EmptyTensor) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0u);
+  EXPECT_EQ(t.ndim(), 0);
+}
+
+}  // namespace
+}  // namespace mhbench

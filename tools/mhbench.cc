@@ -1,0 +1,215 @@
+// PracMHBench command-line interface.
+//
+//   mhbench list
+//       Enumerate algorithms (with heterogeneity level), tasks and devices.
+//   mhbench cost --model resnet101 --algorithm sheterofl --ratio 0.5
+//                [--device jetson-nano]
+//       Query the calibrated cost model for one variant.
+//   mhbench plan --task cifar100 --constraint memory [--algorithm sheterofl]
+//                [--clients 12] [--seed 11]
+//       Print the per-client model assignment a constraint case produces.
+//   mhbench run --task cifar10 --algorithm sheterofl
+//               [--constraint computation] [--rounds 20] [--clients 10]
+//               [--alpha 0.5] [--deadline 0] [--seed 1]
+//       Run one federated experiment and print the metric panel.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algorithms/registry.h"
+#include "bench_support/experiment.h"
+#include "constraints/assignment.h"
+#include "core/error.h"
+#include "core/table.h"
+#include "device/calibration.h"
+#include "device/cost_model.h"
+#include "device/ima_fleet.h"
+#include "metrics/report.h"
+#include "models/zoo.h"
+
+namespace {
+
+using namespace mhbench;
+
+// Minimal --key value parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      MHB_CHECK(std::strncmp(argv[i], "--", 2) == 0)
+          << "expected --flag, got" << argv[i];
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    MHB_CHECK((argc - first) % 2 == 0) << "flag without value";
+  }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetD(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+  int GetI(const std::string& key, int fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stoi(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+const char* LevelName(algorithms::HeteroLevel level) {
+  switch (level) {
+    case algorithms::HeteroLevel::kHomogeneous:
+      return "baseline";
+    case algorithms::HeteroLevel::kWidth:
+      return "width";
+    case algorithms::HeteroLevel::kDepth:
+      return "depth";
+    case algorithms::HeteroLevel::kTopology:
+      return "topology";
+  }
+  return "?";
+}
+
+int CmdList() {
+  std::puts("Algorithms:");
+  AsciiTable algos({"Name", "Level"});
+  for (const auto& info : algorithms::AllAlgorithms()) {
+    algos.AddRow({info.name, LevelName(info.level)});
+  }
+  std::fputs(algos.Render().c_str(), stdout);
+
+  std::puts("Tasks:");
+  AsciiTable tasks({"Name", "Classes", "Primary model"});
+  for (const auto& name : models::AllTaskNames()) {
+    tasks.AddRow({name, std::to_string(models::TaskNumClasses(name)),
+                  models::MakeTaskModels(name).primary->name()});
+  }
+  std::fputs(tasks.Render().c_str(), stdout);
+
+  std::puts("Devices: jetson-orin-nx, jetson-tx2-nx, jetson-nano,");
+  std::puts("         raspberry-pi-4b (see `mhbench cost --device ...`)");
+  std::puts("Constraints: none, computation, communication, memory,");
+  std::puts("             comm+mem, comp+comm+mem");
+  return 0;
+}
+
+int CmdCost(const Args& args) {
+  const std::string model = args.Get("model", "resnet101");
+  const std::string algorithm = args.Get("algorithm", "sheterofl");
+  const double ratio = args.GetD("ratio", 1.0);
+  const std::string device_name = args.Get("device", "jetson-nano");
+
+  device::DeviceProfile dev;
+  dev.name = device_name;
+  dev.gflops = device::DeviceGflops(device_name);
+  dev.bandwidth_mbps = args.GetD("bandwidth", 20.0);
+
+  device::CostModel cm(device::PaperDesc(model));
+  const auto cost = cm.Cost(algorithm, ratio, dev);
+  std::printf("%s x%.2f under %s on %s:\n", model.c_str(), ratio,
+              algorithm.c_str(), device_name.c_str());
+  std::printf("  parameters : %.2f M\n", cost.params_m);
+  std::printf("  fwd GFLOPs : %.3f per sample\n", cost.gflops_fwd);
+  std::printf("  train time : %.1f s per round\n", cost.train_time_s);
+  std::printf("  memory     : %.0f MB\n", cost.memory_mb);
+  std::printf("  comm       : %.1f MB (%.1f s at %.0f Mbps)\n", cost.comm_mb,
+              cost.comm_time_s, dev.bandwidth_mbps);
+  return 0;
+}
+
+int CmdPlan(const Args& args) {
+  const std::string task = args.Get("task", "cifar100");
+  const std::string constraint = args.Get("constraint", "computation");
+  const std::string algorithm = args.Get("algorithm", "sheterofl");
+
+  device::FleetConfig fcfg;
+  fcfg.num_clients = args.GetI("clients", 12);
+  fcfg.seed = static_cast<std::uint64_t>(args.GetI("seed", 11));
+  const device::Fleet fleet = device::SampleFleet(fcfg);
+
+  // "comp" only occurs in computation, "comm" only in communication, and
+  // "mem" only in memory, so substring matching covers the combined names.
+  constraints::ConstraintFlags flags;
+  flags.computation = constraint.find("comp") != std::string::npos;
+  flags.communication = constraint.find("comm") != std::string::npos;
+  flags.memory = constraint.find("mem") != std::string::npos;
+  MHB_CHECK(flags.computation || flags.communication || flags.memory)
+      << "unknown constraint" << constraint;
+
+  const auto built =
+      constraints::BuildConstrained(algorithm, task, fleet, flags);
+  std::printf("%s / %s / %s (deadline %.1f s)\n", task.c_str(),
+              constraint.c_str(), algorithm.c_str(),
+              built.compute_deadline_s);
+  AsciiTable table({"Client", "GFLOP/s", "Mem budget", "Capacity", "Arch",
+                    "Compute s", "Comm s"});
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const auto& a = built.assignments[i];
+    table.AddRow({std::to_string(i), AsciiTable::Num(fleet[i].gflops, 2),
+                  AsciiTable::Num(fleet[i].memory_mb, 0),
+                  "x" + AsciiTable::Num(a.capacity, 2),
+                  std::to_string(a.arch_index),
+                  AsciiTable::Num(a.system.compute_time_s, 1),
+                  AsciiTable::Num(a.system.comm_time_s, 1)});
+  }
+  std::fputs(table.Render().c_str(), stdout);
+  return 0;
+}
+
+int CmdRun(const Args& args) {
+  bench_support::SuiteOptions options;
+  options.task = args.Get("task", "cifar10");
+  options.constraint = args.Get("constraint", "computation");
+  options.dirichlet_alpha = args.GetD("alpha", 0.0);
+  options.round_deadline_s = args.GetD("deadline", 0.0);
+  options.preset.rounds = args.GetI("rounds", options.preset.rounds);
+  options.preset.clients = args.GetI("clients", options.preset.clients);
+  options.preset.seed =
+      static_cast<std::uint64_t>(args.GetI("seed", 1));
+
+  const std::string algorithm = args.Get("algorithm", "sheterofl");
+  std::printf("running %s on %s under %s-limited MHFL (%d rounds, %d "
+              "clients)...\n",
+              algorithm.c_str(), options.task.c_str(),
+              options.constraint.c_str(), options.preset.rounds,
+              options.preset.clients);
+
+  const auto bundles = bench_support::RunSuite({algorithm}, options);
+  std::fputs(metrics::RenderMetricPanel(
+                 options.constraint + " / " + options.task, bundles)
+                 .c_str(),
+             stdout);
+  std::fputs(metrics::RenderCurves("accuracy curve", bundles).c_str(),
+             stdout);
+  return 0;
+}
+
+int Usage() {
+  std::puts("usage: mhbench <list|cost|plan|run> [--flag value ...]");
+  std::puts("see the header of tools/mhbench.cc for per-command flags");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  try {
+    Args args(argc, argv, 2);
+    if (cmd == "list") return CmdList();
+    if (cmd == "cost") return CmdCost(args);
+    if (cmd == "plan") return CmdPlan(args);
+    if (cmd == "run") return CmdRun(args);
+  } catch (const mhbench::Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return Usage();
+}
