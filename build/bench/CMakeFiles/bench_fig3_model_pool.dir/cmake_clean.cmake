@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_model_pool.dir/bench_fig3_model_pool.cc.o"
+  "CMakeFiles/bench_fig3_model_pool.dir/bench_fig3_model_pool.cc.o.d"
+  "bench_fig3_model_pool"
+  "bench_fig3_model_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_model_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_computation.dir/bench_fig4_computation.cc.o"
+  "CMakeFiles/bench_fig4_computation.dir/bench_fig4_computation.cc.o.d"
+  "bench_fig4_computation"
+  "bench_fig4_computation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_computation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

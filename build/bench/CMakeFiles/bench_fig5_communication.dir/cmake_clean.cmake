@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_communication.dir/bench_fig5_communication.cc.o"
+  "CMakeFiles/bench_fig5_communication.dir/bench_fig5_communication.cc.o.d"
+  "bench_fig5_communication"
+  "bench_fig5_communication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_communication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_combinations.dir/bench_fig7_combinations.cc.o"
+  "CMakeFiles/bench_fig7_combinations.dir/bench_fig7_combinations.cc.o.d"
+  "bench_fig7_combinations"
+  "bench_fig7_combinations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_combinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

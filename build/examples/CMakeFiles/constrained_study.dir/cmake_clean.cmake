@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constrained_study.dir/constrained_study.cpp.o"
+  "CMakeFiles/constrained_study.dir/constrained_study.cpp.o.d"
+  "constrained_study"
+  "constrained_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constrained_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/har_personalization.cpp" "examples/CMakeFiles/har_personalization.dir/har_personalization.cpp.o" "gcc" "examples/CMakeFiles/har_personalization.dir/har_personalization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mhb_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

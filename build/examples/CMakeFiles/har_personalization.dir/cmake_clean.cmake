@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/har_personalization.dir/har_personalization.cpp.o"
+  "CMakeFiles/har_personalization.dir/har_personalization.cpp.o.d"
+  "har_personalization"
+  "har_personalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/har_personalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_topology_cv.dir/mixed_topology_cv.cpp.o"
+  "CMakeFiles/mixed_topology_cv.dir/mixed_topology_cv.cpp.o.d"
+  "mixed_topology_cv"
+  "mixed_topology_cv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_topology_cv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

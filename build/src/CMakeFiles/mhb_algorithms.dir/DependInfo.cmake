@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/algorithm.cc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/algorithm.cc.o" "gcc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/algorithm.cc.o.d"
+  "/root/repo/src/algorithms/depthfl.cc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/depthfl.cc.o" "gcc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/depthfl.cc.o.d"
+  "/root/repo/src/algorithms/fedavg.cc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/fedavg.cc.o" "gcc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/fedavg.cc.o.d"
+  "/root/repo/src/algorithms/fedepth.cc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/fedepth.cc.o" "gcc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/fedepth.cc.o.d"
+  "/root/repo/src/algorithms/fedet.cc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/fedet.cc.o" "gcc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/fedet.cc.o.d"
+  "/root/repo/src/algorithms/fedproto.cc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/fedproto.cc.o" "gcc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/fedproto.cc.o.d"
+  "/root/repo/src/algorithms/fedrolex.cc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/fedrolex.cc.o" "gcc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/fedrolex.cc.o.d"
+  "/root/repo/src/algorithms/fjord.cc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/fjord.cc.o" "gcc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/fjord.cc.o.d"
+  "/root/repo/src/algorithms/inclusivefl.cc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/inclusivefl.cc.o" "gcc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/inclusivefl.cc.o.d"
+  "/root/repo/src/algorithms/registry.cc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/registry.cc.o" "gcc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/registry.cc.o.d"
+  "/root/repo/src/algorithms/sheterofl.cc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/sheterofl.cc.o" "gcc" "src/CMakeFiles/mhb_algorithms.dir/algorithms/sheterofl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mhb_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhb_algorithms.dir/algorithms/algorithm.cc.o"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/algorithm.cc.o.d"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/depthfl.cc.o"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/depthfl.cc.o.d"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/fedavg.cc.o"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/fedavg.cc.o.d"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/fedepth.cc.o"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/fedepth.cc.o.d"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/fedet.cc.o"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/fedet.cc.o.d"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/fedproto.cc.o"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/fedproto.cc.o.d"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/fedrolex.cc.o"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/fedrolex.cc.o.d"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/fjord.cc.o"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/fjord.cc.o.d"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/inclusivefl.cc.o"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/inclusivefl.cc.o.d"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/registry.cc.o"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/registry.cc.o.d"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/sheterofl.cc.o"
+  "CMakeFiles/mhb_algorithms.dir/algorithms/sheterofl.cc.o.d"
+  "libmhb_algorithms.a"
+  "libmhb_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhb_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

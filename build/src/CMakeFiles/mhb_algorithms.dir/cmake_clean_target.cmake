@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmhb_algorithms.a"
+)

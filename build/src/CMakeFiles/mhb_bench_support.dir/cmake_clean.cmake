@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhb_bench_support.dir/bench_support/experiment.cc.o"
+  "CMakeFiles/mhb_bench_support.dir/bench_support/experiment.cc.o.d"
+  "CMakeFiles/mhb_bench_support.dir/bench_support/presets.cc.o"
+  "CMakeFiles/mhb_bench_support.dir/bench_support/presets.cc.o.d"
+  "libmhb_bench_support.a"
+  "libmhb_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhb_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraints/assignment.cc" "src/CMakeFiles/mhb_constraints.dir/constraints/assignment.cc.o" "gcc" "src/CMakeFiles/mhb_constraints.dir/constraints/assignment.cc.o.d"
+  "/root/repo/src/constraints/combined.cc" "src/CMakeFiles/mhb_constraints.dir/constraints/combined.cc.o" "gcc" "src/CMakeFiles/mhb_constraints.dir/constraints/combined.cc.o.d"
+  "/root/repo/src/constraints/communication_limited.cc" "src/CMakeFiles/mhb_constraints.dir/constraints/communication_limited.cc.o" "gcc" "src/CMakeFiles/mhb_constraints.dir/constraints/communication_limited.cc.o.d"
+  "/root/repo/src/constraints/computation_limited.cc" "src/CMakeFiles/mhb_constraints.dir/constraints/computation_limited.cc.o" "gcc" "src/CMakeFiles/mhb_constraints.dir/constraints/computation_limited.cc.o.d"
+  "/root/repo/src/constraints/memory_limited.cc" "src/CMakeFiles/mhb_constraints.dir/constraints/memory_limited.cc.o" "gcc" "src/CMakeFiles/mhb_constraints.dir/constraints/memory_limited.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mhb_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

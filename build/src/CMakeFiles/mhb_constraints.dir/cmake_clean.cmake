@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhb_constraints.dir/constraints/assignment.cc.o"
+  "CMakeFiles/mhb_constraints.dir/constraints/assignment.cc.o.d"
+  "CMakeFiles/mhb_constraints.dir/constraints/combined.cc.o"
+  "CMakeFiles/mhb_constraints.dir/constraints/combined.cc.o.d"
+  "CMakeFiles/mhb_constraints.dir/constraints/communication_limited.cc.o"
+  "CMakeFiles/mhb_constraints.dir/constraints/communication_limited.cc.o.d"
+  "CMakeFiles/mhb_constraints.dir/constraints/computation_limited.cc.o"
+  "CMakeFiles/mhb_constraints.dir/constraints/computation_limited.cc.o.d"
+  "CMakeFiles/mhb_constraints.dir/constraints/memory_limited.cc.o"
+  "CMakeFiles/mhb_constraints.dir/constraints/memory_limited.cc.o.d"
+  "libmhb_constraints.a"
+  "libmhb_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhb_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

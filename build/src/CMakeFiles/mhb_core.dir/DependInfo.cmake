@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/csv.cc" "src/CMakeFiles/mhb_core.dir/core/csv.cc.o" "gcc" "src/CMakeFiles/mhb_core.dir/core/csv.cc.o.d"
+  "/root/repo/src/core/env.cc" "src/CMakeFiles/mhb_core.dir/core/env.cc.o" "gcc" "src/CMakeFiles/mhb_core.dir/core/env.cc.o.d"
+  "/root/repo/src/core/logging.cc" "src/CMakeFiles/mhb_core.dir/core/logging.cc.o" "gcc" "src/CMakeFiles/mhb_core.dir/core/logging.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/CMakeFiles/mhb_core.dir/core/rng.cc.o" "gcc" "src/CMakeFiles/mhb_core.dir/core/rng.cc.o.d"
+  "/root/repo/src/core/table.cc" "src/CMakeFiles/mhb_core.dir/core/table.cc.o" "gcc" "src/CMakeFiles/mhb_core.dir/core/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhb_core.dir/core/csv.cc.o"
+  "CMakeFiles/mhb_core.dir/core/csv.cc.o.d"
+  "CMakeFiles/mhb_core.dir/core/env.cc.o"
+  "CMakeFiles/mhb_core.dir/core/env.cc.o.d"
+  "CMakeFiles/mhb_core.dir/core/logging.cc.o"
+  "CMakeFiles/mhb_core.dir/core/logging.cc.o.d"
+  "CMakeFiles/mhb_core.dir/core/rng.cc.o"
+  "CMakeFiles/mhb_core.dir/core/rng.cc.o.d"
+  "CMakeFiles/mhb_core.dir/core/table.cc.o"
+  "CMakeFiles/mhb_core.dir/core/table.cc.o.d"
+  "libmhb_core.a"
+  "libmhb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "src/CMakeFiles/mhb_data.dir/data/dataset.cc.o" "gcc" "src/CMakeFiles/mhb_data.dir/data/dataset.cc.o.d"
+  "/root/repo/src/data/loader.cc" "src/CMakeFiles/mhb_data.dir/data/loader.cc.o" "gcc" "src/CMakeFiles/mhb_data.dir/data/loader.cc.o.d"
+  "/root/repo/src/data/partition.cc" "src/CMakeFiles/mhb_data.dir/data/partition.cc.o" "gcc" "src/CMakeFiles/mhb_data.dir/data/partition.cc.o.d"
+  "/root/repo/src/data/synthetic_har.cc" "src/CMakeFiles/mhb_data.dir/data/synthetic_har.cc.o" "gcc" "src/CMakeFiles/mhb_data.dir/data/synthetic_har.cc.o.d"
+  "/root/repo/src/data/synthetic_text.cc" "src/CMakeFiles/mhb_data.dir/data/synthetic_text.cc.o" "gcc" "src/CMakeFiles/mhb_data.dir/data/synthetic_text.cc.o.d"
+  "/root/repo/src/data/synthetic_vision.cc" "src/CMakeFiles/mhb_data.dir/data/synthetic_vision.cc.o" "gcc" "src/CMakeFiles/mhb_data.dir/data/synthetic_vision.cc.o.d"
+  "/root/repo/src/data/tasks.cc" "src/CMakeFiles/mhb_data.dir/data/tasks.cc.o" "gcc" "src/CMakeFiles/mhb_data.dir/data/tasks.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mhb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhb_data.dir/data/dataset.cc.o"
+  "CMakeFiles/mhb_data.dir/data/dataset.cc.o.d"
+  "CMakeFiles/mhb_data.dir/data/loader.cc.o"
+  "CMakeFiles/mhb_data.dir/data/loader.cc.o.d"
+  "CMakeFiles/mhb_data.dir/data/partition.cc.o"
+  "CMakeFiles/mhb_data.dir/data/partition.cc.o.d"
+  "CMakeFiles/mhb_data.dir/data/synthetic_har.cc.o"
+  "CMakeFiles/mhb_data.dir/data/synthetic_har.cc.o.d"
+  "CMakeFiles/mhb_data.dir/data/synthetic_text.cc.o"
+  "CMakeFiles/mhb_data.dir/data/synthetic_text.cc.o.d"
+  "CMakeFiles/mhb_data.dir/data/synthetic_vision.cc.o"
+  "CMakeFiles/mhb_data.dir/data/synthetic_vision.cc.o.d"
+  "CMakeFiles/mhb_data.dir/data/tasks.cc.o"
+  "CMakeFiles/mhb_data.dir/data/tasks.cc.o.d"
+  "libmhb_data.a"
+  "libmhb_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhb_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

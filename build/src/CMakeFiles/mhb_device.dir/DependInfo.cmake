@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/calibration.cc" "src/CMakeFiles/mhb_device.dir/device/calibration.cc.o" "gcc" "src/CMakeFiles/mhb_device.dir/device/calibration.cc.o.d"
+  "/root/repo/src/device/cost_model.cc" "src/CMakeFiles/mhb_device.dir/device/cost_model.cc.o" "gcc" "src/CMakeFiles/mhb_device.dir/device/cost_model.cc.o.d"
+  "/root/repo/src/device/device_profile.cc" "src/CMakeFiles/mhb_device.dir/device/device_profile.cc.o" "gcc" "src/CMakeFiles/mhb_device.dir/device/device_profile.cc.o.d"
+  "/root/repo/src/device/ima_fleet.cc" "src/CMakeFiles/mhb_device.dir/device/ima_fleet.cc.o" "gcc" "src/CMakeFiles/mhb_device.dir/device/ima_fleet.cc.o.d"
+  "/root/repo/src/device/model_pool.cc" "src/CMakeFiles/mhb_device.dir/device/model_pool.cc.o" "gcc" "src/CMakeFiles/mhb_device.dir/device/model_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mhb_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhb_device.dir/device/calibration.cc.o"
+  "CMakeFiles/mhb_device.dir/device/calibration.cc.o.d"
+  "CMakeFiles/mhb_device.dir/device/cost_model.cc.o"
+  "CMakeFiles/mhb_device.dir/device/cost_model.cc.o.d"
+  "CMakeFiles/mhb_device.dir/device/device_profile.cc.o"
+  "CMakeFiles/mhb_device.dir/device/device_profile.cc.o.d"
+  "CMakeFiles/mhb_device.dir/device/ima_fleet.cc.o"
+  "CMakeFiles/mhb_device.dir/device/ima_fleet.cc.o.d"
+  "CMakeFiles/mhb_device.dir/device/model_pool.cc.o"
+  "CMakeFiles/mhb_device.dir/device/model_pool.cc.o.d"
+  "libmhb_device.a"
+  "libmhb_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhb_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fl/aggregator.cc" "src/CMakeFiles/mhb_fl.dir/fl/aggregator.cc.o" "gcc" "src/CMakeFiles/mhb_fl.dir/fl/aggregator.cc.o.d"
+  "/root/repo/src/fl/client.cc" "src/CMakeFiles/mhb_fl.dir/fl/client.cc.o" "gcc" "src/CMakeFiles/mhb_fl.dir/fl/client.cc.o.d"
+  "/root/repo/src/fl/engine.cc" "src/CMakeFiles/mhb_fl.dir/fl/engine.cc.o" "gcc" "src/CMakeFiles/mhb_fl.dir/fl/engine.cc.o.d"
+  "/root/repo/src/fl/evaluation.cc" "src/CMakeFiles/mhb_fl.dir/fl/evaluation.cc.o" "gcc" "src/CMakeFiles/mhb_fl.dir/fl/evaluation.cc.o.d"
+  "/root/repo/src/fl/param_store.cc" "src/CMakeFiles/mhb_fl.dir/fl/param_store.cc.o" "gcc" "src/CMakeFiles/mhb_fl.dir/fl/param_store.cc.o.d"
+  "/root/repo/src/fl/server.cc" "src/CMakeFiles/mhb_fl.dir/fl/server.cc.o" "gcc" "src/CMakeFiles/mhb_fl.dir/fl/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mhb_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

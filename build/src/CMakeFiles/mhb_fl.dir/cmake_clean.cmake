@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhb_fl.dir/fl/aggregator.cc.o"
+  "CMakeFiles/mhb_fl.dir/fl/aggregator.cc.o.d"
+  "CMakeFiles/mhb_fl.dir/fl/client.cc.o"
+  "CMakeFiles/mhb_fl.dir/fl/client.cc.o.d"
+  "CMakeFiles/mhb_fl.dir/fl/engine.cc.o"
+  "CMakeFiles/mhb_fl.dir/fl/engine.cc.o.d"
+  "CMakeFiles/mhb_fl.dir/fl/evaluation.cc.o"
+  "CMakeFiles/mhb_fl.dir/fl/evaluation.cc.o.d"
+  "CMakeFiles/mhb_fl.dir/fl/param_store.cc.o"
+  "CMakeFiles/mhb_fl.dir/fl/param_store.cc.o.d"
+  "CMakeFiles/mhb_fl.dir/fl/server.cc.o"
+  "CMakeFiles/mhb_fl.dir/fl/server.cc.o.d"
+  "libmhb_fl.a"
+  "libmhb_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhb_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

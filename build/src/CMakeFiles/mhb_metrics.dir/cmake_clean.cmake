@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhb_metrics.dir/metrics/recorder.cc.o"
+  "CMakeFiles/mhb_metrics.dir/metrics/recorder.cc.o.d"
+  "CMakeFiles/mhb_metrics.dir/metrics/report.cc.o"
+  "CMakeFiles/mhb_metrics.dir/metrics/report.cc.o.d"
+  "libmhb_metrics.a"
+  "libmhb_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhb_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

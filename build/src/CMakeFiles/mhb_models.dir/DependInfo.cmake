@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/albert_lite.cc" "src/CMakeFiles/mhb_models.dir/models/albert_lite.cc.o" "gcc" "src/CMakeFiles/mhb_models.dir/models/albert_lite.cc.o.d"
+  "/root/repo/src/models/efficientnet_like.cc" "src/CMakeFiles/mhb_models.dir/models/efficientnet_like.cc.o" "gcc" "src/CMakeFiles/mhb_models.dir/models/efficientnet_like.cc.o.d"
+  "/root/repo/src/models/googlenet_like.cc" "src/CMakeFiles/mhb_models.dir/models/googlenet_like.cc.o" "gcc" "src/CMakeFiles/mhb_models.dir/models/googlenet_like.cc.o.d"
+  "/root/repo/src/models/har_cnn.cc" "src/CMakeFiles/mhb_models.dir/models/har_cnn.cc.o" "gcc" "src/CMakeFiles/mhb_models.dir/models/har_cnn.cc.o.d"
+  "/root/repo/src/models/index_map.cc" "src/CMakeFiles/mhb_models.dir/models/index_map.cc.o" "gcc" "src/CMakeFiles/mhb_models.dir/models/index_map.cc.o.d"
+  "/root/repo/src/models/mobilenet_like.cc" "src/CMakeFiles/mhb_models.dir/models/mobilenet_like.cc.o" "gcc" "src/CMakeFiles/mhb_models.dir/models/mobilenet_like.cc.o.d"
+  "/root/repo/src/models/model_spec.cc" "src/CMakeFiles/mhb_models.dir/models/model_spec.cc.o" "gcc" "src/CMakeFiles/mhb_models.dir/models/model_spec.cc.o.d"
+  "/root/repo/src/models/resnet_like.cc" "src/CMakeFiles/mhb_models.dir/models/resnet_like.cc.o" "gcc" "src/CMakeFiles/mhb_models.dir/models/resnet_like.cc.o.d"
+  "/root/repo/src/models/transformer_lite.cc" "src/CMakeFiles/mhb_models.dir/models/transformer_lite.cc.o" "gcc" "src/CMakeFiles/mhb_models.dir/models/transformer_lite.cc.o.d"
+  "/root/repo/src/models/zoo.cc" "src/CMakeFiles/mhb_models.dir/models/zoo.cc.o" "gcc" "src/CMakeFiles/mhb_models.dir/models/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mhb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

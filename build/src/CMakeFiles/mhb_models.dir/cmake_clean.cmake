@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhb_models.dir/models/albert_lite.cc.o"
+  "CMakeFiles/mhb_models.dir/models/albert_lite.cc.o.d"
+  "CMakeFiles/mhb_models.dir/models/efficientnet_like.cc.o"
+  "CMakeFiles/mhb_models.dir/models/efficientnet_like.cc.o.d"
+  "CMakeFiles/mhb_models.dir/models/googlenet_like.cc.o"
+  "CMakeFiles/mhb_models.dir/models/googlenet_like.cc.o.d"
+  "CMakeFiles/mhb_models.dir/models/har_cnn.cc.o"
+  "CMakeFiles/mhb_models.dir/models/har_cnn.cc.o.d"
+  "CMakeFiles/mhb_models.dir/models/index_map.cc.o"
+  "CMakeFiles/mhb_models.dir/models/index_map.cc.o.d"
+  "CMakeFiles/mhb_models.dir/models/mobilenet_like.cc.o"
+  "CMakeFiles/mhb_models.dir/models/mobilenet_like.cc.o.d"
+  "CMakeFiles/mhb_models.dir/models/model_spec.cc.o"
+  "CMakeFiles/mhb_models.dir/models/model_spec.cc.o.d"
+  "CMakeFiles/mhb_models.dir/models/resnet_like.cc.o"
+  "CMakeFiles/mhb_models.dir/models/resnet_like.cc.o.d"
+  "CMakeFiles/mhb_models.dir/models/transformer_lite.cc.o"
+  "CMakeFiles/mhb_models.dir/models/transformer_lite.cc.o.d"
+  "CMakeFiles/mhb_models.dir/models/zoo.cc.o"
+  "CMakeFiles/mhb_models.dir/models/zoo.cc.o.d"
+  "libmhb_models.a"
+  "libmhb_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhb_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cc" "src/CMakeFiles/mhb_nn.dir/nn/activation.cc.o" "gcc" "src/CMakeFiles/mhb_nn.dir/nn/activation.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/mhb_nn.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/mhb_nn.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/composite.cc" "src/CMakeFiles/mhb_nn.dir/nn/composite.cc.o" "gcc" "src/CMakeFiles/mhb_nn.dir/nn/composite.cc.o.d"
+  "/root/repo/src/nn/conv.cc" "src/CMakeFiles/mhb_nn.dir/nn/conv.cc.o" "gcc" "src/CMakeFiles/mhb_nn.dir/nn/conv.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/CMakeFiles/mhb_nn.dir/nn/dropout.cc.o" "gcc" "src/CMakeFiles/mhb_nn.dir/nn/dropout.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/CMakeFiles/mhb_nn.dir/nn/embedding.cc.o" "gcc" "src/CMakeFiles/mhb_nn.dir/nn/embedding.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/mhb_nn.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/mhb_nn.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/mhb_nn.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/mhb_nn.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/CMakeFiles/mhb_nn.dir/nn/loss.cc.o" "gcc" "src/CMakeFiles/mhb_nn.dir/nn/loss.cc.o.d"
+  "/root/repo/src/nn/lr_schedule.cc" "src/CMakeFiles/mhb_nn.dir/nn/lr_schedule.cc.o" "gcc" "src/CMakeFiles/mhb_nn.dir/nn/lr_schedule.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/mhb_nn.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/mhb_nn.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/norm.cc" "src/CMakeFiles/mhb_nn.dir/nn/norm.cc.o" "gcc" "src/CMakeFiles/mhb_nn.dir/nn/norm.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/mhb_nn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/mhb_nn.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/pool.cc" "src/CMakeFiles/mhb_nn.dir/nn/pool.cc.o" "gcc" "src/CMakeFiles/mhb_nn.dir/nn/pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mhb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

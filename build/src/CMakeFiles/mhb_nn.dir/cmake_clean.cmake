@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhb_nn.dir/nn/activation.cc.o"
+  "CMakeFiles/mhb_nn.dir/nn/activation.cc.o.d"
+  "CMakeFiles/mhb_nn.dir/nn/attention.cc.o"
+  "CMakeFiles/mhb_nn.dir/nn/attention.cc.o.d"
+  "CMakeFiles/mhb_nn.dir/nn/composite.cc.o"
+  "CMakeFiles/mhb_nn.dir/nn/composite.cc.o.d"
+  "CMakeFiles/mhb_nn.dir/nn/conv.cc.o"
+  "CMakeFiles/mhb_nn.dir/nn/conv.cc.o.d"
+  "CMakeFiles/mhb_nn.dir/nn/dropout.cc.o"
+  "CMakeFiles/mhb_nn.dir/nn/dropout.cc.o.d"
+  "CMakeFiles/mhb_nn.dir/nn/embedding.cc.o"
+  "CMakeFiles/mhb_nn.dir/nn/embedding.cc.o.d"
+  "CMakeFiles/mhb_nn.dir/nn/init.cc.o"
+  "CMakeFiles/mhb_nn.dir/nn/init.cc.o.d"
+  "CMakeFiles/mhb_nn.dir/nn/linear.cc.o"
+  "CMakeFiles/mhb_nn.dir/nn/linear.cc.o.d"
+  "CMakeFiles/mhb_nn.dir/nn/loss.cc.o"
+  "CMakeFiles/mhb_nn.dir/nn/loss.cc.o.d"
+  "CMakeFiles/mhb_nn.dir/nn/lr_schedule.cc.o"
+  "CMakeFiles/mhb_nn.dir/nn/lr_schedule.cc.o.d"
+  "CMakeFiles/mhb_nn.dir/nn/module.cc.o"
+  "CMakeFiles/mhb_nn.dir/nn/module.cc.o.d"
+  "CMakeFiles/mhb_nn.dir/nn/norm.cc.o"
+  "CMakeFiles/mhb_nn.dir/nn/norm.cc.o.d"
+  "CMakeFiles/mhb_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/mhb_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/mhb_nn.dir/nn/pool.cc.o"
+  "CMakeFiles/mhb_nn.dir/nn/pool.cc.o.d"
+  "libmhb_nn.a"
+  "libmhb_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhb_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhb_tensor.dir/tensor/ops.cc.o"
+  "CMakeFiles/mhb_tensor.dir/tensor/ops.cc.o.d"
+  "CMakeFiles/mhb_tensor.dir/tensor/serialize.cc.o"
+  "CMakeFiles/mhb_tensor.dir/tensor/serialize.cc.o.d"
+  "CMakeFiles/mhb_tensor.dir/tensor/tensor.cc.o"
+  "CMakeFiles/mhb_tensor.dir/tensor/tensor.cc.o.d"
+  "libmhb_tensor.a"
+  "libmhb_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhb_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

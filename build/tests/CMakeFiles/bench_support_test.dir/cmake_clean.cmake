@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_support_test.dir/bench_support/experiment_test.cc.o"
+  "CMakeFiles/bench_support_test.dir/bench_support/experiment_test.cc.o.d"
+  "bench_support_test"
+  "bench_support_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

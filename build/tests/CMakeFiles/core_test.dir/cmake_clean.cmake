@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/csv_test.cc.o"
+  "CMakeFiles/core_test.dir/core/csv_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/env_test.cc.o"
+  "CMakeFiles/core_test.dir/core/env_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/error_test.cc.o"
+  "CMakeFiles/core_test.dir/core/error_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/logging_test.cc.o"
+  "CMakeFiles/core_test.dir/core/logging_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/rng_test.cc.o"
+  "CMakeFiles/core_test.dir/core/rng_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/table_test.cc.o"
+  "CMakeFiles/core_test.dir/core/table_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fl/aggregator_test.cc" "tests/CMakeFiles/fl_test.dir/fl/aggregator_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/aggregator_test.cc.o.d"
+  "/root/repo/tests/fl/availability_test.cc" "tests/CMakeFiles/fl_test.dir/fl/availability_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/availability_test.cc.o.d"
+  "/root/repo/tests/fl/checkpoint_straggler_test.cc" "tests/CMakeFiles/fl_test.dir/fl/checkpoint_straggler_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/checkpoint_straggler_test.cc.o.d"
+  "/root/repo/tests/fl/engine_test.cc" "tests/CMakeFiles/fl_test.dir/fl/engine_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/engine_test.cc.o.d"
+  "/root/repo/tests/fl/evaluation_test.cc" "tests/CMakeFiles/fl_test.dir/fl/evaluation_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/evaluation_test.cc.o.d"
+  "/root/repo/tests/fl/param_store_test.cc" "tests/CMakeFiles/fl_test.dir/fl/param_store_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/param_store_test.cc.o.d"
+  "/root/repo/tests/fl/server_test.cc" "tests/CMakeFiles/fl_test.dir/fl/server_test.cc.o" "gcc" "tests/CMakeFiles/fl_test.dir/fl/server_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mhb_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fl_test.dir/fl/aggregator_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/aggregator_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/availability_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/availability_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/checkpoint_straggler_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/checkpoint_straggler_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/engine_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/engine_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/evaluation_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/evaluation_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/param_store_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/param_store_test.cc.o.d"
+  "CMakeFiles/fl_test.dir/fl/server_test.cc.o"
+  "CMakeFiles/fl_test.dir/fl/server_test.cc.o.d"
+  "fl_test"
+  "fl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/models_test.dir/models/extended_families_test.cc.o"
+  "CMakeFiles/models_test.dir/models/extended_families_test.cc.o.d"
+  "CMakeFiles/models_test.dir/models/families_test.cc.o"
+  "CMakeFiles/models_test.dir/models/families_test.cc.o.d"
+  "CMakeFiles/models_test.dir/models/index_map_test.cc.o"
+  "CMakeFiles/models_test.dir/models/index_map_test.cc.o.d"
+  "CMakeFiles/models_test.dir/models/slicing_property_test.cc.o"
+  "CMakeFiles/models_test.dir/models/slicing_property_test.cc.o.d"
+  "models_test"
+  "models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

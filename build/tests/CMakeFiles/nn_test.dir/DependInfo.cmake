@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/activation_test.cc" "tests/CMakeFiles/nn_test.dir/nn/activation_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/activation_test.cc.o.d"
+  "/root/repo/tests/nn/adam_test.cc" "tests/CMakeFiles/nn_test.dir/nn/adam_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/adam_test.cc.o.d"
+  "/root/repo/tests/nn/attention_test.cc" "tests/CMakeFiles/nn_test.dir/nn/attention_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/attention_test.cc.o.d"
+  "/root/repo/tests/nn/conv_test.cc" "tests/CMakeFiles/nn_test.dir/nn/conv_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/conv_test.cc.o.d"
+  "/root/repo/tests/nn/edge_cases_test.cc" "tests/CMakeFiles/nn_test.dir/nn/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/edge_cases_test.cc.o.d"
+  "/root/repo/tests/nn/gradient_check_test.cc" "tests/CMakeFiles/nn_test.dir/nn/gradient_check_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/gradient_check_test.cc.o.d"
+  "/root/repo/tests/nn/linear_test.cc" "tests/CMakeFiles/nn_test.dir/nn/linear_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/linear_test.cc.o.d"
+  "/root/repo/tests/nn/loss_test.cc" "tests/CMakeFiles/nn_test.dir/nn/loss_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/loss_test.cc.o.d"
+  "/root/repo/tests/nn/lr_schedule_test.cc" "tests/CMakeFiles/nn_test.dir/nn/lr_schedule_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/lr_schedule_test.cc.o.d"
+  "/root/repo/tests/nn/norm_test.cc" "tests/CMakeFiles/nn_test.dir/nn/norm_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/norm_test.cc.o.d"
+  "/root/repo/tests/nn/optimizer_test.cc" "tests/CMakeFiles/nn_test.dir/nn/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/optimizer_test.cc.o.d"
+  "/root/repo/tests/nn/pool_test.cc" "tests/CMakeFiles/nn_test.dir/nn/pool_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/pool_test.cc.o.d"
+  "/root/repo/tests/nn/training_test.cc" "tests/CMakeFiles/nn_test.dir/nn/training_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/training_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mhb_bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhb_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

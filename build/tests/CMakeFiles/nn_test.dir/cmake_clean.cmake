@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_test.dir/nn/activation_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/activation_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/adam_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/adam_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/attention_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/attention_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/conv_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/conv_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/edge_cases_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/edge_cases_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/gradient_check_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/gradient_check_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/linear_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/linear_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/loss_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/loss_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/lr_schedule_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/lr_schedule_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/norm_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/norm_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/optimizer_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/optimizer_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/pool_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/pool_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/training_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/training_test.cc.o.d"
+  "nn_test"
+  "nn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;mhb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tensor_test "/root/repo/build/tests/tensor_test")
+set_tests_properties(tensor_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;mhb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(data_test "/root/repo/build/tests/data_test")
+set_tests_properties(data_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;26;mhb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fl_test "/root/repo/build/tests/fl_test")
+set_tests_properties(fl_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;31;mhb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(algorithms_test "/root/repo/build/tests/algorithms_test")
+set_tests_properties(algorithms_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;41;mhb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(device_test "/root/repo/build/tests/device_test")
+set_tests_properties(device_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;46;mhb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(constraints_test "/root/repo/build/tests/constraints_test")
+set_tests_properties(constraints_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;51;mhb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(metrics_test "/root/repo/build/tests/metrics_test")
+set_tests_properties(metrics_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;55;mhb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(bench_support_test "/root/repo/build/tests/bench_support_test")
+set_tests_properties(bench_support_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;59;mhb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(models_test "/root/repo/build/tests/models_test")
+set_tests_properties(models_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;63;mhb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(nn_test "/root/repo/build/tests/nn_test")
+set_tests_properties(nn_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;70;mhb_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;86;mhb_add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhbench_cli.dir/mhbench.cc.o"
+  "CMakeFiles/mhbench_cli.dir/mhbench.cc.o.d"
+  "mhbench"
+  "mhbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhbench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
