@@ -23,9 +23,26 @@ double WeightSharingAlgorithm::ClientCapacity(int client_id) const {
   return ctx_->assignments.at(static_cast<std::size_t>(client_id)).capacity;
 }
 
+void WeightSharingAlgorithm::BeginRound(int round,
+                                        const std::vector<int>& participants) {
+  MHB_CHECK(ctx_ != nullptr) << "Setup not called";
+  if (!participants.empty()) last_round_ = round;
+  round_participants_ = participants;
+  staged_.assign(participants.size(), fl::ClientUpdate{});
+  slot_of_client_.assign(static_cast<std::size_t>(ctx_->num_clients()), 0);
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    slot_of_client_[static_cast<std::size_t>(participants[i])] = i;
+  }
+}
+
+std::size_t WeightSharingAlgorithm::SlotOf(int client_id) const {
+  MHB_CHECK_LT(static_cast<std::size_t>(client_id), slot_of_client_.size())
+      << "RunClient outside BeginRound participants";
+  return slot_of_client_[static_cast<std::size_t>(client_id)];
+}
+
 void WeightSharingAlgorithm::RunClient(int client_id, int round, Rng& rng) {
   MHB_CHECK(ctx_ != nullptr) << "Setup not called";
-  last_round_ = round;
   const models::BuildSpec spec = ClientSpec(client_id, round, rng);
   Rng build_rng = rng.Fork(0xB1D);
   models::BuiltModel built = family_->Build(spec, build_rng);
@@ -36,10 +53,17 @@ void WeightSharingAlgorithm::RunClient(int client_id, int round, Rng& rng) {
   const double weight = weighting_ == AggregationWeighting::kDataSize
                             ? static_cast<double>(shard.size())
                             : 1.0;
-  averager_.Accumulate(*built.net, built.mapping, weight, global_->store());
+  // Stage the upload; accumulation is deferred to FinishRound so concurrent
+  // participants never touch the shared averager.
+  staged_[SlotOf(client_id)] =
+      fl::ExtractUpdate(*built.net, built.mapping, weight);
 }
 
 void WeightSharingAlgorithm::FinishRound(int round, Rng& rng) {
+  for (const auto& update : staged_) {
+    if (!update.empty()) averager_.Accumulate(update, global_->store());
+  }
+  staged_.clear();
   if (!averager_.empty()) {
     averager_.ApplyTo(global_->store());
   }

@@ -18,7 +18,12 @@ class WeightSharingAlgorithm : public fl::MhflAlgorithm {
   WeightSharingAlgorithm(models::FamilyPtr family, std::uint64_t seed);
 
   void Setup(const fl::FlContext& ctx, Rng& rng) override;
+  void BeginRound(int round, const std::vector<int>& participants) override;
+  // Trains the client's sub-model and stages the upload into the client's
+  // private buffer; safe to run concurrently for distinct participants.
   void RunClient(int client_id, int round, Rng& rng) override;
+  // Merges staged uploads in participant order (bit-identical to eager
+  // serial accumulation), applies the masked average, then PostAggregate.
   void FinishRound(int round, Rng& rng) override;
   Tensor GlobalLogits(const Tensor& x) override;
   Tensor ClientLogits(int client_id, const Tensor& x) override;
@@ -60,6 +65,8 @@ class WeightSharingAlgorithm : public fl::MhflAlgorithm {
   void set_aggregation_weighting(AggregationWeighting w) { weighting_ = w; }
 
  protected:
+  // Staging slot for `client_id` in the current round, fixed by BeginRound.
+  std::size_t SlotOf(int client_id) const;
 
   const fl::FlContext* ctx_ = nullptr;
   models::FamilyPtr family_;
@@ -69,6 +76,11 @@ class WeightSharingAlgorithm : public fl::MhflAlgorithm {
   int last_round_ = 0;
   bool sbn_eval_ = true;
   AggregationWeighting weighting_ = AggregationWeighting::kDataSize;
+  // Current round's participants (dispatch order) and their staged uploads;
+  // RunClient writes only its own slot.
+  std::vector<int> round_participants_;
+  std::vector<fl::ClientUpdate> staged_;
+  std::vector<std::size_t> slot_of_client_;  // client id -> staging slot
 };
 
 }  // namespace mhbench::algorithms

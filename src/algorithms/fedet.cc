@@ -46,6 +46,16 @@ int FedEt::ArchOf(int client_id) const {
   return hint % static_cast<int>(families_.size());
 }
 
+void FedEt::BeginRound(int /*round*/, const std::vector<int>& participants) {
+  MHB_CHECK(ctx_ != nullptr);
+  round_participants_ = participants;
+  staged_.assign(participants.size(), fl::ClientUpdate{});
+  slot_of_client_.assign(static_cast<std::size_t>(ctx_->num_clients()), 0);
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    slot_of_client_[static_cast<std::size_t>(participants[i])] = i;
+  }
+}
+
 void FedEt::RunClient(int client_id, int round, Rng& rng) {
   MHB_CHECK(ctx_ != nullptr);
   const int arch = ArchOf(client_id);
@@ -57,10 +67,11 @@ void FedEt::RunClient(int client_id, int round, Rng& rng) {
   const data::Dataset& shard =
       ctx_->shards.at(static_cast<std::size_t>(client_id));
   fl::TrainLocal(*built.net, shard, ctx_->local_options(round), rng);
-  group_averagers_[au].Accumulate(*built.net, built.mapping,
-                                  static_cast<double>(shard.size()),
-                                  group_models_[au]->store());
-  group_round_clients_[au] += 1;
+  // Stage the upload; the per-group averagers and counters are shared, so
+  // they are only touched in the serial merge below.
+  staged_[slot_of_client_[static_cast<std::size_t>(client_id)]] =
+      fl::ExtractUpdate(*built.net, built.mapping,
+                        static_cast<double>(shard.size()));
 }
 
 Tensor FedEt::GroupLogits(int arch, const Tensor& x) {
@@ -68,6 +79,16 @@ Tensor FedEt::GroupLogits(int arch, const Tensor& x) {
 }
 
 void FedEt::FinishRound(int /*round*/, Rng& rng) {
+  // Merge staged uploads into the per-group averagers in participant order
+  // (the order eager serial accumulation used).
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    if (staged_[i].empty()) continue;
+    const auto au = static_cast<std::size_t>(ArchOf(round_participants_[i]));
+    group_averagers_[au].Accumulate(staged_[i], group_models_[au]->store());
+    group_round_clients_[au] += 1;
+  }
+  staged_.clear();
+
   // Within-group FedAvg.
   for (std::size_t a = 0; a < families_.size(); ++a) {
     if (!group_averagers_[a].empty()) {
@@ -155,6 +176,8 @@ Tensor FedEt::GlobalLogits(const Tensor& x) {
 }
 
 Tensor FedEt::ClientLogits(int client_id, const Tensor& x) {
+  // Shared group models; see eval_mu_ in the header.
+  std::lock_guard<std::mutex> lock(eval_mu_);
   return GroupLogits(ArchOf(client_id), x);
 }
 

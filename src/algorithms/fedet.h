@@ -9,6 +9,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 
 #include "fl/aggregator.h"
 #include "fl/engine.h"
@@ -31,6 +32,7 @@ class FedEt : public fl::MhflAlgorithm {
   std::string name() const override { return "fedet"; }
 
   void Setup(const fl::FlContext& ctx, Rng& rng) override;
+  void BeginRound(int round, const std::vector<int>& participants) override;
   void RunClient(int client_id, int round, Rng& rng) override;
   void FinishRound(int round, Rng& rng) override;
   Tensor GlobalLogits(const Tensor& x) override;
@@ -49,6 +51,18 @@ class FedEt : public fl::MhflAlgorithm {
   std::vector<std::unique_ptr<fl::GlobalModel>> group_models_;
   std::vector<fl::MaskedAverager> group_averagers_;
   std::vector<int> group_round_clients_;  // sampled clients per group
+
+  // Current round's participants (dispatch order) and their staged uploads;
+  // RunClient fills only its own slot, FinishRound merges in order.
+  std::vector<int> round_participants_;
+  std::vector<fl::ClientUpdate> staged_;
+  std::vector<std::size_t> slot_of_client_;
+
+  // GroupLogits syncs and forwards through the shared group models; the
+  // engine may evaluate ClientLogits concurrently, so serialize access.
+  // Results are independent of acquisition order (sync + eval-mode forward
+  // is a pure function of store contents), preserving determinism.
+  std::mutex eval_mu_;
 
   // Server (large) model, trained by distillation.
   models::BuiltModel server_model_;

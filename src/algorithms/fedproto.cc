@@ -163,6 +163,24 @@ Tensor FedProto::DistanceLogits(const Tensor& proto_emb) const {
   return logits;
 }
 
+void FedProto::BeginRound(int /*round*/, const std::vector<int>& participants) {
+  MHB_CHECK(ctx_ != nullptr);
+  round_participants_ = participants;
+  staged_.assign(participants.size(), ProtoStage{});
+  slot_of_client_.assign(static_cast<std::size_t>(ctx_->num_clients()), 0);
+  for (std::size_t i = 0; i < participants.size(); ++i) {
+    slot_of_client_[static_cast<std::size_t>(participants[i])] = i;
+    // Create states serially; client state construction is seeded purely by
+    // the client id, so early creation leaves contents unchanged.
+    GetOrCreateState(participants[i]);
+  }
+}
+
+void FedProto::PrepareEvaluation() {
+  MHB_CHECK(ctx_ != nullptr);
+  for (int c = 0; c < ctx_->num_clients(); ++c) GetOrCreateState(c);
+}
+
 void FedProto::RunClient(int client_id, int round, Rng& rng) {
   MHB_CHECK(ctx_ != nullptr);
   ClientState& state = GetOrCreateState(client_id);
@@ -222,7 +240,11 @@ void FedProto::RunClient(int client_id, int round, Rng& rng) {
     }
   }
 
-  // Stage prototype uploads: class means of projected embeddings.
+  // Stage prototype uploads into this client's private buffer: the class
+  // and projected embedding of every sample, in observation order.  The
+  // shared accumulators are only touched in FinishRound (serial).
+  ProtoStage& stage = staged_[slot_of_client_[static_cast<std::size_t>(
+      client_id)]];
   data::BatchIterator batches(shard, opts.batch_size, rng, /*shuffle=*/false);
   Tensor x;
   std::vector<int> y;
@@ -230,17 +252,31 @@ void FedProto::RunClient(int client_id, int round, Rng& rng) {
     Tensor proto_emb, logits;
     EmbedAndLogits(state, x, proto_emb, logits);
     for (int i = 0; i < proto_emb.dim(0); ++i) {
-      const int cls = y[static_cast<std::size_t>(i)];
+      stage.classes.push_back(y[static_cast<std::size_t>(i)]);
       for (int j = 0; j < proto_dim_; ++j) {
-        proto_sum_[static_cast<std::size_t>(cls) * proto_dim_ + j] +=
-            proto_emb[static_cast<std::size_t>(i) * proto_dim_ + j];
+        stage.embeddings.push_back(
+            proto_emb[static_cast<std::size_t>(i) * proto_dim_ + j]);
       }
-      proto_count_[static_cast<std::size_t>(cls)] += 1.0;
     }
   }
 }
 
 void FedProto::FinishRound(int /*round*/, Rng& /*rng*/) {
+  // Replay staged uploads in participant order, sample order — the same
+  // float additions, in the same order, as eager serial accumulation.
+  for (const ProtoStage& stage : staged_) {
+    for (std::size_t s = 0; s < stage.classes.size(); ++s) {
+      const int cls = stage.classes[s];
+      for (int j = 0; j < proto_dim_; ++j) {
+        proto_sum_[static_cast<std::size_t>(cls) * proto_dim_ + j] +=
+            stage.embeddings[s * static_cast<std::size_t>(proto_dim_) +
+                             static_cast<std::size_t>(j)];
+      }
+      proto_count_[static_cast<std::size_t>(cls)] += 1.0;
+    }
+  }
+  staged_.clear();
+
   bool any = false;
   for (double c : proto_count_) {
     if (c > 0) any = true;

@@ -29,8 +29,13 @@ class FedProto : public fl::MhflAlgorithm {
   std::string name() const override { return "fedproto"; }
 
   void Setup(const fl::FlContext& ctx, Rng& rng) override;
+  // Pre-creates participant states (lazily built otherwise) so RunClient
+  // never mutates the shared state map.
+  void BeginRound(int round, const std::vector<int>& participants) override;
   void RunClient(int client_id, int round, Rng& rng) override;
   void FinishRound(int round, Rng& rng) override;
+  // Pre-creates every client's state for the concurrent stability loop.
+  void PrepareEvaluation() override;
   Tensor GlobalLogits(const Tensor& x) override;
   Tensor ClientLogits(int client_id, const Tensor& x) override;
 
@@ -39,6 +44,16 @@ class FedProto : public fl::MhflAlgorithm {
     int arch = 0;
     models::BuiltModel model;
     std::unique_ptr<nn::Linear> proj;  // embedding -> prototype space
+  };
+
+  // One round's staged prototype uploads from one client: per observed
+  // sample its class and projected embedding, in observation order.
+  // FinishRound replays these into proto_sum_/proto_count_ in participant
+  // then sample order — the exact floating-point op sequence the eager
+  // serial accumulation performed, keeping parallel runs bit-identical.
+  struct ProtoStage {
+    std::vector<int> classes;       // one per sample
+    std::vector<Scalar> embeddings; // proto_dim_ values per sample
   };
 
   ClientState& GetOrCreateState(int client_id);
@@ -60,9 +75,13 @@ class FedProto : public fl::MhflAlgorithm {
   // Global prototypes [classes, proto_dim]; empty until the first round
   // completes.
   Tensor global_protos_;
-  // Staged uploads for the current round.
+  // Per-round accumulators, filled serially in FinishRound from staged_.
   Tensor proto_sum_;
   std::vector<double> proto_count_;
+  // Current round's participants (dispatch order) and their staged uploads.
+  std::vector<int> round_participants_;
+  std::vector<ProtoStage> staged_;
+  std::vector<std::size_t> slot_of_client_;
 };
 
 }  // namespace mhbench::algorithms

@@ -22,16 +22,17 @@ models::BuildSpec InclusiveFl::GlobalEvalSpec() {
   return spec;
 }
 
-void InclusiveFl::RunClient(int client_id, int round, Rng& rng) {
-  // Snapshot the store once at the start of each round so PostAggregate can
-  // compute per-block updates.
-  if (pre_round_.empty() || last_round_ != round) {
+void InclusiveFl::BeginRound(int round, const std::vector<int>& participants) {
+  WeightSharingAlgorithm::BeginRound(round, participants);
+  // Snapshot the store once per participating round (serial phase) so
+  // PostAggregate can compute per-block updates; taking it here rather than
+  // lazily in RunClient keeps the concurrent dispatch phase read-only.
+  if (!participants.empty()) {
     pre_round_.clear();
     for (const auto& name : global_->store().Names()) {
       pre_round_[name] = global_->store().Get(name);
     }
   }
-  WeightSharingAlgorithm::RunClient(client_id, round, rng);
 }
 
 void InclusiveFl::PostAggregate(int /*round*/, Rng& /*rng*/) {

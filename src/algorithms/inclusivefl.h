@@ -25,8 +25,13 @@ class InclusiveFl : public WeightSharingAlgorithm {
   models::BuildSpec ClientSpec(int client_id, int /*round*/,
                                Rng& /*rng*/) override;
   models::BuildSpec GlobalEvalSpec() override;
-  void RunClient(int client_id, int round, Rng& rng) override;
   void PostAggregate(int round, Rng& rng) override;
+
+ public:
+  // Snapshots the pre-round store (serial phase) for PostAggregate.
+  void BeginRound(int round, const std::vector<int>& participants) override;
+
+ private:
 
  private:
   double momentum_;

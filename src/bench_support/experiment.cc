@@ -137,6 +137,7 @@ metrics::MetricBundle RunWith(const std::string& algorithm,
     fcfg2.eval_max_samples = p.eval_max_samples;
     fcfg2.stability_max_samples = p.stability_max_samples;
     fcfg2.seed = p.seed + static_cast<std::uint64_t>(rep) * 17;
+    fcfg2.num_threads = p.threads;
     if (options.dirichlet_alpha > 0) {
       fcfg2.partition = fl::PartitionKind::kDirichlet;
       fcfg2.dirichlet_alpha = options.dirichlet_alpha;

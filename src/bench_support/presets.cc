@@ -15,6 +15,7 @@ BenchPreset BenchPreset::FromEnv() {
   p.eval_max_samples = EnvInt("MHB_EVAL_SAMPLES", 200);
   p.stability_max_samples = EnvInt("MHB_STABILITY_SAMPLES", 96);
   p.seed = static_cast<std::uint64_t>(EnvInt("MHB_SEED", 1));
+  p.threads = EnvInt("MHB_THREADS", 1);
   return p;
 }
 

@@ -17,9 +17,13 @@ struct BenchPreset {
   int eval_max_samples;
   int stability_max_samples;
   std::uint64_t seed;
+  // Threads for client dispatch / stability evaluation (1 = serial; any
+  // value yields bit-identical results — see fl::FlConfig::num_threads).
+  int threads;
 
   // Reads MHB_ROUNDS, MHB_CLIENTS, MHB_TRAIN, MHB_TEST,
-  // MHB_SAMPLE_FRACTION, MHB_EVAL_EVERY, MHB_SEED over the fast defaults.
+  // MHB_SAMPLE_FRACTION, MHB_EVAL_EVERY, MHB_SEED, MHB_THREADS over the
+  // fast defaults.
   static BenchPreset FromEnv();
 };
 

@@ -1,0 +1,64 @@
+// A fixed-size worker pool plus a deterministic parallel-for helper.
+//
+// The pool is deliberately minimal: tasks are plain std::function<void()>
+// jobs consumed from one queue.  All ordering guarantees the FL engine needs
+// (bit-identical results vs. serial execution) come from *callers* drawing
+// randomness and merging results serially; the pool only provides raw
+// concurrency for work that is independent per item.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mhbench::core {
+
+class ThreadPool {
+ public:
+  // Spawns `num_workers` worker threads (0 is allowed; the pool is then a
+  // no-op and ParallelFor degrades to the calling thread).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  // Enqueues a task.  Must not be called after destruction has begun.
+  void Submit(std::function<void()> task);
+
+  // True when the calling thread is one of *any* pool's workers.  Nested
+  // ParallelFor calls use this to run inline instead of submitting to a
+  // queue they are themselves responsible for draining (deadlock guard).
+  static bool InWorker();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Runs fn(i) for every i in [0, n).  Iterations execute on the pool's
+// workers *and* the calling thread; the call returns once all iterations
+// have finished.  Runs serially inline when `pool` is null, has no workers,
+// n <= 1, or the caller is itself a pool worker (nested-submit guard).
+//
+// Exception safety: the first exception thrown by any iteration is captured,
+// remaining unstarted iterations are abandoned, and the exception is
+// rethrown on the calling thread after in-flight iterations drain.
+//
+// fn must be safe to invoke concurrently for distinct i; no two invocations
+// receive the same i.
+void ParallelFor(ThreadPool* pool, std::size_t n,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace mhbench::core

@@ -5,25 +5,45 @@
 
 namespace mhbench::fl {
 
-void MaskedAverager::Accumulate(nn::Module& model,
-                                const models::ParamMapping& mapping,
-                                double weight, const ParamStore& reference) {
+ClientUpdate ExtractUpdate(nn::Module& model,
+                           const models::ParamMapping& mapping,
+                           double weight) {
   MHB_CHECK_GT(weight, 0.0);
   std::vector<nn::NamedParam> params;
   model.CollectParams("", params);
   MHB_CHECK_EQ(params.size(), mapping.size());
+  ClientUpdate update;
+  update.mapping = mapping;
+  update.weight = weight;
+  update.values.reserve(params.size());
   for (std::size_t i = 0; i < params.size(); ++i) {
-    const auto& slice = mapping[i];
-    MHB_CHECK_EQ(params[i].name, slice.name) << "mapping order mismatch";
+    MHB_CHECK_EQ(params[i].name, mapping[i].name) << "mapping order mismatch";
+    update.values.push_back(params[i].param->value);
+  }
+  return update;
+}
+
+void MaskedAverager::Accumulate(nn::Module& model,
+                                const models::ParamMapping& mapping,
+                                double weight, const ParamStore& reference) {
+  Accumulate(ExtractUpdate(model, mapping, weight), reference);
+}
+
+void MaskedAverager::Accumulate(const ClientUpdate& update,
+                                const ParamStore& reference) {
+  MHB_CHECK_GT(update.weight, 0.0);
+  MHB_CHECK_EQ(update.values.size(), update.mapping.size());
+  for (std::size_t i = 0; i < update.values.size(); ++i) {
+    const auto& slice = update.mapping[i];
     const Tensor& global_ref = reference.Get(slice.name);
     auto [sit, inserted] = sum_.try_emplace(slice.name, global_ref.shape());
     if (inserted) weight_.emplace(slice.name, Tensor(global_ref.shape()));
 
-    Tensor weighted = params[i].param->value;
-    weighted.Scale(static_cast<Scalar>(weight));
+    Tensor weighted = update.values[i];
+    weighted.Scale(static_cast<Scalar>(update.weight));
     ops::ScatterAddDims(sit->second, weighted, slice.index);
-    const Tensor w(params[i].param->value.shape(),
-                   static_cast<Scalar>(weight));
+    const Tensor w(update.values[i].shape(),
+                   static_cast<Scalar>(update.weight));
     ops::ScatterAddDims(weight_.at(slice.name), w, slice.index);
   }
 }

@@ -62,12 +62,22 @@ double RunResult::MeanClientAccuracy() const {
   return mean / static_cast<double>(client_accuracies.size());
 }
 
+void MhflAlgorithm::BeginRound(int /*round*/,
+                               const std::vector<int>& /*participants*/) {}
+
+void MhflAlgorithm::PrepareEvaluation() {}
+
 FlEngine::FlEngine(const data::Task& task, FlConfig config,
                    std::vector<ClientAssignment> assignments,
                    MhflAlgorithm& algorithm)
     : config_(config), algorithm_(algorithm), rng_(config.seed) {
   ctx_.task = &task;
   ctx_.config = &config_;
+  if (config_.num_threads > 1) {
+    // The calling thread participates in every ParallelFor, so num_threads
+    // total threads execute client work.
+    pool_ = std::make_unique<core::ThreadPool>(config_.num_threads - 1);
+  }
 
   // Partition the training data into client shards.
   data::Partition partition;
@@ -121,6 +131,12 @@ RunResult FlEngine::Run() {
     const std::vector<int> sampled = round_rng.SampleWithoutReplacement(
         num_clients, std::min(sample_count, num_clients));
 
+    // Phase 1 (serial): every order-sensitive random decision — availability
+    // draws, straggler drops, per-client Rng forks — is made here, in the
+    // sampled order, consuming round_rng exactly as the serial engine does.
+    // Only after the full stream is fixed may clients run concurrently.
+    std::vector<Participant> participants;
+    participants.reserve(sampled.size());
     double round_time = 0.0;
     for (int c : sampled) {
       const auto& sys = ctx_.assignments[static_cast<std::size_t>(c)].system;
@@ -138,14 +154,28 @@ RunResult FlEngine::Run() {
         ++result.straggler_drops;
         continue;
       }
-      Rng client_rng = round_rng.Fork(static_cast<std::uint64_t>(c));
-      algorithm_.RunClient(c, round, client_rng);
+      participants.push_back(
+          {c, round_rng.Fork(static_cast<std::uint64_t>(c))});
       round_time = std::max(round_time, client_time);
     }
     if (config_.round_deadline_s > 0) {
       // The server waits until the deadline regardless of who made it.
       round_time = config_.round_deadline_s;
     }
+
+    std::vector<int> participant_ids;
+    participant_ids.reserve(participants.size());
+    for (const auto& p : participants) participant_ids.push_back(p.client_id);
+    algorithm_.BeginRound(round, participant_ids);
+
+    // Phase 2: dispatch.  Each participant trains with the Rng fixed above;
+    // algorithms stage uploads per client and merge them in participant
+    // order inside FinishRound.
+    core::ParallelFor(pool_.get(), participants.size(), [&](std::size_t i) {
+      algorithm_.RunClient(participants[i].client_id, round,
+                           participants[i].rng);
+    });
+
     algorithm_.FinishRound(round, round_rng);
     sim_time += round_time;
 
@@ -163,12 +193,18 @@ RunResult FlEngine::Run() {
       result.curve.empty() ? evaluate_global() : result.curve.back().global_acc;
 
   // Stability: every client's personalized model on the shared test set.
-  result.client_accuracies.reserve(static_cast<std::size_t>(num_clients));
-  for (int c = 0; c < num_clients; ++c) {
-    result.client_accuracies.push_back(EvaluateAccuracy(
-        [&](const Tensor& x) { return algorithm_.ClientLogits(c, x); },
-        ctx_.task->test, config_.stability_max_samples));
-  }
+  // Clients are independent given the final global state, so the loop
+  // parallelizes; each client writes only its own slot.
+  algorithm_.PrepareEvaluation();
+  result.client_accuracies.assign(static_cast<std::size_t>(num_clients), 0.0);
+  core::ParallelFor(
+      pool_.get(), static_cast<std::size_t>(num_clients), [&](std::size_t c) {
+        result.client_accuracies[c] = EvaluateAccuracy(
+            [&](const Tensor& x) {
+              return algorithm_.ClientLogits(static_cast<int>(c), x);
+            },
+            ctx_.task->test, config_.stability_max_samples);
+      });
   return result;
 }
 

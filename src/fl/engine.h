@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/thread_pool.h"
 #include "data/tasks.h"
 #include "fl/client.h"
 
@@ -45,6 +46,11 @@ struct FlConfig {
   PartitionKind partition = PartitionKind::kIid;
   double dirichlet_alpha = 0.5;
   std::uint64_t seed = 1;
+  // Threads executing client work (local training, stability evaluation).
+  // 1 = fully serial (the reference execution).  Any value produces
+  // bit-identical RunResults: all order-sensitive randomness is drawn
+  // serially before dispatch and updates are merged in dispatch order.
+  int num_threads = 1;
 };
 
 // Everything an algorithm can see.  Owned by the engine; stable for the
@@ -63,6 +69,18 @@ struct FlContext {
 };
 
 // Algorithm plug-in interface.  One instance per run.
+//
+// Threading contract: the engine runs each round in two phases.  Phase 1
+// (serial) draws every order-sensitive random decision and calls BeginRound
+// with the surviving participants in dispatch order.  Phase 2 may invoke
+// RunClient concurrently, once per participant, each with a private Rng
+// forked serially in phase 1.  Implementations must therefore stage each
+// client's upload into a per-client buffer during RunClient and merge the
+// buffers in the BeginRound participant order inside FinishRound (serial
+// again) — merging in that fixed order is what keeps multi-threaded runs
+// bit-identical to serial ones.  RunClient must not mutate state shared
+// across clients; lazily-created per-client state must be created in
+// BeginRound (or PrepareEvaluation for evaluation-only state).
 class MhflAlgorithm {
  public:
   virtual ~MhflAlgorithm() = default;
@@ -72,16 +90,27 @@ class MhflAlgorithm {
   // Called once before round 0.  `ctx` outlives the run.
   virtual void Setup(const FlContext& ctx, Rng& rng) = 0;
 
-  // Local training for one sampled client.
+  // Called serially before a round's RunClient dispatches.  `participants`
+  // holds the sampled clients that survived availability/straggler filtering,
+  // in dispatch order (the order FinishRound must merge staged updates in).
+  virtual void BeginRound(int round, const std::vector<int>& participants);
+
+  // Local training for one sampled client.  May run concurrently with other
+  // participants of the same round; see the class comment.
   virtual void RunClient(int client_id, int round, Rng& rng) = 0;
 
-  // Server aggregation for the round.
+  // Server aggregation for the round (serial).
   virtual void FinishRound(int round, Rng& rng) = 0;
+
+  // Called serially once before the engine evaluates ClientLogits for every
+  // client, possibly concurrently.  Pre-create lazily-built eval state here.
+  virtual void PrepareEvaluation();
 
   // Global-model logits (eval mode) for the global-accuracy metric.
   virtual Tensor GlobalLogits(const Tensor& x) = 0;
 
-  // Personalized logits for one client (stability metric).
+  // Personalized logits for one client (stability metric).  May be called
+  // concurrently for distinct clients after PrepareEvaluation.
   virtual Tensor ClientLogits(int client_id, const Tensor& x) = 0;
 };
 
@@ -123,10 +152,19 @@ class FlEngine {
   const FlContext& context() const { return ctx_; }
 
  private:
+  // One surviving sampled client of a round with its serially-forked Rng.
+  struct Participant {
+    int client_id;
+    Rng rng;
+  };
+
   FlConfig config_;
   FlContext ctx_;
   MhflAlgorithm& algorithm_;
   Rng rng_;
+  // Worker pool for client dispatch and stability evaluation; null when
+  // config_.num_threads <= 1 (serial reference execution).
+  std::unique_ptr<core::ThreadPool> pool_;
 };
 
 }  // namespace mhbench::fl

@@ -1,0 +1,135 @@
+// The tentpole invariant of the parallel round executor: for every
+// heterogeneity level, multi-threaded execution produces a RunResult
+// bit-identical to the serial reference engine — same accuracy curve, same
+// simulated clock, same per-client accuracies, same offline/straggler
+// counters — because all order-sensitive randomness is drawn serially and
+// staged updates merge in dispatch order.
+#include <gtest/gtest.h>
+
+#include "algorithms/registry.h"
+#include "data/tasks.h"
+#include "fl/engine.h"
+#include "models/zoo.h"
+
+namespace mhbench::fl {
+namespace {
+
+struct Case {
+  std::string algorithm;
+  std::string task;
+};
+
+class ParallelDeterminismTest : public ::testing::TestWithParam<Case> {};
+
+// One representative per heterogeneity level (width / depth / topology)
+// plus the stochastic-width ladder (Fjord draws from the per-client Rng in
+// ClientSpec, so it catches any shift of the forked streams) and the
+// distillation-based topology method (shared group models on the eval path).
+INSTANTIATE_TEST_SUITE_P(
+    Levels, ParallelDeterminismTest,
+    ::testing::ValuesIn(std::vector<Case>{
+        {"fedrolex", "cifar10"},
+        {"fjord", "cifar10"},
+        {"depthfl", "ucihar"},
+        {"fedproto", "cifar10"},
+        {"fedet", "cifar10"},
+    }),
+    [](const ::testing::TestParamInfo<Case>& info) {
+      return info.param.algorithm;
+    });
+
+// Assignments exercising every skip path: a capacity ladder, flaky devices
+// (availability < 1 -> offline skips), and a compute-time spread crossing
+// the round deadline (-> straggler drops).
+std::vector<ClientAssignment> HeterogeneousAssignments(int n) {
+  std::vector<ClientAssignment> assign =
+      UniformCapacityAssignments(n, {0.25, 0.5, 0.75, 1.0});
+  for (int i = 0; i < n; ++i) {
+    auto& a = assign[static_cast<std::size_t>(i)];
+    a.arch_index = i;  // topology diversity for fedproto/fedet
+    a.system.compute_time_s = 5.0 + 7.0 * (i % 4);  // 5..26 s
+    a.system.comm_time_s = 2.0;
+    a.system.availability = (i % 3 == 0) ? 0.5 : 1.0;
+  }
+  return assign;
+}
+
+RunResult RunWithThreads(const Case& c, const data::Task& task,
+                         int num_threads) {
+  const auto tm = models::MakeTaskModels(c.task);
+  auto alg = algorithms::MakeAlgorithm(c.algorithm, tm);
+
+  FlConfig cfg;
+  cfg.rounds = 4;
+  cfg.sample_fraction = 0.8;  // most of the population, every round
+  cfg.eval_every = 2;
+  cfg.eval_max_samples = 96;
+  cfg.stability_max_samples = 48;
+  cfg.round_deadline_s = 25.0;  // compute 26 + comm 2 exceeds it
+  cfg.num_threads = num_threads;
+
+  FlEngine engine(task, cfg, HeterogeneousAssignments(6), *alg);
+  return engine.Run();
+}
+
+// Bit-identical comparison: exact double equality, field by field.
+void ExpectIdentical(const RunResult& serial, const RunResult& parallel,
+                     int threads) {
+  SCOPED_TRACE("num_threads=" + std::to_string(threads));
+  EXPECT_EQ(serial.final_accuracy, parallel.final_accuracy);
+  EXPECT_EQ(serial.total_sim_time_s, parallel.total_sim_time_s);
+  EXPECT_EQ(serial.straggler_drops, parallel.straggler_drops);
+  EXPECT_EQ(serial.offline_skips, parallel.offline_skips);
+  EXPECT_EQ(serial.total_participations, parallel.total_participations);
+
+  ASSERT_EQ(serial.curve.size(), parallel.curve.size());
+  for (std::size_t i = 0; i < serial.curve.size(); ++i) {
+    EXPECT_EQ(serial.curve[i].round, parallel.curve[i].round);
+    EXPECT_EQ(serial.curve[i].sim_time_s, parallel.curve[i].sim_time_s);
+    EXPECT_EQ(serial.curve[i].global_acc, parallel.curve[i].global_acc);
+  }
+
+  ASSERT_EQ(serial.client_accuracies.size(),
+            parallel.client_accuracies.size());
+  for (std::size_t i = 0; i < serial.client_accuracies.size(); ++i) {
+    EXPECT_EQ(serial.client_accuracies[i], parallel.client_accuracies[i])
+        << "client " << i;
+  }
+}
+
+TEST_P(ParallelDeterminismTest, BitIdenticalAcrossThreadCounts) {
+  const Case c = GetParam();
+  data::TaskConfig tcfg;
+  tcfg.train_samples = 240;
+  tcfg.test_samples = 120;
+  tcfg.num_clients = 6;
+  const data::Task task = data::MakeTask(c.task, tcfg);
+
+  const RunResult serial = RunWithThreads(c, task, 1);
+
+  // The scenario must actually exercise the skip paths it claims to cover.
+  EXPECT_GT(serial.offline_skips, 0) << "availability<1 never skipped";
+  EXPECT_GT(serial.straggler_drops, 0) << "deadline never dropped";
+  EXPECT_FALSE(serial.curve.empty());
+  EXPECT_EQ(serial.client_accuracies.size(), 6u);
+
+  ExpectIdentical(serial, RunWithThreads(c, task, 2), 2);
+  ExpectIdentical(serial, RunWithThreads(c, task, 4), 4);
+}
+
+// The refactor must not have changed the serial reference itself: two
+// serial runs of the same seed agree (guards the phase-1 draw order).
+TEST(ParallelDeterminismTest, SerialRunIsReproducible) {
+  data::TaskConfig tcfg;
+  tcfg.train_samples = 240;
+  tcfg.test_samples = 120;
+  tcfg.num_clients = 6;
+  const data::Task task = data::MakeTask("cifar10", tcfg);
+  const Case c{"sheterofl", "cifar10"};
+  const RunResult a = RunWithThreads(c, task, 1);
+  const RunResult b = RunWithThreads(c, task, 1);
+  ExpectIdentical(a, b, 1);
+}
+
+}  // namespace
+}  // namespace mhbench::fl

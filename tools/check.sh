@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Full verification: build + ctest in the plain configuration, then again
+# under ThreadSanitizer (MHBENCH_SANITIZE=thread) to race-check the parallel
+# round executor.  Run from anywhere; builds live in build/ and build-tsan/.
+#
+#   tools/check.sh           # plain + tsan
+#   tools/check.sh --plain   # plain only
+#   tools/check.sh --tsan    # tsan only
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+mode="${1:-all}"
+
+run_suite() {
+  local dir="$1"; shift
+  cmake -B "$dir" -S "$repo" "$@"
+  cmake --build "$dir" -j
+  ctest --test-dir "$dir" --output-on-failure -j
+}
+
+case "$mode" in
+  all|--all)
+    run_suite "$repo/build"
+    run_suite "$repo/build-tsan" -DMHBENCH_SANITIZE=thread
+    ;;
+  --plain) run_suite "$repo/build" ;;
+  --tsan)  run_suite "$repo/build-tsan" -DMHBENCH_SANITIZE=thread ;;
+  *)
+    echo "usage: tools/check.sh [--plain|--tsan]" >&2
+    exit 2
+    ;;
+esac
+
+echo "check.sh: all suites passed"

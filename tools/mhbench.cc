@@ -10,8 +10,10 @@
 //       Print the per-client model assignment a constraint case produces.
 //   mhbench run --task cifar10 --algorithm sheterofl
 //               [--constraint computation] [--rounds 20] [--clients 10]
-//               [--alpha 0.5] [--deadline 0] [--seed 1]
+//               [--alpha 0.5] [--deadline 0] [--seed 1] [--threads 1]
 //       Run one federated experiment and print the metric panel.
+//       --threads parallelizes client training and stability evaluation;
+//       results are bit-identical for any thread count.
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -172,6 +174,7 @@ int CmdRun(const Args& args) {
   options.preset.clients = args.GetI("clients", options.preset.clients);
   options.preset.seed =
       static_cast<std::uint64_t>(args.GetI("seed", 1));
+  options.preset.threads = args.GetI("threads", options.preset.threads);
 
   const std::string algorithm = args.Get("algorithm", "sheterofl");
   std::printf("running %s on %s under %s-limited MHFL (%d rounds, %d "
