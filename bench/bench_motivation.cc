@@ -66,7 +66,9 @@ int main() {
                         ? "proportional (literature)"
                         : "computation-limited (paper)",
                     algorithm,
-                    AsciiTable::Num(bundle.straggler_drop_rate * 100, 1) + "%",
+                    AsciiTable::Num(metrics::StragglerDropRate(bundle) * 100,
+                                    1) +
+                        "%",
                     AsciiTable::Num(bundle.global_accuracy, 3)});
     }
   }

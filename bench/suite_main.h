@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,9 @@
 #include "bench_support/experiment.h"
 #include "core/env.h"
 #include "metrics/report.h"
+#include "obs/manifest.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace mhbench::benchmain {
 
@@ -33,11 +37,25 @@ inline int RunConstraintFigure(const std::string& figure_id,
       "(fast preset; scale with MHB_ROUNDS / MHB_CLIENTS / MHB_TRAIN / "
       "MHB_REPEATS)\n\n");
 
+  // MHB_OBS_DIR=<dir> makes every figure emit telemetry: a run manifest
+  // (manifest.json + per-round rounds.csv) and a Chrome trace per task,
+  // under <dir>/<figure_id>-<task>/.  MHB_TRACE_SIM=1 adds sim-clock lanes.
+  const std::string obs_dir = EnvString("MHB_OBS_DIR", "");
+
   std::vector<metrics::MetricBundle> all;
   for (const auto& task : tasks) {
     bench_support::SuiteOptions options;
     options.constraint = constraint;
     options.task = task;
+    std::unique_ptr<obs::Tracer> tracer;
+    std::unique_ptr<obs::Registry> registry;
+    if (!obs_dir.empty()) {
+      tracer = std::make_unique<obs::Tracer>();
+      registry = std::make_unique<obs::Registry>();
+      options.obs.tracer = tracer.get();
+      options.obs.registry = registry.get();
+      options.obs.sim_spans = EnvInt("MHB_TRACE_SIM", 0) != 0;
+    }
     const auto bundles =
         bench_support::RunSuite(MhflAlgorithms(), options);
     std::fputs(
@@ -48,6 +66,28 @@ inline int RunConstraintFigure(const std::string& figure_id,
         metrics::RenderCurves("accuracy curves: " + task, bundles).c_str(),
         stdout);
     std::puts("");
+    if (!obs_dir.empty()) {
+      obs::RunManifest m;
+      m.run_id = figure_id + "-" + task;
+      m.tool = figure_id;
+      m.git_describe = obs::GitDescribe();
+      m.created_utc = obs::IsoTimestampUtc();
+      m.seed = options.preset.seed;
+      m.threads = options.preset.threads;
+      m.config = {{"constraint", constraint},
+                  {"task", task},
+                  {"rounds", std::to_string(options.preset.rounds)},
+                  {"clients", std::to_string(options.preset.clients)}};
+      for (const auto& b : bundles) {
+        m.metrics.emplace_back(b.algorithm + ".global_accuracy",
+                               b.global_accuracy);
+      }
+      const std::string run_dir =
+          obs::WriteRunManifest(obs_dir, m, registry.get());
+      tracer->WriteChromeJson(run_dir + "/trace.json");
+      tracer->WriteJsonl(run_dir + "/trace.jsonl");
+      std::printf("[telemetry written to %s]\n", run_dir.c_str());
+    }
     all.insert(all.end(), bundles.begin(), bundles.end());
   }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "fl/client.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace mhbench::algorithms {
 
@@ -27,6 +29,11 @@ void WeightSharingAlgorithm::BeginRound(int round,
                                         const std::vector<int>& participants) {
   MHB_CHECK(ctx_ != nullptr) << "Setup not called";
   if (!participants.empty()) last_round_ = round;
+  if (!obs_ids_ready_ && ctx_->config->obs.registry != nullptr) {
+    obs_upload_params_id_ =
+        ctx_->config->obs.registry->Counter("upload_params");
+    obs_ids_ready_ = true;
+  }
   round_participants_ = participants;
   staged_.assign(participants.size(), fl::ClientUpdate{});
   slot_of_client_.assign(static_cast<std::size_t>(ctx_->num_clients()), 0);
@@ -43,30 +50,61 @@ std::size_t WeightSharingAlgorithm::SlotOf(int client_id) const {
 
 void WeightSharingAlgorithm::RunClient(int client_id, int round, Rng& rng) {
   MHB_CHECK(ctx_ != nullptr) << "Setup not called";
+  obs::Tracer* const tracer = ctx_->config->obs.tracer;
   const models::BuildSpec spec = ClientSpec(client_id, round, rng);
   Rng build_rng = rng.Fork(0xB1D);
+  obs::Span build_span(tracer, "build_submodel", "client");
+  build_span.Arg("client", static_cast<std::int64_t>(client_id));
   models::BuiltModel built = family_->Build(spec, build_rng);
   global_->store().LoadInto(*built.net, built.mapping);
+  build_span.End();
   const data::Dataset& shard =
       ctx_->shards.at(static_cast<std::size_t>(client_id));
-  TrainClientModel(built, client_id, shard, rng);
+  {
+    obs::Span train_span(tracer, "local_train", "client");
+    train_span.Arg("client", static_cast<std::int64_t>(client_id));
+    train_span.Arg("samples", static_cast<std::int64_t>(shard.size()));
+    TrainClientModel(built, client_id, shard, rng);
+  }
   const double weight = weighting_ == AggregationWeighting::kDataSize
                             ? static_cast<double>(shard.size())
                             : 1.0;
   // Stage the upload; accumulation is deferred to FinishRound so concurrent
   // participants never touch the shared averager.
-  staged_[SlotOf(client_id)] =
+  obs::Span extract_span(tracer, "extract_update", "client");
+  extract_span.Arg("client", static_cast<std::int64_t>(client_id));
+  fl::ClientUpdate update =
       fl::ExtractUpdate(*built.net, built.mapping, weight);
+  if (obs_ids_ready_) {
+    std::int64_t params = 0;
+    for (const auto& v : update.values) {
+      params += static_cast<std::int64_t>(v.numel());
+    }
+    extract_span.Arg("params", params);
+    ctx_->config->obs.registry->Add(obs_upload_params_id_, params);
+  }
+  staged_[SlotOf(client_id)] = std::move(update);
 }
 
 void WeightSharingAlgorithm::FinishRound(int round, Rng& rng) {
+  obs::Registry* const reg = ctx_ != nullptr ? ctx_->config->obs.registry
+                                             : nullptr;
+  obs::Span merge_span(ctx_ != nullptr ? ctx_->config->obs.tracer : nullptr,
+                       "aggregate", "server");
+  std::int64_t merged = 0;
   for (const auto& update : staged_) {
-    if (!update.empty()) averager_.Accumulate(update, global_->store());
+    if (!update.empty()) {
+      averager_.Accumulate(update, global_->store());
+      ++merged;
+    }
   }
   staged_.clear();
   if (!averager_.empty()) {
     averager_.ApplyTo(global_->store());
   }
+  merge_span.Arg("updates", merged);
+  merge_span.End();
+  if (reg != nullptr) reg->AddNamed("agg_updates", merged);
   PostAggregate(round, rng);
 }
 

@@ -51,6 +51,8 @@ constraints::BuiltAssignments ProportionalAssignments(
       a.system.compute_time_s = cost.train_time_s;
       a.system.comm_time_s = cost.comm_time_s;
       a.system.memory_mb = cost.memory_mb;
+      a.system.comm_mb = cost.comm_mb;
+      a.system.train_gflops = cost.gflops_fwd;
     } else {
       a.capacity = ladder[i % ladder.size()];
       device::CostModel cm(descs.primary);
@@ -58,6 +60,8 @@ constraints::BuiltAssignments ProportionalAssignments(
       a.system.compute_time_s = cost.train_time_s;
       a.system.comm_time_s = cost.comm_time_s;
       a.system.memory_mb = cost.memory_mb;
+      a.system.comm_mb = cost.comm_mb;
+      a.system.train_gflops = cost.gflops_fwd;
     }
     out.assignments.push_back(a);
   }
@@ -143,6 +147,7 @@ metrics::MetricBundle RunWith(const std::string& algorithm,
       fcfg2.dirichlet_alpha = options.dirichlet_alpha;
     }
     fcfg2.round_deadline_s = options.round_deadline_s;
+    fcfg2.obs = options.obs;
 
     fl::FlEngine engine(task, fcfg2, built.assignments, *alg);
     const fl::RunResult run = engine.Run();
@@ -151,11 +156,10 @@ metrics::MetricBundle RunWith(const std::string& algorithm,
     bundle.stability_variance += run.StabilityVariance() / repeats;
     bundle.total_sim_time_s += run.total_sim_time_s / repeats;
     bundle.mean_client_accuracy += run.MeanClientAccuracy() / repeats;
-    if (run.total_participations > 0) {
-      bundle.straggler_drop_rate +=
-          static_cast<double>(run.straggler_drops) /
-          run.total_participations / repeats;
-    }
+    // Raw straggler provenance: the counters sum over rounds and repeats;
+    // the drop *rate* is derived at report time (metrics/report.cc).
+    bundle.clients_dropped += run.straggler_drops;
+    bundle.clients_selected += run.total_participations;
     if (rep == 0) {
       for (const auto& r : run.curve) {
         bundle.curve_time_s.push_back(r.sim_time_s);

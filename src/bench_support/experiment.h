@@ -8,6 +8,7 @@
 
 #include "bench_support/presets.h"
 #include "metrics/recorder.h"
+#include "obs/obs_config.h"
 
 namespace mhbench::bench_support {
 
@@ -26,6 +27,9 @@ struct SuiteOptions {
   // time-to-accuracy target.
   double target_fraction = 0.7;
   std::uint64_t fleet_seed = 11;
+  // Observability hooks threaded into every engine run of the suite
+  // (tracer / registry pointers; all-null disables collection).
+  obs::ObsConfig obs;
 };
 
 // Runs one algorithm under the options (no effectiveness/TTA filled).

@@ -125,6 +125,8 @@ BuiltAssignments BuildConstrained(const std::string& algorithm,
     a.system.compute_time_s = chosen_cost.train_time_s;
     a.system.comm_time_s = chosen_cost.comm_time_s;
     a.system.memory_mb = chosen_cost.memory_mb;
+    a.system.comm_mb = chosen_cost.comm_mb;
+    a.system.train_gflops = chosen_cost.gflops_fwd;
     a.system.availability = dev.availability;
     out.assignments.push_back(a);
   }

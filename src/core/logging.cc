@@ -7,12 +7,36 @@
 namespace mhbench {
 namespace {
 
-LogLevel g_level = static_cast<LogLevel>(EnvInt("MHB_LOG", 1));
+LogLevel LevelFromEnv() {
+  const std::string named = EnvString("MHB_LOG_LEVEL", "");
+  if (!named.empty()) return ParseLogLevel(named, LogLevel::kInfo);
+  // Legacy MHB_LOG mapping: 0 silent, 1 info, 2 debug.
+  switch (EnvInt("MHB_LOG", 1)) {
+    case 0:
+      return LogLevel::kSilent;
+    case 2:
+      return LogLevel::kDebug;
+    default:
+      return LogLevel::kInfo;
+  }
+}
+
+LogLevel g_level = LevelFromEnv();
 
 }  // namespace
 
 LogLevel GetLogLevel() { return g_level; }
 void SetLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel ParseLogLevel(const std::string& text, LogLevel fallback) {
+  if (text == "silent" || text == "off" || text == "0") return LogLevel::kSilent;
+  if (text == "error" || text == "1") return LogLevel::kError;
+  if (text == "warn" || text == "warning" || text == "2") return LogLevel::kWarn;
+  if (text == "info" || text == "3") return LogLevel::kInfo;
+  if (text == "debug" || text == "4") return LogLevel::kDebug;
+  if (text == "trace" || text == "5") return LogLevel::kTrace;
+  return fallback;
+}
 
 namespace internal {
 
@@ -24,6 +48,8 @@ LogLine::LogLine(LogLevel level, const char* tag)
 LogLine::~LogLine() {
   if (enabled_) {
     stream_ << "\n";
+    // One fputs per line: stdio locks the stream, so concurrent engine
+    // threads cannot interleave characters within a line.
     std::fputs(stream_.str().c_str(), stderr);
   }
 }

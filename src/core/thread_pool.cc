@@ -1,6 +1,7 @@
 #include "core/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 
 #include "core/error.h"
@@ -39,17 +40,32 @@ void ThreadPool::Submit(std::function<void()> task) {
 
 bool ThreadPool::InWorker() { return tl_in_worker; }
 
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.idle_ns = idle_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
 void ThreadPool::WorkerLoop() {
   tl_in_worker = true;
   for (;;) {
     std::function<void()> task;
     {
+      const auto wait_start = std::chrono::steady_clock::now();
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      idle_ns_.fetch_add(
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - wait_start)
+                  .count()),
+          std::memory_order_relaxed);
       if (queue_.empty()) return;  // stop_ and drained
       task = std::move(queue_.front());
       queue_.pop();
     }
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
     task();  // tasks are noexcept wrappers built by ParallelFor
   }
 }

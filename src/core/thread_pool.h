@@ -7,8 +7,10 @@
 // concurrency for work that is independent per item.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -37,6 +39,16 @@ class ThreadPool {
   // queue they are themselves responsible for draining (deadlock guard).
   static bool InWorker();
 
+  // Lifetime utilization counters, maintained by the workers themselves.
+  // Cheap enough to keep always-on (two clock reads per dequeue, against
+  // tasks that are typically milliseconds of training); the engine
+  // snapshots deltas per round into the observability registry.
+  struct Stats {
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t idle_ns = 0;  // summed worker time spent waiting for work
+  };
+  Stats stats() const;
+
  private:
   void WorkerLoop();
 
@@ -45,6 +57,8 @@ class ThreadPool {
   std::queue<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> idle_ns_{0};
 };
 
 // Runs fn(i) for every i in [0, n).  Iterations execute on the pool's

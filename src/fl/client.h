@@ -18,6 +18,11 @@ struct ClientSystemProfile {
   double compute_time_s = 1.0;
   double comm_time_s = 0.0;
   double memory_mb = 0.0;
+  // Round payload (upload + download) and per-round training GFLOPs, from
+  // the cost model; consumed by the observability layer (bytes/FLOPs
+  // counters), not by the simulated clock.
+  double comm_mb = 0.0;
+  double train_gflops = 0.0;
   // Probability of being online when sampled (1 = always available).
   double availability = 1.0;
 };

@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include <chrono>
+
 #include "core/error.h"
 #include "core/logging.h"
 #include "data/partition.h"
 #include "fl/evaluation.h"
 #include "nn/lr_schedule.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace mhbench::fl {
 
@@ -110,8 +114,34 @@ FlEngine::FlEngine(const data::Task& task, FlConfig config,
 }
 
 RunResult FlEngine::Run() {
+  obs::Tracer* const tracer = config_.obs.tracer;
+  obs::Registry* const reg = config_.obs.registry;
+  const bool sim_spans = config_.obs.sim_spans && tracer != nullptr;
+
+  // All counters are registered serially up front so concurrent Add calls
+  // from the dispatch phase only ever touch pre-sized per-thread sinks.
+  struct CounterIds {
+    obs::Registry::CounterId selected{}, offline{}, dropped{}, trained{},
+        bytes_up{}, bytes_down{}, train_mflops{}, pool_tasks{};
+  } ids;
+  if (reg != nullptr) {
+    ids.selected = reg->Counter("clients_selected");
+    ids.offline = reg->Counter("clients_offline");
+    ids.dropped = reg->Counter("clients_dropped");
+    ids.trained = reg->Counter("clients_trained");
+    ids.bytes_up = reg->Counter("bytes_up");
+    ids.bytes_down = reg->Counter("bytes_down");
+    ids.train_mflops = reg->Counter("train_mflops");
+    ids.pool_tasks = reg->Counter("pool_tasks");
+  }
+  core::ThreadPool::Stats pool_base =
+      pool_ != nullptr ? pool_->stats() : core::ThreadPool::Stats{};
+
   Rng setup_rng = rng_.Fork(1);
-  algorithm_.Setup(ctx_, setup_rng);
+  {
+    obs::Span span(tracer, "setup", "fl");
+    algorithm_.Setup(ctx_, setup_rng);
+  }
 
   RunResult result;
   double sim_time = 0.0;
@@ -121,12 +151,18 @@ RunResult FlEngine::Run() {
       static_cast<int>(std::lround(config_.sample_fraction * num_clients)));
 
   auto evaluate_global = [&]() {
+    obs::Span span(tracer, "eval_global", "eval");
     return EvaluateAccuracy(
         [&](const Tensor& x) { return algorithm_.GlobalLogits(x); },
         ctx_.task->test, config_.eval_max_samples);
   };
 
   for (int round = 0; round < config_.rounds; ++round) {
+    const auto round_wall_start = std::chrono::steady_clock::now();
+    const double round_sim_start = sim_time;
+    obs::Span round_span(tracer, "round", "fl");
+    round_span.Arg("round", static_cast<std::int64_t>(round));
+
     Rng round_rng = rng_.Fork(static_cast<std::uint64_t>(round) + 100);
     const std::vector<int> sampled = round_rng.SampleWithoutReplacement(
         num_clients, std::min(sample_count, num_clients));
@@ -135,9 +171,12 @@ RunResult FlEngine::Run() {
     // draws, straggler drops, per-client Rng forks — is made here, in the
     // sampled order, consuming round_rng exactly as the serial engine does.
     // Only after the full stream is fixed may clients run concurrently.
+    obs::Span select_span(tracer, "select", "fl");
     std::vector<Participant> participants;
     participants.reserve(sampled.size());
     double round_time = 0.0;
+    int round_offline = 0;
+    int round_dropped = 0;
     for (int c : sampled) {
       const auto& sys = ctx_.assignments[static_cast<std::size_t>(c)].system;
       const double client_time = sys.compute_time_s + sys.comm_time_s;
@@ -146,12 +185,14 @@ RunResult FlEngine::Run() {
           round_rng.Uniform() >= sys.availability) {
         // State heterogeneity: the device is offline this round.
         ++result.offline_skips;
+        ++round_offline;
         continue;
       }
       if (config_.round_deadline_s > 0 &&
           client_time > config_.round_deadline_s) {
         // Straggler: the synchronous round closes without this client.
         ++result.straggler_drops;
+        ++round_dropped;
         continue;
       }
       participants.push_back(
@@ -162,6 +203,12 @@ RunResult FlEngine::Run() {
       // The server waits until the deadline regardless of who made it.
       round_time = config_.round_deadline_s;
     }
+    select_span.End();
+    if (reg != nullptr) {
+      reg->Add(ids.selected, static_cast<std::int64_t>(sampled.size()));
+      reg->Add(ids.offline, round_offline);
+      reg->Add(ids.dropped, round_dropped);
+    }
 
     std::vector<int> participant_ids;
     participant_ids.reserve(participants.size());
@@ -170,21 +217,96 @@ RunResult FlEngine::Run() {
 
     // Phase 2: dispatch.  Each participant trains with the Rng fixed above;
     // algorithms stage uploads per client and merge them in participant
-    // order inside FinishRound.
+    // order inside FinishRound.  Counter increments land in per-thread
+    // sinks; integer addition commutes, so totals match the serial run.
+    obs::Span dispatch_span(tracer, "dispatch", "fl");
+    dispatch_span.Arg("participants",
+                      static_cast<std::int64_t>(participants.size()));
     core::ParallelFor(pool_.get(), participants.size(), [&](std::size_t i) {
-      algorithm_.RunClient(participants[i].client_id, round,
-                           participants[i].rng);
+      const int client_id = participants[i].client_id;
+      const auto& sys =
+          ctx_.assignments[static_cast<std::size_t>(client_id)].system;
+      obs::Span client_span(tracer, "client", "client");
+      client_span.Arg("client", static_cast<std::int64_t>(client_id));
+      client_span.Arg("bytes_up", sys.comm_mb * 5e5);
+      client_span.Arg("bytes_down", sys.comm_mb * 5e5);
+      client_span.Arg("train_gflops", sys.train_gflops);
+      algorithm_.RunClient(client_id, round, participants[i].rng);
+      if (reg != nullptr) {
+        // The cost model charges comm_mb for the full up+down payload.
+        reg->Add(ids.bytes_up,
+                 static_cast<std::int64_t>(sys.comm_mb * 5e5));
+        reg->Add(ids.bytes_down,
+                 static_cast<std::int64_t>(sys.comm_mb * 5e5));
+        reg->Add(ids.train_mflops,
+                 static_cast<std::int64_t>(sys.train_gflops * 1e3));
+        reg->Add(ids.trained, 1);
+      }
     });
+    dispatch_span.End();
 
-    algorithm_.FinishRound(round, round_rng);
+    {
+      obs::Span merge_span(tracer, "merge", "fl");
+      algorithm_.FinishRound(round, round_rng);
+    }
     sim_time += round_time;
 
+    if (sim_spans) {
+      // Simulated-clock track: one lane per client, timestamps in simulated
+      // seconds.  Lane -1 carries the round envelope.
+      tracer->RecordSim("round " + std::to_string(round), "sim",
+                        round_sim_start, round_time, -1);
+      for (const auto& p : participants) {
+        const auto& sys =
+            ctx_.assignments[static_cast<std::size_t>(p.client_id)].system;
+        tracer->RecordSim(
+            "compute", "sim", round_sim_start, sys.compute_time_s,
+            p.client_id, {{"round", std::to_string(round)}});
+        tracer->RecordSim(
+            "comm", "sim", round_sim_start + sys.compute_time_s,
+            sys.comm_time_s, p.client_id,
+            {{"round", std::to_string(round)}});
+      }
+    }
+
+    bool evaluated = false;
+    double eval_acc = 0.0;
     if ((round + 1) % config_.eval_every == 0 ||
         round + 1 == config_.rounds) {
-      const double acc = evaluate_global();
-      result.curve.push_back({round, sim_time, acc});
+      eval_acc = evaluate_global();
+      evaluated = true;
+      result.curve.push_back({round, sim_time, eval_acc});
       MHB_LOG_DEBUG << algorithm_.name() << " round " << round
-                    << " acc=" << acc << " t=" << sim_time;
+                    << " acc=" << eval_acc << " t=" << sim_time;
+    }
+    round_span.End();
+
+    if (reg != nullptr) {
+      // Round barrier: merge per-thread sinks and snapshot this round's
+      // counter deltas + gauges into a manifest row.
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - round_wall_start)
+              .count();
+      reg->SetGauge("wall_ms", wall_ms);
+      reg->SetGauge("round_time_s", round_time);
+      reg->SetGauge("sim_time_s", sim_time);
+      if (evaluated) reg->SetGauge("global_acc", eval_acc);
+      if (pool_ != nullptr) {
+        const core::ThreadPool::Stats now = pool_->stats();
+        reg->Add(ids.pool_tasks, static_cast<std::int64_t>(
+                                     now.tasks_executed -
+                                     pool_base.tasks_executed));
+        reg->SetGauge("pool_idle_ms",
+                      static_cast<double>(now.idle_ns - pool_base.idle_ns) /
+                          1e6);
+        pool_base = now;
+      }
+      reg->EndRound(algorithm_.name(), round);
+      MHB_LOG_TRACE << algorithm_.name() << " round " << round
+                    << " participants=" << participants.size()
+                    << " offline=" << round_offline
+                    << " dropped=" << round_dropped << " wall_ms=" << wall_ms;
     }
   }
 
@@ -195,16 +317,21 @@ RunResult FlEngine::Run() {
   // Stability: every client's personalized model on the shared test set.
   // Clients are independent given the final global state, so the loop
   // parallelizes; each client writes only its own slot.
+  obs::Span stability_span(tracer, "stability_eval", "eval");
   algorithm_.PrepareEvaluation();
   result.client_accuracies.assign(static_cast<std::size_t>(num_clients), 0.0);
   core::ParallelFor(
       pool_.get(), static_cast<std::size_t>(num_clients), [&](std::size_t c) {
+        obs::Span span(tracer, "client_eval", "eval");
+        span.Arg("client", static_cast<std::int64_t>(c));
         result.client_accuracies[c] = EvaluateAccuracy(
             [&](const Tensor& x) {
               return algorithm_.ClientLogits(static_cast<int>(c), x);
             },
             ctx_.task->test, config_.stability_max_samples);
       });
+  stability_span.End();
+  if (reg != nullptr) reg->FlushThreadSinks();
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "core/thread_pool.h"
 #include "data/tasks.h"
 #include "fl/client.h"
+#include "obs/obs_config.h"
 
 namespace mhbench::fl {
 
@@ -51,6 +52,10 @@ struct FlConfig {
   // bit-identical RunResults: all order-sensitive randomness is drawn
   // serially before dispatch and updates are merged in dispatch order.
   int num_threads = 1;
+  // Observability hooks (tracer / counter registry); all-null by default,
+  // in which case instrumentation reduces to untaken branches.  Collection
+  // never feeds back into execution, so enabling it cannot change results.
+  obs::ObsConfig obs;
 };
 
 // Everything an algorithm can see.  Owned by the engine; stable for the

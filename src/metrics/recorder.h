@@ -2,6 +2,7 @@
 // run, plus the raw curves they derive from.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
@@ -27,8 +28,12 @@ struct MetricBundle {
 
   double total_sim_time_s = 0.0;
   double mean_client_accuracy = 0.0;
-  // Straggler accounting (only nonzero when a round deadline was active).
-  double straggler_drop_rate = 0.0;
+  // Straggler accounting: raw counters summed over rounds (and repeats),
+  // from the engine's observability counters.  Only `clients_dropped` is
+  // nonzero when a round deadline was active.  The drop *rate* is derived
+  // where it is reported (metrics/report.cc), not stored.
+  std::int64_t clients_dropped = 0;
+  std::int64_t clients_selected = 0;
   // Accuracy curve with its simulated-time axis.
   std::vector<double> curve_time_s;
   std::vector<double> curve_accuracy;

@@ -54,7 +54,8 @@ std::string ToCsv(const std::vector<MetricBundle>& bundles) {
   CsvWriter csv({"constraint", "task", "algorithm", "global_accuracy",
                  "time_to_accuracy_s", "target_accuracy",
                  "stability_variance", "effectiveness", "total_sim_time_s",
-                 "mean_client_accuracy"});
+                 "mean_client_accuracy", "clients_selected",
+                 "clients_dropped", "straggler_drop_rate"});
   for (const auto& b : bundles) {
     csv.AddRow(std::vector<std::string>{
         b.constraint, b.task, b.algorithm,
@@ -66,9 +67,17 @@ std::string ToCsv(const std::vector<MetricBundle>& bundles) {
         AsciiTable::Num(b.stability_variance, 6),
         AsciiTable::Num(b.effectiveness, 4),
         AsciiTable::Num(b.total_sim_time_s, 1),
-        AsciiTable::Num(b.mean_client_accuracy, 4)});
+        AsciiTable::Num(b.mean_client_accuracy, 4),
+        std::to_string(b.clients_selected), std::to_string(b.clients_dropped),
+        AsciiTable::Num(StragglerDropRate(b), 4)});
   }
   return csv.ToString();
+}
+
+double StragglerDropRate(const MetricBundle& bundle) {
+  if (bundle.clients_selected <= 0) return 0.0;
+  return static_cast<double>(bundle.clients_dropped) /
+         static_cast<double>(bundle.clients_selected);
 }
 
 }  // namespace mhbench::metrics

@@ -21,4 +21,8 @@ std::string RenderCurves(const std::string& title,
 // CSV rows (one per bundle) with all four metrics.
 std::string ToCsv(const std::vector<MetricBundle>& bundles);
 
+// Fraction of sampled client-rounds dropped as stragglers, derived from the
+// bundle's raw counters (0 when nothing was sampled).
+double StragglerDropRate(const MetricBundle& bundle);
+
 }  // namespace mhbench::metrics

@@ -1,0 +1,170 @@
+#include "obs/manifest.h"
+
+#include <cstdio>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "core/csv.h"
+#include "core/error.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace mhbench::obs {
+
+std::string GitDescribe(const std::string& repo_dir) {
+#if defined(_WIN32)
+  (void)repo_dir;
+  return "unknown";
+#else
+  const std::string cmd =
+      "git -C '" + repo_dir + "' describe --always --dirty 2>/dev/null";
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[256];
+  std::string out;
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  const int status = ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  if (status != 0 || out.empty()) return "unknown";
+  return out;
+#endif
+}
+
+std::string IsoTimestampUtc() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm{};
+#if defined(_WIN32)
+  gmtime_s(&tm, &now);
+#else
+  gmtime_r(&now, &tm);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+std::string SanitizeRunId(const std::string& id) {
+  std::string out;
+  out.reserve(id.size());
+  for (char c : id) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' ||
+                    c == '.';
+    out += ok ? c : '_';
+  }
+  // ".." (or a bare ".") must not escape the manifest dir.
+  if (out.empty() || out.find_first_not_of('.') == std::string::npos) {
+    out = "run";
+  }
+  return out;
+}
+
+namespace {
+
+void AppendJsonString(std::ostringstream& out, const std::string& s) {
+  out << "\"" << JsonEscape(s) << "\"";
+}
+
+}  // namespace
+
+std::string WriteRunManifest(const std::string& dir, const RunManifest& m,
+                             const Registry* registry) {
+  namespace fs = std::filesystem;
+  const fs::path run_dir = fs::path(dir) / SanitizeRunId(m.run_id);
+  std::error_code ec;
+  fs::create_directories(run_dir, ec);
+  if (ec) {
+    throw Error("cannot create manifest dir " + run_dir.string() + ": " +
+                ec.message());
+  }
+
+  std::ostringstream json;
+  json << "{\n";
+  json << "  \"run_id\": ";
+  AppendJsonString(json, SanitizeRunId(m.run_id));
+  json << ",\n  \"tool\": ";
+  AppendJsonString(json, m.tool);
+  json << ",\n  \"git_describe\": ";
+  AppendJsonString(json, m.git_describe);
+  json << ",\n  \"created_utc\": ";
+  AppendJsonString(json, m.created_utc);
+  json << ",\n  \"seed\": " << m.seed;
+  json << ",\n  \"threads\": " << m.threads;
+  json << ",\n  \"config\": {";
+  for (std::size_t i = 0; i < m.config.size(); ++i) {
+    json << (i == 0 ? "\n" : ",\n") << "    ";
+    AppendJsonString(json, m.config[i].first);
+    json << ": ";
+    AppendJsonString(json, m.config[i].second);
+  }
+  json << "\n  },\n  \"metrics\": {";
+  for (std::size_t i = 0; i < m.metrics.size(); ++i) {
+    json << (i == 0 ? "\n" : ",\n") << "    ";
+    AppendJsonString(json, m.metrics[i].first);
+    json << ": " << m.metrics[i].second;
+  }
+  json << "\n  },\n  \"counters\": {";
+  if (registry != nullptr) {
+    const auto totals = registry->Totals();
+    std::size_t i = 0;
+    for (const auto& [name, value] : totals) {
+      json << (i++ == 0 ? "\n" : ",\n") << "    ";
+      AppendJsonString(json, name);
+      json << ": " << value;
+    }
+  }
+  json << "\n  },\n  \"rounds\": " << (registry ? registry->rounds().size() : 0)
+       << "\n}\n";
+
+  const fs::path manifest_path = run_dir / "manifest.json";
+  {
+    std::ofstream f(manifest_path);
+    if (!f.good()) throw Error("cannot open " + manifest_path.string());
+    f << json.str();
+    if (!f.good()) throw Error("failed writing " + manifest_path.string());
+  }
+
+  if (registry != nullptr && !registry->rounds().empty()) {
+    // Column set: the union of counter and gauge names over all rows, so
+    // every row renders the same schema.
+    std::set<std::string> counter_cols;
+    std::set<std::string> gauge_cols;
+    for (const auto& row : registry->rounds()) {
+      for (const auto& [k, v] : row.counters) counter_cols.insert(k);
+      for (const auto& [k, v] : row.gauges) gauge_cols.insert(k);
+    }
+    std::vector<std::string> header = {"run", "round"};
+    header.insert(header.end(), gauge_cols.begin(), gauge_cols.end());
+    header.insert(header.end(), counter_cols.begin(), counter_cols.end());
+    CsvWriter csv(header);
+    for (const auto& row : registry->rounds()) {
+      std::vector<std::string> cells = {row.run, std::to_string(row.round)};
+      for (const auto& g : gauge_cols) {
+        auto it = row.gauges.find(g);
+        std::ostringstream v;
+        if (it != row.gauges.end()) v << it->second;
+        cells.push_back(v.str());
+      }
+      for (const auto& c : counter_cols) {
+        auto it = row.counters.find(c);
+        cells.push_back(
+            it == row.counters.end() ? "0" : std::to_string(it->second));
+      }
+      csv.AddRow(cells);
+    }
+    const fs::path rounds_path = run_dir / "rounds.csv";
+    std::ofstream f(rounds_path);
+    if (!f.good()) throw Error("cannot open " + rounds_path.string());
+    f << csv.ToString();
+    if (!f.good()) throw Error("failed writing " + rounds_path.string());
+  }
+
+  return run_dir.string();
+}
+
+}  // namespace mhbench::obs

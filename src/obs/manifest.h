@@ -1,0 +1,50 @@
+// Run manifests: a reproducibility record for one benchmark run.
+//
+// WriteRunManifest creates `<dir>/<run_id>/` containing
+//   manifest.json — tool, git describe, seed, thread count, flattened
+//                   config, counter totals, and summary metrics
+//   rounds.csv    — one row per (run, round) from the registry's round
+//                   snapshots (counter deltas + gauges)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mhbench::obs {
+
+class Registry;
+
+struct RunManifest {
+  std::string run_id;          // directory name; sanitized by the writer
+  std::string tool;            // e.g. "mhbench run"
+  std::string git_describe;    // from GitDescribe(), or "unknown"
+  std::string created_utc;     // ISO-8601; from IsoTimestampUtc()
+  std::uint64_t seed = 0;
+  int threads = 1;
+  // Flattened configuration, insertion-ordered (task, constraint, rounds,
+  // clients, ...).
+  std::vector<std::pair<std::string, std::string>> config;
+  // Headline results, insertion-ordered (final accuracy, sim time, ...).
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+// `git describe --always --dirty` in `repo_dir`; "unknown" when git or the
+// repository is unavailable.
+std::string GitDescribe(const std::string& repo_dir = ".");
+
+// Current UTC time as "YYYY-MM-DDTHH:MM:SSZ".
+std::string IsoTimestampUtc();
+
+// Replaces path-hostile characters in `id` so it is safe as a directory
+// name ("/", spaces, ".." and friends become "_").
+std::string SanitizeRunId(const std::string& id);
+
+// Writes manifest.json (+ rounds.csv when `registry` is non-null and has
+// round rows) under `<dir>/<sanitized run_id>/`; creates directories as
+// needed.  Returns the run directory.  Throws mhbench::Error on I/O errors.
+std::string WriteRunManifest(const std::string& dir, const RunManifest& m,
+                             const Registry* registry);
+
+}  // namespace mhbench::obs

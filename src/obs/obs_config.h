@@ -1,0 +1,23 @@
+// Observability wiring carried through FlConfig into the engine and the
+// algorithms.  All pointers are non-owning and may be null; a null field
+// disables that collector at zero cost (a branch) in the hot paths.
+#pragma once
+
+namespace mhbench::obs {
+
+class Tracer;
+class Registry;
+
+struct ObsConfig {
+  // Wall-clock span tracing (round / dispatch / per-client / merge / eval).
+  Tracer* tracer = nullptr;
+  // Counter + gauge collection (bytes, FLOPs, drops, pool utilization).
+  Registry* registry = nullptr;
+  // Also emit simulated-clock spans (one lane per client) on the tracer's
+  // sim track.  Requires `tracer`.
+  bool sim_spans = false;
+
+  bool enabled() const { return tracer != nullptr || registry != nullptr; }
+};
+
+}  // namespace mhbench::obs

@@ -1,0 +1,114 @@
+#include "obs/registry.h"
+
+#include <atomic>
+
+namespace mhbench::obs {
+
+namespace {
+
+struct TlEntry {
+  const void* registry = nullptr;
+  std::uint64_t generation = 0;
+  void* sink = nullptr;
+};
+thread_local std::vector<TlEntry> tl_sinks;
+
+std::uint64_t NextGeneration() {
+  static std::atomic<std::uint64_t> g{1};
+  return g.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Registry::Registry() : generation_(NextGeneration()) {}
+Registry::~Registry() = default;
+
+Registry::CounterId Registry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  const CounterId id = names_.size();
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  totals_.push_back(0);
+  round_base_.push_back(0);
+  return id;
+}
+
+Registry::Sink* Registry::ThreadSink() {
+  for (auto& e : tl_sinks) {
+    if (e.registry == this && e.generation == generation_) {
+      return static_cast<Sink*>(e.sink);
+    }
+  }
+  auto sink = std::make_unique<Sink>();
+  Sink* raw = sink.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sinks_.push_back(std::move(sink));
+  }
+  tl_sinks.push_back({this, generation_, raw});
+  return raw;
+}
+
+void Registry::Add(CounterId id, std::int64_t delta) {
+  Sink* sink = ThreadSink();
+  if (sink->values.size() <= id) sink->values.resize(id + 1, 0);
+  sink->values[id] += delta;
+}
+
+void Registry::AddNamed(const std::string& name, std::int64_t delta) {
+  Add(Counter(name), delta);
+}
+
+void Registry::SetGauge(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void Registry::FlushLocked() {
+  for (auto& sink : sinks_) {
+    for (std::size_t id = 0; id < sink->values.size(); ++id) {
+      totals_[id] += sink->values[id];
+      sink->values[id] = 0;
+    }
+  }
+}
+
+void Registry::FlushThreadSinks() {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushLocked();
+}
+
+void Registry::EndRound(const std::string& run, int round) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FlushLocked();
+  RoundRow row;
+  row.run = run;
+  row.round = round;
+  for (std::size_t id = 0; id < totals_.size(); ++id) {
+    const std::int64_t delta = totals_[id] - round_base_[id];
+    if (delta != 0) row.counters[names_[id]] = delta;
+    round_base_[id] = totals_[id];
+  }
+  row.gauges = std::move(gauges_);
+  gauges_.clear();
+  rounds_.push_back(std::move(row));
+}
+
+std::int64_t Registry::Total(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ids_.find(name);
+  return it == ids_.end() ? 0 : totals_[it->second];
+}
+
+std::map<std::string, std::int64_t> Registry::Totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::int64_t> out;
+  for (std::size_t id = 0; id < names_.size(); ++id) {
+    out[names_[id]] = totals_[id];
+  }
+  return out;
+}
+
+}  // namespace mhbench::obs

@@ -1,0 +1,93 @@
+// Counter/gauge registry with deterministic parallel aggregation.
+//
+// Counters are 64-bit integers (bytes, FLOPs, drops, task counts) that may
+// be incremented from any thread between round barriers: each thread writes
+// into a private sink (no locks, no atomics on the hot path after the
+// thread's first Add) and the engine merges all sinks serially at the round
+// barrier.  Integer addition is order-independent, so totals are identical
+// for any thread count — determinism is untouched.
+//
+// Gauges are doubles (simulated time, wall time, accuracy) set only from
+// serial phases.
+//
+// EndRound snapshots the per-round counter deltas plus the round's gauges
+// into a row; the manifest writer turns the rows into rounds.csv.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace mhbench::obs {
+
+class Registry {
+ public:
+  using CounterId = std::size_t;
+
+  Registry();
+  ~Registry();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Registers (or looks up) a counter and returns its id.  Thread-safe,
+  // but intended for serial setup phases; ids are stable for the
+  // registry's lifetime.
+  CounterId Counter(const std::string& name);
+
+  // Adds `delta` to the counter.  Safe to call concurrently from any
+  // thread; the value lands in the calling thread's sink until the next
+  // barrier merge.  Must not race with FlushThreadSinks/EndRound (the
+  // engine only merges at round barriers, when no client work is running).
+  void Add(CounterId id, std::int64_t delta);
+
+  // Serial convenience: register + add in one call.
+  void AddNamed(const std::string& name, std::int64_t delta);
+
+  // Sets a gauge for the current round.  Serial phases only.
+  void SetGauge(const std::string& name, double value);
+
+  // Merges every thread sink into the global totals.  Serial barrier only.
+  void FlushThreadSinks();
+
+  // Flushes sinks, then snapshots this round's counter deltas and gauges
+  // into a row labelled (`run`, `round`).  Serial barrier only.
+  void EndRound(const std::string& run, int round);
+
+  // Total for a counter (0 if never registered).  Includes only flushed
+  // sink contributions.
+  std::int64_t Total(const std::string& name) const;
+  std::map<std::string, std::int64_t> Totals() const;
+
+  struct RoundRow {
+    std::string run;  // run label (the engine uses the algorithm name)
+    int round = 0;
+    std::map<std::string, std::int64_t> counters;  // deltas for this round
+    std::map<std::string, double> gauges;
+  };
+  const std::vector<RoundRow>& rounds() const { return rounds_; }
+
+ private:
+  struct Sink {
+    std::vector<std::int64_t> values;  // indexed by CounterId
+  };
+
+  Sink* ThreadSink();
+  void FlushLocked();
+
+  const std::uint64_t generation_;
+  mutable std::mutex mu_;  // guards everything below
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, CounterId> ids_;
+  std::vector<std::int64_t> totals_;      // flushed totals, by id
+  std::vector<std::int64_t> round_base_;  // totals at the last EndRound
+  std::map<std::string, double> gauges_;  // current round's gauges
+  std::vector<std::unique_ptr<Sink>> sinks_;
+  std::vector<RoundRow> rounds_;
+};
+
+}  // namespace mhbench::obs

@@ -1,0 +1,247 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace mhbench::obs {
+
+namespace {
+
+// Thread-local cache of (tracer -> buffer) resolutions.  A thread touches
+// at most a handful of tracers over its lifetime, so a flat vector beats a
+// map; entries for destroyed tracers are purged by the tracer's destructor
+// generation check (we key on the pointer and a generation counter to stay
+// safe against address reuse).
+struct TlEntry {
+  const void* tracer = nullptr;
+  std::uint64_t generation = 0;
+  void* buffer = nullptr;
+};
+thread_local std::vector<TlEntry> tl_buffers;
+
+std::uint64_t NextGeneration() {
+  static std::atomic<std::uint64_t> g{1};
+  return g.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+Tracer::Tracer()
+    : epoch_(std::chrono::steady_clock::now()),
+      generation_(NextGeneration()) {}
+
+Tracer::~Tracer() = default;
+
+std::int64_t Tracer::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Tracer::Buffer* Tracer::ThreadBuffer() {
+  for (auto& e : tl_buffers) {
+    if (e.tracer == this && e.generation == generation_) {
+      return static_cast<Buffer*>(e.buffer);
+    }
+  }
+  auto buf = std::make_unique<Buffer>();
+  Buffer* raw = buf.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    raw->tid = static_cast<int>(buffers_.size());
+    buffers_.push_back(std::move(buf));
+  }
+  tl_buffers.push_back({this, generation_, raw});
+  return raw;
+}
+
+void Tracer::Record(TraceEvent e) {
+  Buffer* buf = ThreadBuffer();
+  if (e.pid == kWallPid) e.tid = buf->tid;
+  buf->events.push_back(std::move(e));
+}
+
+void Tracer::RecordSim(
+    std::string name, std::string cat, double sim_start_s, double sim_dur_s,
+    int lane, std::vector<std::pair<std::string, std::string>> num_args) {
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.pid = kSimPid;
+  e.tid = lane;
+  e.ts_us = static_cast<std::int64_t>(sim_start_s * 1e6);
+  e.dur_us = static_cast<std::int64_t>(sim_dur_s * 1e6);
+  e.num_args = std::move(num_args);
+  Record(std::move(e));
+}
+
+std::vector<TraceEvent> Tracer::Snapshot() const {
+  std::vector<TraceEvent> all;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : buffers_) {
+      all.insert(all.end(), buf->events.begin(), buf->events.end());
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     return a.ts_us < b.ts_us;
+                   });
+  return all;
+}
+
+namespace {
+
+void AppendEventJson(std::ostringstream& out, const TraceEvent& e) {
+  out << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\""
+      << JsonEscape(e.cat) << "\",\"ph\":\"X\",\"ts\":" << e.ts_us
+      << ",\"dur\":" << e.dur_us << ",\"pid\":" << e.pid
+      << ",\"tid\":" << e.tid;
+  if (!e.num_args.empty() || !e.str_args.empty()) {
+    out << ",\"args\":{";
+    bool first = true;
+    for (const auto& [k, v] : e.num_args) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << JsonEscape(k) << "\":" << v;
+    }
+    for (const auto& [k, v] : e.str_args) {
+      if (!first) out << ",";
+      first = false;
+      out << "\"" << JsonEscape(k) << "\":\"" << JsonEscape(v) << "\"";
+    }
+    out << "}";
+  }
+  out << "}";
+}
+
+}  // namespace
+
+std::string Tracer::ToChromeJson() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::ostringstream out;
+  out << "[";
+  // Name the two tracks so viewers label them.
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kWallPid
+      << ",\"args\":{\"name\":\"wall clock\"}},\n";
+  out << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << kSimPid
+      << ",\"args\":{\"name\":\"simulated clock\"}}";
+  for (const auto& e : events) {
+    out << ",\n";
+    AppendEventJson(out, e);
+  }
+  out << "]\n";
+  return out.str();
+}
+
+std::string Tracer::ToJsonl() const {
+  const std::vector<TraceEvent> events = Snapshot();
+  std::ostringstream out;
+  for (const auto& e : events) {
+    AppendEventJson(out, e);
+    out << "\n";
+  }
+  return out.str();
+}
+
+namespace {
+
+void WriteFileOrThrow(const std::string& path, const std::string& content) {
+  std::ofstream f(path);
+  if (!f.good()) throw Error("cannot open trace output: " + path);
+  f << content;
+  if (!f.good()) throw Error("failed writing trace output: " + path);
+}
+
+}  // namespace
+
+void Tracer::WriteChromeJson(const std::string& path) const {
+  WriteFileOrThrow(path, ToChromeJson());
+}
+
+void Tracer::WriteJsonl(const std::string& path) const {
+  WriteFileOrThrow(path, ToJsonl());
+}
+
+Span::Span(Tracer* tracer, const char* name, const char* cat)
+    : tracer_(tracer) {
+  if (tracer_ == nullptr) return;
+  event_.name = name;
+  event_.cat = cat;
+  event_.ts_us = tracer_->NowUs();
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    End();
+    tracer_ = other.tracer_;
+    event_ = std::move(other.event_);
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::Arg(const char* key, std::int64_t value) {
+  if (tracer_ == nullptr) return;
+  event_.num_args.emplace_back(key, std::to_string(value));
+}
+
+void Span::Arg(const char* key, double value) {
+  if (tracer_ == nullptr) return;
+  std::ostringstream v;
+  v << value;
+  event_.num_args.emplace_back(key, v.str());
+}
+
+void Span::Arg(const char* key, const std::string& value) {
+  if (tracer_ == nullptr) return;
+  event_.str_args.emplace_back(key, value);
+}
+
+void Span::End() {
+  if (tracer_ == nullptr) return;
+  event_.dur_us = tracer_->NowUs() - event_.ts_us;
+  tracer_->Record(std::move(event_));
+  tracer_ = nullptr;
+}
+
+}  // namespace mhbench::obs

@@ -6,10 +6,15 @@
 // staged updates merge in dispatch order.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <map>
+
 #include "algorithms/registry.h"
 #include "data/tasks.h"
 #include "fl/engine.h"
 #include "models/zoo.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace mhbench::fl {
 namespace {
@@ -50,12 +55,17 @@ std::vector<ClientAssignment> HeterogeneousAssignments(int n) {
     a.system.compute_time_s = 5.0 + 7.0 * (i % 4);  // 5..26 s
     a.system.comm_time_s = 2.0;
     a.system.availability = (i % 3 == 0) ? 0.5 : 1.0;
+    // Telemetry-only fields (never feed back into the simulated clock):
+    // give the counters something non-zero to aggregate.
+    a.system.comm_mb = 4.0 + i;
+    a.system.train_gflops = 1.0 + 0.5 * i;
   }
   return assign;
 }
 
 RunResult RunWithThreads(const Case& c, const data::Task& task,
-                         int num_threads) {
+                         int num_threads,
+                         const obs::ObsConfig& obs = {}) {
   const auto tm = models::MakeTaskModels(c.task);
   auto alg = algorithms::MakeAlgorithm(c.algorithm, tm);
 
@@ -67,6 +77,7 @@ RunResult RunWithThreads(const Case& c, const data::Task& task,
   cfg.stability_max_samples = 48;
   cfg.round_deadline_s = 25.0;  // compute 26 + comm 2 exceeds it
   cfg.num_threads = num_threads;
+  cfg.obs = obs;
 
   FlEngine engine(task, cfg, HeterogeneousAssignments(6), *alg);
   return engine.Run();
@@ -115,6 +126,61 @@ TEST_P(ParallelDeterminismTest, BitIdenticalAcrossThreadCounts) {
 
   ExpectIdentical(serial, RunWithThreads(c, task, 2), 2);
   ExpectIdentical(serial, RunWithThreads(c, task, 4), 4);
+}
+
+// Observability must be pure observation: with a tracer + counter registry
+// attached (including sim-clock spans), every thread count still produces a
+// RunResult bit-identical to the uninstrumented serial reference, and the
+// counter totals themselves are identical across thread counts (per-thread
+// sinks merge commutative int64 additions at the round barrier).
+TEST(ParallelDeterminismTest, InstrumentedRunsStayBitIdentical) {
+  data::TaskConfig tcfg;
+  tcfg.train_samples = 240;
+  tcfg.test_samples = 120;
+  tcfg.num_clients = 6;
+  const data::Task task = data::MakeTask("cifar10", tcfg);
+  const Case c{"fedrolex", "cifar10"};
+
+  const RunResult bare = RunWithThreads(c, task, 1);
+
+  std::map<std::string, std::int64_t> reference_totals;
+  for (const int threads : {1, 2, 4}) {
+    obs::Tracer tracer;
+    obs::Registry registry;
+    obs::ObsConfig obs;
+    obs.tracer = &tracer;
+    obs.registry = &registry;
+    obs.sim_spans = true;
+    const RunResult traced = RunWithThreads(c, task, threads, obs);
+    ExpectIdentical(bare, traced, threads);
+
+    // Spans were actually collected on both clocks.
+    const auto events = tracer.Snapshot();
+    EXPECT_FALSE(events.empty());
+    bool has_wall = false, has_sim = false;
+    for (const auto& e : events) {
+      if (e.pid == obs::Tracer::kWallPid) has_wall = true;
+      if (e.pid == obs::Tracer::kSimPid) has_sim = true;
+    }
+    EXPECT_TRUE(has_wall);
+    EXPECT_TRUE(has_sim);
+
+    // Counter totals are thread-count independent.  Wall-clock gauges
+    // (wall_ms, pool idle) legitimately differ, and pool_tasks counts
+    // helper tasks (a function of the worker count), so drop it too.
+    auto totals = registry.Totals();
+    totals.erase("pool_tasks");
+    EXPECT_GT(totals.at("clients_trained"), 0);
+    EXPECT_GT(totals.at("bytes_up"), 0);
+    EXPECT_GT(totals.at("clients_dropped"), 0);
+    if (threads == 1) {
+      reference_totals = totals;
+    } else {
+      EXPECT_EQ(totals, reference_totals)
+          << "counter totals diverged at num_threads=" << threads;
+    }
+    EXPECT_EQ(registry.rounds().size(), 4u);
+  }
 }
 
 // The refactor must not have changed the serial reference itself: two

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Full verification: build + ctest in the plain configuration, then again
-# under ThreadSanitizer (MHBENCH_SANITIZE=thread) to race-check the parallel
-# round executor.  Run from anywhere; builds live in build/ and build-tsan/.
+# Full verification: build + ctest in the plain configuration (plus an
+# observability smoke run that emits and schema-checks a trace + manifest),
+# then again under ThreadSanitizer (MHBENCH_SANITIZE=thread) to race-check
+# the parallel round executor.  Run from anywhere; builds live in build/
+# and build-tsan/.
 #
 #   tools/check.sh           # plain + tsan
 #   tools/check.sh --plain   # plain only
@@ -18,12 +20,68 @@ run_suite() {
   ctest --test-dir "$dir" --output-on-failure -j
 }
 
+# End-to-end telemetry smoke: a tiny mhbench run that writes a Chrome trace
+# plus a run manifest, then schema-checks both (valid JSON, the event/field
+# shapes Perfetto and the manifest readers rely on).  Needs python3; skipped
+# with a notice when it is unavailable.
+smoke_obs() {
+  local build_dir="$1"
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "check.sh: python3 not found, skipping telemetry smoke"
+    return 0
+  fi
+  local out
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' RETURN
+  MHB_TRAIN=160 MHB_TEST=80 "$build_dir/tools/mhbench" run \
+    --task cifar10 --algorithm sheterofl --rounds 2 --clients 4 \
+    --threads 2 --trace "$out/trace.json" --trace-sim-clock 1 \
+    --manifest-dir "$out/results" >/dev/null
+  python3 - "$out" <<'PY'
+import json, pathlib, sys
+out = pathlib.Path(sys.argv[1])
+
+events = json.loads((out / "trace.json").read_text())
+assert isinstance(events, list) and events, "trace.json: empty event array"
+names = set()
+for e in events:
+    assert e["ph"] in ("X", "M"), f"unexpected phase {e['ph']!r}"
+    assert isinstance(e["pid"], int)
+    if e["ph"] == "X":
+        assert isinstance(e["tid"], int)
+        assert e["ts"] >= 0 and e["dur"] >= 0
+        names.add(e["name"])
+for required in ("round", "dispatch", "client", "merge"):
+    assert required in names, f"trace.json: no {required!r} span"
+assert {e["pid"] for e in events} >= {1, 2}, "missing wall or sim track"
+
+for line in (out / "trace.jsonl").read_text().splitlines():
+    json.loads(line)
+
+runs = list((out / "results").iterdir())
+assert len(runs) == 1, f"expected one run dir, got {runs}"
+manifest = json.loads((runs[0] / "manifest.json").read_text())
+for key in ("run_id", "seed", "threads", "config", "metrics", "counters"):
+    assert key in manifest, f"manifest.json: missing {key!r}"
+assert manifest["counters"]["clients_trained"] > 0
+
+rounds = (runs[0] / "rounds.csv").read_text().splitlines()
+assert rounds[0].startswith("run,round,"), "rounds.csv: bad header"
+assert len(rounds) == 1 + manifest["rounds"], "rounds.csv: row count"
+print("check.sh: telemetry smoke passed")
+PY
+}
+
 case "$mode" in
   all|--all)
     run_suite "$repo/build"
+    smoke_obs "$repo/build"
     run_suite "$repo/build-tsan" -DMHBENCH_SANITIZE=thread
     ;;
-  --plain) run_suite "$repo/build" ;;
+  --plain)
+    run_suite "$repo/build"
+    smoke_obs "$repo/build"
+    ;;
   --tsan)  run_suite "$repo/build-tsan" -DMHBENCH_SANITIZE=thread ;;
   *)
     echo "usage: tools/check.sh [--plain|--tsan]" >&2

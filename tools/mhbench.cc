@@ -11,12 +11,20 @@
 //   mhbench run --task cifar10 --algorithm sheterofl
 //               [--constraint computation] [--rounds 20] [--clients 10]
 //               [--alpha 0.5] [--deadline 0] [--seed 1] [--threads 1]
+//               [--trace out.json] [--trace-sim-clock 1]
+//               [--manifest-dir results]
 //       Run one federated experiment and print the metric panel.
 //       --threads parallelizes client training and stability evaluation;
 //       results are bit-identical for any thread count.
+//       --trace writes a Chrome-tracing JSON (open in chrome://tracing or
+//       https://ui.perfetto.dev) plus a .jsonl event log next to it;
+//       --trace-sim-clock 1 adds simulated-clock lanes per client.
+//       --manifest-dir writes results/<run-id>/manifest.json + rounds.csv
+//       capturing config, seed, git revision and per-round telemetry.
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +38,9 @@
 #include "device/ima_fleet.h"
 #include "metrics/report.h"
 #include "models/zoo.h"
+#include "obs/manifest.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -176,6 +187,18 @@ int CmdRun(const Args& args) {
       static_cast<std::uint64_t>(args.GetI("seed", 1));
   options.preset.threads = args.GetI("threads", options.preset.threads);
 
+  const std::string trace_path = args.Get("trace", "");
+  const std::string manifest_dir = args.Get("manifest-dir", "");
+  std::unique_ptr<obs::Tracer> tracer;
+  std::unique_ptr<obs::Registry> registry;
+  if (!trace_path.empty()) tracer = std::make_unique<obs::Tracer>();
+  if (!trace_path.empty() || !manifest_dir.empty()) {
+    registry = std::make_unique<obs::Registry>();
+  }
+  options.obs.tracer = tracer.get();
+  options.obs.registry = registry.get();
+  options.obs.sim_spans = args.GetI("trace-sim-clock", 0) != 0;
+
   const std::string algorithm = args.Get("algorithm", "sheterofl");
   std::printf("running %s on %s under %s-limited MHFL (%d rounds, %d "
               "clients)...\n",
@@ -190,6 +213,55 @@ int CmdRun(const Args& args) {
              stdout);
   std::fputs(metrics::RenderCurves("accuracy curve", bundles).c_str(),
              stdout);
+
+  if (tracer != nullptr) {
+    tracer->WriteChromeJson(trace_path);
+    // Event log next to the Chrome trace: out.json -> out.jsonl.
+    std::string jsonl = trace_path;
+    const std::string suffix = ".json";
+    if (jsonl.size() >= suffix.size() &&
+        jsonl.compare(jsonl.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      jsonl += "l";
+    } else {
+      jsonl += ".jsonl";
+    }
+    tracer->WriteJsonl(jsonl);
+    std::printf("[trace written to %s + %s]\n", trace_path.c_str(),
+                jsonl.c_str());
+  }
+  if (!manifest_dir.empty()) {
+    obs::RunManifest m;
+    m.run_id = options.task + "-" + options.constraint + "-" + algorithm +
+               "-seed" + std::to_string(options.preset.seed);
+    m.tool = "mhbench run";
+    m.git_describe = obs::GitDescribe();
+    m.created_utc = obs::IsoTimestampUtc();
+    m.seed = options.preset.seed;
+    m.threads = options.preset.threads;
+    m.config = {
+        {"task", options.task},
+        {"constraint", options.constraint},
+        {"algorithm", algorithm},
+        {"rounds", std::to_string(options.preset.rounds)},
+        {"clients", std::to_string(options.preset.clients)},
+        {"dirichlet_alpha", std::to_string(options.dirichlet_alpha)},
+        {"round_deadline_s", std::to_string(options.round_deadline_s)},
+    };
+    for (const auto& b : bundles) {
+      m.metrics.emplace_back(b.algorithm + ".global_accuracy",
+                             b.global_accuracy);
+      m.metrics.emplace_back(b.algorithm + ".stability_variance",
+                             b.stability_variance);
+      m.metrics.emplace_back(b.algorithm + ".total_sim_time_s",
+                             b.total_sim_time_s);
+      m.metrics.emplace_back(b.algorithm + ".straggler_drop_rate",
+                             metrics::StragglerDropRate(b));
+    }
+    const std::string run_dir =
+        obs::WriteRunManifest(manifest_dir, m, registry.get());
+    std::printf("[manifest written to %s]\n", run_dir.c_str());
+  }
   return 0;
 }
 
