@@ -9,13 +9,31 @@
 #include "fl/aggregator.h"
 #include "models/zoo.h"
 #include "nn/conv.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "tensor/scratch.h"
 
 namespace {
 
 using namespace mhbench;
 
-void BM_Matmul(benchmark::State& state) {
+// Pins the kernel backend for the duration of one benchmark: the *Naive
+// variants re-run the same workloads through the retained reference kernels,
+// so speedup ratios (fast vs naive) come from one binary and one build.
+class BackendGuard {
+ public:
+  explicit BackendGuard(kernels::Backend b)
+      : prev_(kernels::CurrentBackend()) {
+    kernels::SetBackend(b);
+  }
+  ~BackendGuard() { kernels::SetBackend(prev_); }
+
+ private:
+  kernels::Backend prev_;
+};
+
+void MatmulBody(benchmark::State& state, kernels::Backend backend) {
+  BackendGuard guard(backend);
   const int n = static_cast<int>(state.range(0));
   Rng rng(1);
   const Tensor a = Tensor::Randn({n, n}, rng);
@@ -25,19 +43,40 @@ void BM_Matmul(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
 }
-BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
 
-void BM_Conv2dForward(benchmark::State& state) {
+void BM_Matmul(benchmark::State& state) {
+  MatmulBody(state, kernels::Backend::kFast);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulNaive(benchmark::State& state) {
+  MatmulBody(state, kernels::Backend::kNaive);
+}
+BENCHMARK(BM_MatmulNaive)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void Conv2dForwardBody(benchmark::State& state, kernels::Backend backend) {
+  BackendGuard guard(backend);
   Rng rng(2);
   nn::Conv2d conv(8, 16, 3, 1, 1, rng);
   const Tensor x = Tensor::Randn({8, 8, 8, 8}, rng);
   for (auto _ : state) {
     benchmark::DoNotOptimize(conv.Forward(x, true));
+    kernels::ResetThreadScratch();
   }
+}
+
+void BM_Conv2dForward(benchmark::State& state) {
+  Conv2dForwardBody(state, kernels::Backend::kFast);
 }
 BENCHMARK(BM_Conv2dForward);
 
-void BM_Conv2dBackward(benchmark::State& state) {
+void BM_Conv2dForwardNaive(benchmark::State& state) {
+  Conv2dForwardBody(state, kernels::Backend::kNaive);
+}
+BENCHMARK(BM_Conv2dForwardNaive);
+
+void Conv2dBackwardBody(benchmark::State& state, kernels::Backend backend) {
+  BackendGuard guard(backend);
   Rng rng(3);
   nn::Conv2d conv(8, 16, 3, 1, 1, rng);
   const Tensor x = Tensor::Randn({8, 8, 8, 8}, rng);
@@ -46,9 +85,19 @@ void BM_Conv2dBackward(benchmark::State& state) {
   for (auto _ : state) {
     conv.ZeroGrad();
     benchmark::DoNotOptimize(conv.Backward(g));
+    kernels::ResetThreadScratch();
   }
 }
+
+void BM_Conv2dBackward(benchmark::State& state) {
+  Conv2dBackwardBody(state, kernels::Backend::kFast);
+}
 BENCHMARK(BM_Conv2dBackward);
+
+void BM_Conv2dBackwardNaive(benchmark::State& state) {
+  Conv2dBackwardBody(state, kernels::Backend::kNaive);
+}
+BENCHMARK(BM_Conv2dBackwardNaive);
 
 void BM_GatherSubmodel(benchmark::State& state) {
   Rng rng(4);

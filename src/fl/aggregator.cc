@@ -39,12 +39,11 @@ void MaskedAverager::Accumulate(const ClientUpdate& update,
     auto [sit, inserted] = sum_.try_emplace(slice.name, global_ref.shape());
     if (inserted) weight_.emplace(slice.name, Tensor(global_ref.shape()));
 
-    Tensor weighted = update.values[i];
-    weighted.Scale(static_cast<Scalar>(update.weight));
-    ops::ScatterAddDims(sit->second, weighted, slice.index);
-    const Tensor w(update.values[i].shape(),
-                   static_cast<Scalar>(update.weight));
-    ops::ScatterAddDims(weight_.at(slice.name), w, slice.index);
+    // Fused: sum[sel] += w * values and weight[sel] += w, without
+    // materializing a weighted copy or a constant-filled tensor per slice.
+    const auto w = static_cast<Scalar>(update.weight);
+    ops::ScatterAxpyDims(sit->second, w, update.values[i], slice.index);
+    ops::ScatterAddScalarDims(weight_.at(slice.name), w, slice.index);
   }
 }
 

@@ -4,6 +4,7 @@
 #include "data/loader.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "tensor/scratch.h"
 
 namespace mhbench::fl {
 
@@ -37,6 +38,9 @@ double TrainLocal(nn::Module& model, const data::Dataset& shard,
     double loss_sum = 0.0;
     int batch_count = 0;
     while (batches.Next(x, y)) {
+      // Rewind this thread's scratch arena: every kernel temporary from the
+      // previous step is dead here, so the step reuses the same storage.
+      kernels::ResetThreadScratch();
       opt->ZeroGrad();
       const Tensor logits = model.Forward(x, true);
       Tensor grad;

@@ -12,6 +12,8 @@
 #include "nn/lr_schedule.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "tensor/gemm.h"
+#include "tensor/scratch.h"
 
 namespace mhbench::fl {
 
@@ -122,7 +124,7 @@ RunResult FlEngine::Run() {
   // from the dispatch phase only ever touch pre-sized per-thread sinks.
   struct CounterIds {
     obs::Registry::CounterId selected{}, offline{}, dropped{}, trained{},
-        bytes_up{}, bytes_down{}, train_mflops{}, pool_tasks{};
+        bytes_up{}, bytes_down{}, train_mflops{}, pool_tasks{}, gemm_flops{};
   } ids;
   if (reg != nullptr) {
     ids.selected = reg->Counter("clients_selected");
@@ -133,9 +135,15 @@ RunResult FlEngine::Run() {
     ids.bytes_down = reg->Counter("bytes_down");
     ids.train_mflops = reg->Counter("train_mflops");
     ids.pool_tasks = reg->Counter("pool_tasks");
+    ids.gemm_flops = reg->Counter("gemm_flops");
   }
   core::ThreadPool::Stats pool_base =
       pool_ != nullptr ? pool_->stats() : core::ThreadPool::Stats{};
+  // Kernel-layer observability: the GEMM flop count is an exact integer
+  // independent of thread count (published as per-round counter deltas);
+  // the scratch high-water mark is a gauge because it does depend on how
+  // many arenas are live.
+  std::uint64_t gemm_base = kernels::TotalGemmFlops();
 
   Rng setup_rng = rng_.Fork(1);
   {
@@ -292,6 +300,12 @@ RunResult FlEngine::Run() {
       reg->SetGauge("round_time_s", round_time);
       reg->SetGauge("sim_time_s", sim_time);
       if (evaluated) reg->SetGauge("global_acc", eval_acc);
+      const std::uint64_t gemm_now = kernels::TotalGemmFlops();
+      reg->Add(ids.gemm_flops,
+               static_cast<std::int64_t>(gemm_now - gemm_base));
+      gemm_base = gemm_now;
+      reg->SetGauge("scratch_bytes_peak",
+                    static_cast<double>(kernels::ScratchPeakBytesAllThreads()));
       if (pool_ != nullptr) {
         const core::ThreadPool::Stats now = pool_->stats();
         reg->Add(ids.pool_tasks, static_cast<std::int64_t>(

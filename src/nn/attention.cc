@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "tensor/scratch.h"
 
 namespace mhbench::nn {
 
@@ -18,6 +20,12 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(int d_model, int heads,
   MHB_CHECK_EQ(d_model % heads, 0) << "d_model must divide into heads";
 }
 
+// Per-(batch, head) blocks of the packed [N*L, d_model] projections are
+// strided sub-matrices (row stride d_model), which the GEMM kernel consumes
+// directly — no per-head copies.  The (b, h) blocks tile every output
+// exactly once, so all block GEMMs run with beta = 0 into uninitialized
+// storage.
+
 Tensor MultiHeadSelfAttention::Forward(const Tensor& x, bool train) {
   MHB_CHECK_EQ(x.ndim(), 3);
   MHB_CHECK_EQ(x.dim(2), d_model_);
@@ -30,8 +38,8 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x, bool train) {
   cached_q_ = wq_.Forward(x2, train);
   cached_k_ = wk_.Forward(x2, train);
   cached_v_ = wv_.Forward(x2, train);
-  cached_attn_ = Tensor({n, h, l, l});
-  cached_concat_ = Tensor({n * l, d});
+  cached_attn_ = Tensor::Uninitialized({n, h, l, l});
+  cached_concat_ = Tensor::Uninitialized({n * l, d});
 
   const Scalar scale = 1.0f / std::sqrt(static_cast<Scalar>(dh));
   const Scalar* pq = cached_q_.data().data();
@@ -40,42 +48,31 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x, bool train) {
   Scalar* pa = cached_attn_.data().data();
   Scalar* po = cached_concat_.data().data();
 
-  std::vector<Scalar> scores(static_cast<std::size_t>(l));
   for (int b = 0; b < n; ++b) {
+    const std::size_t blk = static_cast<std::size_t>(b) * l * d;
     for (int hd = 0; hd < h; ++hd) {
-      Scalar* attn =
-          pa + ((static_cast<std::size_t>(b) * h + hd) * l) * l;
+      const std::size_t off = blk + static_cast<std::size_t>(hd) * dh;
+      Scalar* attn = pa + (static_cast<std::size_t>(b) * h + hd) *
+                              static_cast<std::size_t>(l) * l;
+      // S = Q_blk · K_blk^T (unscaled; the scale folds into the softmax).
+      kernels::Gemm(false, true, l, l, dh, pq + off, d, pk + off, d, 0.0f,
+                    attn, l);
       for (int i = 0; i < l; ++i) {
-        const Scalar* qrow =
-            pq + (static_cast<std::size_t>(b) * l + i) * d + hd * dh;
+        Scalar* arow = attn + static_cast<std::size_t>(i) * l;
         Scalar mx = -1e30f;
-        for (int j = 0; j < l; ++j) {
-          const Scalar* krow =
-              pk + (static_cast<std::size_t>(b) * l + j) * d + hd * dh;
-          Scalar s = 0;
-          for (int k = 0; k < dh; ++k) s += qrow[k] * krow[k];
-          s *= scale;
-          scores[static_cast<std::size_t>(j)] = s;
-          mx = std::max(mx, s);
-        }
+        for (int j = 0; j < l; ++j) mx = std::max(mx, arow[j] * scale);
         double sum = 0.0;
         for (int j = 0; j < l; ++j) {
-          const Scalar e = std::exp(scores[static_cast<std::size_t>(j)] - mx);
-          attn[static_cast<std::size_t>(i) * l + j] = e;
+          const Scalar e = std::exp(arow[j] * scale - mx);
+          arow[j] = e;
           sum += e;
         }
         const Scalar inv = static_cast<Scalar>(1.0 / sum);
-        Scalar* orow =
-            po + (static_cast<std::size_t>(b) * l + i) * d + hd * dh;
-        for (int k = 0; k < dh; ++k) orow[k] = 0;
-        for (int j = 0; j < l; ++j) {
-          const Scalar a = attn[static_cast<std::size_t>(i) * l + j] * inv;
-          attn[static_cast<std::size_t>(i) * l + j] = a;
-          const Scalar* vrow =
-              pv + (static_cast<std::size_t>(b) * l + j) * d + hd * dh;
-          for (int k = 0; k < dh; ++k) orow[k] += a * vrow[k];
-        }
+        for (int j = 0; j < l; ++j) arow[j] *= inv;
       }
+      // O_blk = A · V_blk.
+      kernels::Gemm(false, false, l, dh, l, attn, l, pv + off, d, 0.0f,
+                    po + off, d);
     }
   }
   Tensor y2 = wo_.Forward(cached_concat_, train);
@@ -91,7 +88,9 @@ Tensor MultiHeadSelfAttention::Backward(const Tensor& grad_out) {
   const Tensor g2 = grad_out.Reshape({n * l, d});
   const Tensor d_concat = wo_.Backward(g2);  // also accumulates dWo
 
-  Tensor dq({n * l, d}), dk({n * l, d}), dv({n * l, d});
+  Tensor dq = Tensor::Uninitialized({n * l, d});
+  Tensor dk = Tensor::Uninitialized({n * l, d});
+  Tensor dv = Tensor::Uninitialized({n * l, d});
   const Scalar scale = 1.0f / std::sqrt(static_cast<Scalar>(dh));
 
   const Scalar* pq = cached_q_.data().data();
@@ -103,48 +102,37 @@ Tensor MultiHeadSelfAttention::Backward(const Tensor& grad_out) {
   Scalar* pdk = dk.data().data();
   Scalar* pdv = dv.data().data();
 
-  std::vector<Scalar> da(static_cast<std::size_t>(l));
+  kernels::ScratchScope scratch;
+  Scalar* ds = scratch.Alloc(static_cast<std::size_t>(l) * l);
+
   for (int b = 0; b < n; ++b) {
+    const std::size_t blk = static_cast<std::size_t>(b) * l * d;
     for (int hd = 0; hd < h; ++hd) {
-      const Scalar* attn =
-          pa + ((static_cast<std::size_t>(b) * h + hd) * l) * l;
+      const std::size_t off = blk + static_cast<std::size_t>(hd) * dh;
+      const Scalar* attn = pa + (static_cast<std::size_t>(b) * h + hd) *
+                                    static_cast<std::size_t>(l) * l;
+      // dA = dO · V^T ;  dV = A^T · dO.
+      kernels::Gemm(false, true, l, l, dh, pdo + off, d, pv + off, d, 0.0f,
+                    ds, l);
+      kernels::Gemm(true, false, l, dh, l, attn, l, pdo + off, d, 0.0f,
+                    pdv + off, d);
+      // Softmax jacobian in place: dS_ij = A_ij (dA_ij - dA_i·A_i) * scale.
       for (int i = 0; i < l; ++i) {
-        const Scalar* dorow =
-            pdo + (static_cast<std::size_t>(b) * l + i) * d + hd * dh;
         const Scalar* arow = attn + static_cast<std::size_t>(i) * l;
-        // dA_ij = dO_i . V_j ;   dV_j += A_ij * dO_i
+        Scalar* dsrow = ds + static_cast<std::size_t>(i) * l;
         double dot = 0.0;
         for (int j = 0; j < l; ++j) {
-          const Scalar* vrow =
-              pv + (static_cast<std::size_t>(b) * l + j) * d + hd * dh;
-          Scalar s = 0;
-          for (int k = 0; k < dh; ++k) s += dorow[k] * vrow[k];
-          da[static_cast<std::size_t>(j)] = s;
-          dot += static_cast<double>(s) * arow[j];
-          Scalar* dvrow =
-              pdv + (static_cast<std::size_t>(b) * l + j) * d + hd * dh;
-          for (int k = 0; k < dh; ++k) dvrow[k] += arow[j] * dorow[k];
+          dot += static_cast<double>(dsrow[j]) * arow[j];
         }
-        // Softmax jacobian, then dQ_i += dS_ij * K_j, dK_j += dS_ij * Q_i.
-        const Scalar* qrow =
-            pq + (static_cast<std::size_t>(b) * l + i) * d + hd * dh;
-        Scalar* dqrow =
-            pdq + (static_cast<std::size_t>(b) * l + i) * d + hd * dh;
         for (int j = 0; j < l; ++j) {
-          const Scalar ds =
-              arow[j] *
-              (da[static_cast<std::size_t>(j)] - static_cast<Scalar>(dot)) *
-              scale;
-          const Scalar* krow =
-              pk + (static_cast<std::size_t>(b) * l + j) * d + hd * dh;
-          Scalar* dkrow =
-              pdk + (static_cast<std::size_t>(b) * l + j) * d + hd * dh;
-          for (int k = 0; k < dh; ++k) {
-            dqrow[k] += ds * krow[k];
-            dkrow[k] += ds * qrow[k];
-          }
+          dsrow[j] = arow[j] * (dsrow[j] - static_cast<Scalar>(dot)) * scale;
         }
       }
+      // dQ = dS · K ;  dK = dS^T · Q.
+      kernels::Gemm(false, false, l, dh, l, ds, l, pk + off, d, 0.0f,
+                    pdq + off, d);
+      kernels::Gemm(true, false, l, dh, l, ds, l, pq + off, d, 0.0f,
+                    pdk + off, d);
     }
   }
 

@@ -1,42 +1,41 @@
 #include "nn/conv.h"
 
+#include <cstddef>
+
 #include "nn/init.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
+#include "tensor/scratch.h"
 
 namespace mhbench::nn {
 namespace {
 
 // [N*OH*OW, out_c] rows ordered (n, oy, ox) -> [N, out_c, OH, OW].
-Tensor RowsToNCHW(const Tensor& rows, int n, int oc, int oh, int ow) {
-  Tensor out({n, oc, oh, ow});
-  const Scalar* in = rows.data().data();
-  Scalar* o = out.data().data();
+void RowsToNCHWInto(const Scalar* rows, int n, int oc, int oh, int ow,
+                    Scalar* out) {
   std::size_t row = 0;
   for (int b = 0; b < n; ++b) {
     for (int y = 0; y < oh; ++y) {
       for (int x = 0; x < ow; ++x, ++row) {
-        const Scalar* irow = in + row * static_cast<std::size_t>(oc);
+        const Scalar* irow = rows + row * static_cast<std::size_t>(oc);
         for (int c = 0; c < oc; ++c) {
-          o[((static_cast<std::size_t>(b) * oc + c) * oh + y) * ow + x] =
+          out[((static_cast<std::size_t>(b) * oc + c) * oh + y) * ow + x] =
               irow[c];
         }
       }
     }
   }
-  return out;
 }
 
-// Inverse of RowsToNCHW.
-Tensor NCHWToRows(const Tensor& t) {
+// Inverse of RowsToNCHWInto.
+void NCHWToRowsInto(const Tensor& t, Scalar* rows) {
   const int n = t.dim(0), c = t.dim(1), h = t.dim(2), w = t.dim(3);
-  Tensor rows({n * h * w, c});
   const Scalar* in = t.data().data();
-  Scalar* o = rows.data().data();
   std::size_t row = 0;
   for (int b = 0; b < n; ++b) {
     for (int y = 0; y < h; ++y) {
       for (int x = 0; x < w; ++x, ++row) {
-        Scalar* orow = o + row * static_cast<std::size_t>(c);
+        Scalar* orow = rows + row * static_cast<std::size_t>(c);
         for (int ch = 0; ch < c; ++ch) {
           orow[ch] =
               in[((static_cast<std::size_t>(b) * c + ch) * h + y) * w + x];
@@ -44,7 +43,6 @@ Tensor NCHWToRows(const Tensor& t) {
       }
     }
   }
-  return rows;
 }
 
 }  // namespace
@@ -80,50 +78,62 @@ Tensor Conv2d::Forward(const Tensor& x, bool /*train*/) {
   MHB_CHECK_EQ(x.ndim(), 4);
   MHB_CHECK_EQ(x.dim(1), in_channels());
   cached_input_shape_ = x.shape();
-  cached_cols_ =
-      ops::Im2Col(x, kernel_h(), kernel_w(), stride_, pad_h_, pad_w_);
   const int n = x.dim(0);
+  const int oc = out_channels();
+  const int ickk = in_channels() * kernel_h() * kernel_w();
   const int oh = (x.dim(2) + 2 * pad_h_ - kernel_h()) / stride_ + 1;
   const int ow = (x.dim(3) + 2 * pad_w_ - kernel_w()) / stride_ + 1;
-  const Tensor w2 = weight_.value.Reshape(
-      {out_channels(), in_channels() * kernel_h() * kernel_w()});
-  Tensor rows = ops::MatmulTransB(cached_cols_, w2);  // [N*OH*OW, out_c]
-  if (has_bias()) {
-    const int oc = out_channels();
-    Scalar* p = rows.data().data();
-    const std::size_t nrows = static_cast<std::size_t>(rows.dim(0));
-    for (std::size_t r = 0; r < nrows; ++r) {
-      for (int c = 0; c < oc; ++c) {
-        p[r * static_cast<std::size_t>(oc) + c] += bias_.value[static_cast<std::size_t>(c)];
-      }
-    }
-  }
-  return RowsToNCHW(rows, n, out_channels(), oh, ow);
+  const int rows_n = n * oh * ow;
+
+  // The column matrix lives in a member tensor so repeated steps with the
+  // same geometry reuse the buffer; Backward reads it back.
+  const int cols_shape[2] = {rows_n, ickk};
+  cached_cols_.ResizeUninitialized(cols_shape);
+  ops::Im2ColInto(x, kernel_h(), kernel_w(), stride_, pad_h_, pad_w_,
+                  cached_cols_.data().data());
+
+  // rows[N*OH*OW, out_c] = cols · W^T + bias, staged in the scratch arena;
+  // the weight tensor [oc, ic, kh, kw] is read as a flat [oc, ickk] matrix.
+  kernels::ScratchScope scratch;
+  float* rows = scratch.Alloc(static_cast<std::size_t>(rows_n) * oc);
+  kernels::Gemm(false, true, rows_n, oc, ickk, cached_cols_.data().data(),
+                ickk, weight_.value.data().data(), ickk, 0.0f, rows, oc,
+                has_bias() ? bias_.value.data().data() : nullptr);
+
+  Tensor out = Tensor::Uninitialized({n, oc, oh, ow});
+  RowsToNCHWInto(rows, n, oc, oh, ow, out.data().data());
+  return out;
 }
 
 Tensor Conv2d::Backward(const Tensor& grad_out) {
   MHB_CHECK(!cached_cols_.empty()) << "Backward before Forward";
   MHB_CHECK_EQ(grad_out.ndim(), 4);
   MHB_CHECK_EQ(grad_out.dim(1), out_channels());
-  const Tensor grows = NCHWToRows(grad_out);  // [N*OH*OW, out_c]
-  // dW = G^T * cols, reshaped back to [out_c, in_c, kh, kw].
-  Tensor dw2 = ops::MatmulTransA(grows, cached_cols_);
-  weight_.grad.AddInPlace(dw2.Reshape(weight_.value.shape()));
+  const int oc = out_channels();
+  const int ickk = in_channels() * kernel_h() * kernel_w();
+  const int rows_n = cached_cols_.dim(0);
+
+  kernels::ScratchScope scratch;
+  float* grows = scratch.Alloc(static_cast<std::size_t>(rows_n) * oc);
+  NCHWToRowsInto(grad_out, grows);  // [N*OH*OW, out_c]
+
+  // dW += G^T · cols, accumulated straight into the flat [oc, ickk] view of
+  // the weight gradient (beta = 1).
+  kernels::Gemm(true, false, oc, ickk, rows_n, grows, oc,
+                cached_cols_.data().data(), ickk, 1.0f,
+                weight_.grad.data().data(), ickk);
   if (has_bias()) {
-    const int oc = out_channels();
-    const Scalar* p = grows.data().data();
-    const std::size_t nrows = static_cast<std::size_t>(grows.dim(0));
-    for (std::size_t r = 0; r < nrows; ++r) {
-      for (int c = 0; c < oc; ++c) {
-        bias_.grad[static_cast<std::size_t>(c)] += p[r * static_cast<std::size_t>(oc) + c];
-      }
-    }
+    kernels::ColSumAcc(grows, rows_n, oc, oc, bias_.grad.data().data());
   }
-  const Tensor w2 = weight_.value.Reshape(
-      {out_channels(), in_channels() * kernel_h() * kernel_w()});
-  const Tensor dcols = ops::Matmul(grows, w2);  // [N*OH*OW, CKK]
-  return ops::Col2Im(dcols, cached_input_shape_, kernel_h(), kernel_w(),
-                     stride_, pad_h_, pad_w_);
+
+  // dcols = G · W, then scatter back to the input shape.
+  float* dcols = scratch.Alloc(static_cast<std::size_t>(rows_n) * ickk);
+  kernels::Gemm(false, false, rows_n, ickk, oc, grows, oc,
+                weight_.value.data().data(), ickk, 0.0f, dcols, ickk);
+  Tensor dx(cached_input_shape_);
+  ops::Col2ImAcc(dcols, cached_input_shape_, kernel_h(), kernel_w(), stride_,
+                 pad_h_, pad_w_, dx.data().data());
+  return dx;
 }
 
 void Conv2d::CollectParams(const std::string& prefix,

@@ -1,6 +1,7 @@
 #include "nn/linear.h"
 
 #include "nn/init.h"
+#include "tensor/gemm.h"
 #include "tensor/ops.h"
 
 namespace mhbench::nn {
@@ -27,14 +28,12 @@ Tensor Linear::Forward(const Tensor& x, bool /*train*/) {
   MHB_CHECK_EQ(x.ndim(), 2);
   MHB_CHECK_EQ(x.dim(1), in_features());
   cached_input_ = x;
-  Tensor y = ops::MatmulTransB(x, weight_.value);  // [n, out]
-  if (has_bias()) {
-    const int n = y.dim(0), out = y.dim(1);
-    for (int i = 0; i < n; ++i) {
-      Scalar* row = y.data().data() + static_cast<std::size_t>(i) * out;
-      for (int j = 0; j < out; ++j) row[j] += bias_.value[static_cast<std::size_t>(j)];
-    }
-  }
+  const int n = x.dim(0), in = in_features(), out = out_features();
+  // Y[n, out] = X · W^T + bias, with the bias fused into the GEMM epilogue.
+  Tensor y = Tensor::Uninitialized({n, out});
+  kernels::Gemm(false, true, n, out, in, x.data().data(), in,
+                weight_.value.data().data(), in, 0.0f, y.data().data(), out,
+                has_bias() ? bias_.value.data().data() : nullptr);
   return y;
 }
 
@@ -43,17 +42,20 @@ Tensor Linear::Backward(const Tensor& grad_out) {
   MHB_CHECK_EQ(grad_out.ndim(), 2);
   MHB_CHECK_EQ(grad_out.dim(0), cached_input_.dim(0));
   MHB_CHECK_EQ(grad_out.dim(1), out_features());
-  // dW = dY^T X ; dX = dY W ; db = colsum(dY)
-  weight_.grad.AddInPlace(ops::MatmulTransA(grad_out, cached_input_));
+  const int n = grad_out.dim(0), in = in_features(), out = out_features();
+  // dW += dY^T · X, accumulated directly into the gradient (beta = 1).
+  kernels::Gemm(true, false, out, in, n, grad_out.data().data(), out,
+                cached_input_.data().data(), in, 1.0f,
+                weight_.grad.data().data(), in);
   if (has_bias()) {
-    const int n = grad_out.dim(0), out = grad_out.dim(1);
-    for (int i = 0; i < n; ++i) {
-      const Scalar* row =
-          grad_out.data().data() + static_cast<std::size_t>(i) * out;
-      for (int j = 0; j < out; ++j) bias_.grad[static_cast<std::size_t>(j)] += row[j];
-    }
+    kernels::ColSumAcc(grad_out.data().data(), n, out, out,
+                       bias_.grad.data().data());
   }
-  return ops::Matmul(grad_out, weight_.value);
+  // dX = dY · W.
+  Tensor dx = Tensor::Uninitialized({n, in});
+  kernels::Gemm(false, false, n, in, out, grad_out.data().data(), out,
+                weight_.value.data().data(), in, 0.0f, dx.data().data(), in);
+  return dx;
 }
 
 void Linear::CollectParams(const std::string& prefix,

@@ -1,0 +1,285 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/error.h"
+#include "tensor/scratch.h"
+
+namespace mhbench::kernels {
+namespace {
+
+std::atomic<std::uint64_t> g_flops{0};
+
+Backend InitialBackend() {
+  const char* env = std::getenv("MHB_KERNELS");
+  if (env != nullptr && std::strcmp(env, "naive") == 0) return Backend::kNaive;
+  return Backend::kFast;
+}
+
+std::atomic<Backend> g_backend{InitialBackend()};
+
+// op(A)(i, p) for a row-major buffer with leading dimension lda.
+inline float At(const float* a, int lda, bool trans, int i, int p) {
+  return trans ? a[static_cast<std::size_t>(p) * lda + i]
+               : a[static_cast<std::size_t>(i) * lda + p];
+}
+
+// Packs the mc x kc block of op(A) at (ic, pc) into row panels of kMR:
+// panel r holds, for each p in [0, kc), kMR consecutive elements of column
+// p (zero-padded past mc) so the microkernel streams it linearly.
+void PackA(bool trans, const float* a, int lda, int ic, int pc, int mc,
+           int kc, float* ap) {
+  for (int i0 = 0; i0 < mc; i0 += kMR) {
+    const int mr = std::min(kMR, mc - i0);
+    for (int p = 0; p < kc; ++p) {
+      for (int r = 0; r < mr; ++r) {
+        *ap++ = At(a, lda, trans, ic + i0 + r, pc + p);
+      }
+      for (int r = mr; r < kMR; ++r) *ap++ = 0.0f;
+    }
+  }
+}
+
+// Packs the kc x nc block of op(B) at (pc, jc) into column panels of kNR.
+void PackB(bool trans, const float* b, int ldb, int pc, int jc, int kc,
+           int nc, float* bp) {
+  for (int j0 = 0; j0 < nc; j0 += kNR) {
+    const int nr = std::min(kNR, nc - j0);
+    if (!trans) {
+      // op(B)(p, j) = b[p*ldb + j]: each panel row is a contiguous copy.
+      for (int p = 0; p < kc; ++p) {
+        const float* src =
+            b + static_cast<std::size_t>(pc + p) * ldb + jc + j0;
+        std::memcpy(bp, src, static_cast<std::size_t>(nr) * sizeof(float));
+        for (int q = nr; q < kNR; ++q) bp[q] = 0.0f;
+        bp += kNR;
+      }
+    } else {
+      // op(B)(p, j) = b[j*ldb + p]: strided gather.
+      for (int p = 0; p < kc; ++p) {
+        for (int q = 0; q < nr; ++q) {
+          bp[q] = b[static_cast<std::size_t>(jc + j0 + q) * ldb + pc + p];
+        }
+        for (int q = nr; q < kNR; ++q) bp[q] = 0.0f;
+        bp += kNR;
+      }
+    }
+  }
+}
+
+// kMR x kNR register tile over one packed A panel and one packed B panel.
+//
+// The accumulators must live in vector registers across the whole p loop —
+// left as a plain float array, GCC keeps them in memory and the kernel runs
+// at scalar speed.  With vector-extension types the 6 x 16 tile is exactly
+// 6 zmm (or 12 ymm) registers.  `c += a * b` is written so the compiler may
+// contract it into a fused multiply-add when the TU is built with -mfma:
+// rounding then differs from the naive reference, but the contraction order
+// is fixed, so results stay bit-identical across runs and thread counts for
+// a given build (the determinism contract in gemm.h).
+#if defined(__AVX512F__) && defined(__GNUC__)
+
+using V16 = float __attribute__((vector_size(64)));
+
+inline V16 LoadV16(const float* p) {
+  V16 v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// Splat via an explicit all-lanes initializer: compiles to one
+// vbroadcastss.  (`V16{} + x` would emit an extra dependent vaddss — GCC
+// cannot fold 0.0f + x without fast-math because of signed zeros.)
+inline V16 Splat16(float x) {
+  return V16{x, x, x, x, x, x, x, x, x, x, x, x, x, x, x, x};
+}
+
+inline void MicroKernel(int kc, const float* ap, const float* bp,
+                        float* acc) {
+  static_assert(kMR == 6 && kNR == 16, "tile hard-wired to 6x16");
+  V16 c0{}, c1{}, c2{}, c3{}, c4{}, c5{};
+  for (int p = 0; p < kc; ++p) {
+    const float* arow = ap + static_cast<std::size_t>(p) * kMR;
+    const V16 b = LoadV16(bp + static_cast<std::size_t>(p) * kNR);
+    c0 += Splat16(arow[0]) * b;
+    c1 += Splat16(arow[1]) * b;
+    c2 += Splat16(arow[2]) * b;
+    c3 += Splat16(arow[3]) * b;
+    c4 += Splat16(arow[4]) * b;
+    c5 += Splat16(arow[5]) * b;
+  }
+  const V16 rows[kMR] = {c0, c1, c2, c3, c4, c5};
+  for (int i = 0; i < kMR; ++i) {
+    std::memcpy(acc + i * kNR, &rows[i], sizeof(V16));
+  }
+}
+
+#elif defined(__AVX2__) && defined(__GNUC__)
+
+using V8 = float __attribute__((vector_size(32)));
+
+inline V8 LoadV8(const float* p) {
+  V8 v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// One vbroadcastss; see Splat16.
+inline V8 Splat8(float x) { return V8{x, x, x, x, x, x, x, x}; }
+
+inline void MicroKernel(int kc, const float* ap, const float* bp,
+                        float* acc) {
+  static_assert(kMR == 6 && kNR == 16, "tile hard-wired to 6x16");
+  V8 c00{}, c01{}, c10{}, c11{}, c20{}, c21{};
+  V8 c30{}, c31{}, c40{}, c41{}, c50{}, c51{};
+  for (int p = 0; p < kc; ++p) {
+    const float* arow = ap + static_cast<std::size_t>(p) * kMR;
+    const float* brow = bp + static_cast<std::size_t>(p) * kNR;
+    const V8 b0 = LoadV8(brow);
+    const V8 b1 = LoadV8(brow + 8);
+    V8 a;
+    a = Splat8(arow[0]); c00 += a * b0; c01 += a * b1;
+    a = Splat8(arow[1]); c10 += a * b0; c11 += a * b1;
+    a = Splat8(arow[2]); c20 += a * b0; c21 += a * b1;
+    a = Splat8(arow[3]); c30 += a * b0; c31 += a * b1;
+    a = Splat8(arow[4]); c40 += a * b0; c41 += a * b1;
+    a = Splat8(arow[5]); c50 += a * b0; c51 += a * b1;
+  }
+  const V8 rows[kMR][2] = {{c00, c01}, {c10, c11}, {c20, c21},
+                           {c30, c31}, {c40, c41}, {c50, c51}};
+  for (int i = 0; i < kMR; ++i) {
+    std::memcpy(acc + i * kNR, &rows[i][0], sizeof(V8));
+    std::memcpy(acc + i * kNR + 8, &rows[i][1], sizeof(V8));
+  }
+}
+
+#else  // scalar fallback, same arithmetic order per element
+
+inline void MicroKernel(int kc, const float* ap, const float* bp,
+                        float* acc) {
+  std::memset(acc, 0, sizeof(float) * kMR * kNR);
+  for (int p = 0; p < kc; ++p) {
+    const float* arow = ap + static_cast<std::size_t>(p) * kMR;
+    const float* brow = bp + static_cast<std::size_t>(p) * kNR;
+    for (int i = 0; i < kMR; ++i) {
+      const float ai = arow[i];
+      float* accrow = acc + i * kNR;
+      for (int j = 0; j < kNR; ++j) accrow[j] += ai * brow[j];
+    }
+  }
+}
+
+#endif
+
+void FastGemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
+              int lda, const float* b, int ldb, float beta, float* c, int ldc,
+              const float* bias) {
+  ScratchScope scratch;
+  float* const ap = scratch.Alloc(static_cast<std::size_t>(kMC) * kKC);
+  float* const bp = scratch.Alloc(static_cast<std::size_t>(kKC) * kNC);
+  alignas(64) float acc[kMR * kNR];
+
+  for (int jc = 0; jc < n; jc += kNC) {
+    const int nc = std::min(kNC, n - jc);
+    for (int pc = 0; pc < k; pc += kKC) {
+      const int kc = std::min(kKC, k - pc);
+      const bool first = pc == 0;
+      const bool last = pc + kc == k;
+      PackB(trans_b, b, ldb, pc, jc, kc, nc, bp);
+      for (int ic = 0; ic < m; ic += kMC) {
+        const int mc = std::min(kMC, m - ic);
+        PackA(trans_a, a, lda, ic, pc, mc, kc, ap);
+        for (int jr = 0; jr < nc; jr += kNR) {
+          const int nr = std::min(kNR, nc - jr);
+          const float* bpanel =
+              bp + static_cast<std::size_t>(jr / kNR) * kc * kNR;
+          for (int ir = 0; ir < mc; ir += kMR) {
+            const int mr = std::min(kMR, mc - ir);
+            const float* apanel =
+                ap + static_cast<std::size_t>(ir / kMR) * kc * kMR;
+            MicroKernel(kc, apanel, bpanel, acc);
+
+            // Tile writeback.  The first/beta/bias decisions are
+            // tile-constant, so each branch body is a plain vectorizable
+            // loop; the arithmetic order per element matches the fused
+            // form: (acc [+ C]) first, bias last.
+            float* cd = c + static_cast<std::size_t>(ic + ir) * ldc + jc + jr;
+            for (int r = 0; r < mr; ++r) {
+              float* crow = cd + static_cast<std::size_t>(r) * ldc;
+              const float* accrow = acc + r * kNR;
+              if (!first) {
+                for (int q = 0; q < nr; ++q) crow[q] = accrow[q] + crow[q];
+              } else if (beta != 0.0f) {
+                for (int q = 0; q < nr; ++q) {
+                  crow[q] = accrow[q] + beta * crow[q];
+                }
+              } else {
+                for (int q = 0; q < nr; ++q) crow[q] = accrow[q];
+              }
+            }
+            if (last && bias != nullptr) {
+              const float* bias_j = bias + jc + jr;
+              for (int r = 0; r < mr; ++r) {
+                float* crow = cd + static_cast<std::size_t>(r) * ldc;
+                for (int q = 0; q < nr; ++q) crow[q] += bias_j[q];
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void CountFlops(int m, int n, int k) {
+  g_flops.fetch_add(2ull * static_cast<std::uint64_t>(m) *
+                        static_cast<std::uint64_t>(n) *
+                        static_cast<std::uint64_t>(k),
+                    std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void SetBackend(Backend b) { g_backend.store(b, std::memory_order_relaxed); }
+
+Backend CurrentBackend() { return g_backend.load(std::memory_order_relaxed); }
+
+void Gemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
+          int lda, const float* b, int ldb, float beta, float* c, int ldc,
+          const float* bias) {
+  MHB_CHECK(m > 0 && n > 0 && k > 0)
+      << "gemm dims" << m << n << k << "must be positive";
+  CountFlops(m, n, k);
+  if (CurrentBackend() == Backend::kNaive) {
+    internal::NaiveGemmImpl(trans_a, trans_b, m, n, k, a, lda, b, ldb, beta,
+                            c, ldc, bias);
+  } else {
+    FastGemm(trans_a, trans_b, m, n, k, a, lda, b, ldb, beta, c, ldc, bias);
+  }
+}
+
+void NaiveGemm(bool trans_a, bool trans_b, int m, int n, int k,
+               const float* a, int lda, const float* b, int ldb, float beta,
+               float* c, int ldc, const float* bias) {
+  MHB_CHECK(m > 0 && n > 0 && k > 0)
+      << "gemm dims" << m << n << k << "must be positive";
+  CountFlops(m, n, k);
+  internal::NaiveGemmImpl(trans_a, trans_b, m, n, k, a, lda, b, ldb, beta, c,
+                          ldc, bias);
+}
+
+void ColSumAcc(const float* rows, int nrows, int ncols, int ld, float* out) {
+  for (int i = 0; i < nrows; ++i) {
+    const float* row = rows + static_cast<std::size_t>(i) * ld;
+    for (int j = 0; j < ncols; ++j) out[j] += row[j];
+  }
+}
+
+std::uint64_t TotalGemmFlops() {
+  return g_flops.load(std::memory_order_relaxed);
+}
+
+}  // namespace mhbench::kernels

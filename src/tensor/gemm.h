@@ -1,0 +1,83 @@
+// mhbench::kernels — the high-performance GEMM layer.
+//
+// One kernel covers the whole Matmul/MatmulTransA/MatmulTransB family plus
+// the fused epilogues the layers need (beta-accumulate into an existing
+// gradient, bias broadcast), over strided row-major operands so callers
+// never materialize transposes or reshapes.  The fast path is a classic
+// cache-blocked, panel-packed, register-tiled design (fixed MC/KC/NC
+// blocking with an MR x NR microkernel the compiler auto-vectorizes).  It is
+// deliberately single-threaded: per-client work stays on one thread, so
+// results are bit-identical for every --threads setting.
+//
+// Determinism: for a fixed build, every code path accumulates the k
+// dimension in ascending order with no data-dependent branching, so repeated
+// calls are bit-identical — and because the kernel never splits one output
+// across threads, metrics are bit-identical for every --threads setting.
+// The fast kernel is NOT bit-equal to the naive reference: it blocks the k
+// dimension (partial sums associate as sum_block0 + sum_block1 instead of
+// one running sum) and its build may fuse multiply-adds (-mfma), which
+// rounds differently from the separately-rounded mul-then-add the default
+// flags produce.  Tests therefore compare backends with a tight relative
+// tolerance and reserve exact equality for run-to-run / cross-thread-count
+// checks within one backend.
+#pragma once
+
+#include <cstdint>
+
+namespace mhbench::kernels {
+
+// Blocking constants, exposed for tests (shapes straddling these are the
+// adversarial cases).
+inline constexpr int kMR = 6;
+inline constexpr int kNR = 16;
+inline constexpr int kMC = 96;    // multiple of kMR
+inline constexpr int kKC = 256;
+inline constexpr int kNC = 1024;  // multiple of kNR
+
+// Runtime backend switch so benchmarks (and debugging) can route every
+// consumer — conv, linear, attention — through the retained naive kernels.
+enum class Backend { kFast, kNaive };
+void SetBackend(Backend b);
+Backend CurrentBackend();
+
+// C[m,n] = op(A)·op(B) + beta·C + bias.
+//
+//   op(A) is m x k: element (i,p) is a[i*lda + p], or a[p*lda + i] when
+//   trans_a (i.e. A is stored k x m with leading dimension lda).  op(B) is
+//   k x n, analogously with trans_b.  C is m x n with leading dimension
+//   ldc.  When beta == 0, C is treated as write-only (it may be
+//   uninitialized).  `bias`, when non-null, points at n floats broadcast
+//   over rows — the fused replacement for the layers' per-element bias
+//   loops.
+void Gemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
+          int lda, const float* b, int ldb, float beta, float* c, int ldc,
+          const float* bias = nullptr);
+
+// The naive reference (triple loop, no packing, no blocking — and no
+// data-dependent zero-skip branches: the old `if (a == 0) continue` made
+// timing input-dependent and blocked vectorization, and no caller relied on
+// its 0*inf/NaN masking).  Same contraction order as the fast path; retained
+// for tests and for the --naive benchmark baseline.
+void NaiveGemm(bool trans_a, bool trans_b, int m, int n, int k,
+               const float* a, int lda, const float* b, int ldb, float beta,
+               float* c, int ldc, const float* bias = nullptr);
+
+// out[j] += sum_i rows[i*ld + j] — the column reduction behind every bias
+// gradient (one pass, row-major streaming, auto-vectorizable).
+void ColSumAcc(const float* rows, int nrows, int ncols, int ld, float* out);
+
+// Process-wide count of multiply-add FLOPs executed by Gemm (2*m*n*k per
+// call, both backends).  Monotone; the engine publishes round deltas as the
+// `gemm_flops` counter.
+std::uint64_t TotalGemmFlops();
+
+namespace internal {
+// Uncounted naive implementation.  Lives in gemm_naive.cc, which is built
+// with the project's default flags (no per-file -O3/-mavx512f/-mfma): the
+// benchmark baseline stays what the pre-kernel-layer code compiled to.
+void NaiveGemmImpl(bool trans_a, bool trans_b, int m, int n, int k,
+                   const float* a, int lda, const float* b, int ldb,
+                   float beta, float* c, int ldc, const float* bias);
+}  // namespace internal
+
+}  // namespace mhbench::kernels

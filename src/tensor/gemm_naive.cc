@@ -1,0 +1,75 @@
+// The naive GEMM reference, in its own translation unit so it keeps the
+// project's default optimization flags while gemm.cc gets the kernel flags
+// (see src/CMakeLists.txt).  Loop orders mirror the pre-kernel-layer
+// Matmul/MatmulTransA/MatmulTransB code, minus the data-dependent zero-skip
+// branches; every path accumulates k in ascending order.  (The fast kernel
+// shares that ascending order but blocks k and may fuse multiply-adds, so
+// the two backends agree only to rounding — see gemm.h.)
+#include <cstddef>
+
+#include "tensor/gemm.h"
+
+namespace mhbench::kernels::internal {
+namespace {
+
+// op(A)(i, p) for a row-major buffer with leading dimension lda.
+inline float At(const float* a, int lda, bool trans, int i, int p) {
+  return trans ? a[static_cast<std::size_t>(p) * lda + i]
+               : a[static_cast<std::size_t>(i) * lda + p];
+}
+
+}  // namespace
+
+void NaiveGemmImpl(bool trans_a, bool trans_b, int m, int n, int k,
+                   const float* a, int lda, const float* b, int ldb,
+                   float beta, float* c, int ldc, const float* bias) {
+  if (!trans_a && trans_b) {
+    // Row-dot-row order (the original MatmulTransB).
+    for (int i = 0; i < m; ++i) {
+      const float* arow = a + static_cast<std::size_t>(i) * lda;
+      float* crow = c + static_cast<std::size_t>(i) * ldc;
+      for (int j = 0; j < n; ++j) {
+        const float* brow = b + static_cast<std::size_t>(j) * ldb;
+        float s = 0.0f;
+        for (int p = 0; p < k; ++p) s += arow[p] * brow[p];
+        float v = s;
+        if (beta != 0.0f) v += beta * crow[j];
+        if (bias != nullptr) v += bias[j];
+        crow[j] = v;
+      }
+    }
+    return;
+  }
+  // Streaming accumulation orders (the original Matmul / MatmulTransA):
+  // prepare C, rank-1 update per contraction step, bias last.
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<std::size_t>(i) * ldc;
+    if (beta == 0.0f) {
+      for (int j = 0; j < n; ++j) crow[j] = 0.0f;
+    } else if (beta != 1.0f) {
+      for (int j = 0; j < n; ++j) crow[j] *= beta;
+    }
+  }
+  for (int p = 0; p < k; ++p) {
+    for (int i = 0; i < m; ++i) {
+      const float aip = At(a, lda, trans_a, i, p);
+      float* crow = c + static_cast<std::size_t>(i) * ldc;
+      if (!trans_b) {
+        const float* brow = b + static_cast<std::size_t>(p) * ldb;
+        for (int j = 0; j < n; ++j) crow[j] += aip * brow[j];
+      } else {
+        for (int j = 0; j < n; ++j) {
+          crow[j] += aip * b[static_cast<std::size_t>(j) * ldb + p];
+        }
+      }
+    }
+  }
+  if (bias != nullptr) {
+    for (int i = 0; i < m; ++i) {
+      float* crow = c + static_cast<std::size_t>(i) * ldc;
+      for (int j = 0; j < n; ++j) crow[j] += bias[j];
+    }
+  }
+}
+
+}  // namespace mhbench::kernels::internal

@@ -2,27 +2,38 @@
 
 #include <algorithm>
 #include <cmath>
-#include <functional>
+#include <cstring>
+
+#include "tensor/gemm.h"
 
 namespace mhbench::ops {
 namespace {
 
-// Iterates over every combination of the given per-dimension index lists,
-// yielding (src_linear_offset_into_selected, dst_multi_index).  Shared by the
-// gather/scatter family.
-//
-// `full_shape` is the shape of the large tensor; `index` selects positions
-// in it.  The callback receives the linear offset in the *small* tensor and
-// the linear offset in the *large* tensor.
-void ForEachSelected(const Shape& full_shape, const DimIndices& index,
-                     const std::function<void(std::size_t small_off,
-                                              std::size_t large_off)>& fn) {
+// Iterates over every combination of the given per-dimension index lists in
+// contiguous blocks.  The longest suffix of unindexed dimensions is folded
+// into one block of `block` elements that is contiguous in both the small
+// and the large tensor, so the gather/scatter family runs a bulk
+// memcpy/vector loop per block instead of a lambda call per element.  The
+// callback receives (small_off, large_off, block).
+template <typename Fn>
+void ForEachSelectedBlock(const Shape& full_shape, const DimIndices& index,
+                          Fn&& fn) {
   const int nd = static_cast<int>(full_shape.size());
   MHB_CHECK_EQ(static_cast<int>(index.size()), nd);
+  if (ShapeNumel(full_shape) == 0) return;
 
-  // Effective per-dimension index lists (identity when absent).
-  std::vector<std::vector<int>> idx(static_cast<std::size_t>(nd));
-  for (int d = 0; d < nd; ++d) {
+  // Contiguous tail: trailing dims kept whole.
+  int lead = nd;
+  std::size_t block = 1;
+  while (lead > 0 && !index[static_cast<std::size_t>(lead - 1)].has_value()) {
+    --lead;
+    block *= static_cast<std::size_t>(full_shape[static_cast<std::size_t>(lead)]);
+  }
+
+  // Effective per-dimension index lists for the leading dims (identity when
+  // absent), validated against the large tensor's extents.
+  std::vector<std::vector<int>> idx(static_cast<std::size_t>(lead));
+  for (int d = 0; d < lead; ++d) {
     const auto du = static_cast<std::size_t>(d);
     if (index[du].has_value()) {
       idx[du] = *index[du];
@@ -33,29 +44,36 @@ void ForEachSelected(const Shape& full_shape, const DimIndices& index,
       }
     } else {
       idx[du].resize(static_cast<std::size_t>(full_shape[du]));
-      for (int i = 0; i < full_shape[du]; ++i) idx[du][static_cast<std::size_t>(i)] = i;
+      for (int i = 0; i < full_shape[du]; ++i) {
+        idx[du][static_cast<std::size_t>(i)] = i;
+      }
     }
   }
 
-  // Strides of the large tensor.
-  std::vector<std::size_t> stride(static_cast<std::size_t>(nd), 1);
-  for (int d = nd - 2; d >= 0; --d) {
+  // Strides of the large tensor over the leading dims, in units of `block`.
+  std::vector<std::size_t> stride(static_cast<std::size_t>(lead), 1);
+  for (int d = lead - 2; d >= 0; --d) {
     const auto du = static_cast<std::size_t>(d);
     stride[du] = stride[du + 1] * static_cast<std::size_t>(full_shape[du + 1]);
   }
 
-  // Odometer over the small tensor's coordinates.
-  std::vector<std::size_t> pos(static_cast<std::size_t>(nd), 0);
+  if (lead == 0) {
+    fn(std::size_t{0}, std::size_t{0}, block);
+    return;
+  }
+
+  // Odometer over the small tensor's leading coordinates.
+  std::vector<std::size_t> pos(static_cast<std::size_t>(lead), 0);
   std::size_t small_off = 0;
   for (;;) {
     std::size_t large_off = 0;
-    for (int d = 0; d < nd; ++d) {
+    for (int d = 0; d < lead; ++d) {
       const auto du = static_cast<std::size_t>(d);
       large_off += stride[du] * static_cast<std::size_t>(idx[du][pos[du]]);
     }
-    fn(small_off, large_off);
-    ++small_off;
-    int d = nd - 1;
+    fn(small_off, large_off * block, block);
+    small_off += block;
+    int d = lead - 1;
     for (; d >= 0; --d) {
       const auto du = static_cast<std::size_t>(d);
       if (++pos[du] < idx[du].size()) break;
@@ -83,20 +101,9 @@ Tensor Matmul(const Tensor& a, const Tensor& b) {
   MHB_CHECK_EQ(b.ndim(), 2);
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   MHB_CHECK_EQ(k, b.dim(0));
-  Tensor c({m, n});
-  const Scalar* pa = a.data().data();
-  const Scalar* pb = b.data().data();
-  Scalar* pc = c.data().data();
-  // ikj loop order: streams through B and C rows for cache friendliness.
-  for (int i = 0; i < m; ++i) {
-    Scalar* crow = pc + static_cast<std::size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const Scalar aik = pa[static_cast<std::size_t>(i) * k + kk];
-      if (aik == 0.0f) continue;
-      const Scalar* brow = pb + static_cast<std::size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  Tensor c = Tensor::Uninitialized({m, n});
+  kernels::Gemm(false, false, m, n, k, a.data().data(), k, b.data().data(),
+                n, 0.0f, c.data().data(), n);
   return c;
 }
 
@@ -105,20 +112,9 @@ Tensor MatmulTransB(const Tensor& a, const Tensor& b) {
   MHB_CHECK_EQ(b.ndim(), 2);
   const int m = a.dim(0), k = a.dim(1), n = b.dim(0);
   MHB_CHECK_EQ(k, b.dim(1));
-  Tensor c({m, n});
-  const Scalar* pa = a.data().data();
-  const Scalar* pb = b.data().data();
-  Scalar* pc = c.data().data();
-  for (int i = 0; i < m; ++i) {
-    const Scalar* arow = pa + static_cast<std::size_t>(i) * k;
-    Scalar* crow = pc + static_cast<std::size_t>(i) * n;
-    for (int j = 0; j < n; ++j) {
-      const Scalar* brow = pb + static_cast<std::size_t>(j) * k;
-      Scalar acc = 0.0f;
-      for (int kk = 0; kk < k; ++kk) acc += arow[kk] * brow[kk];
-      crow[j] = acc;
-    }
-  }
+  Tensor c = Tensor::Uninitialized({m, n});
+  kernels::Gemm(false, true, m, n, k, a.data().data(), k, b.data().data(), k,
+                0.0f, c.data().data(), n);
   return c;
 }
 
@@ -127,31 +123,22 @@ Tensor MatmulTransA(const Tensor& a, const Tensor& b) {
   MHB_CHECK_EQ(b.ndim(), 2);
   const int m = a.dim(0), k = a.dim(1), n = b.dim(1);
   MHB_CHECK_EQ(m, b.dim(0));
-  Tensor c({k, n});
-  const Scalar* pa = a.data().data();
-  const Scalar* pb = b.data().data();
-  Scalar* pc = c.data().data();
-  for (int i = 0; i < m; ++i) {
-    const Scalar* arow = pa + static_cast<std::size_t>(i) * k;
-    const Scalar* brow = pb + static_cast<std::size_t>(i) * n;
-    for (int kk = 0; kk < k; ++kk) {
-      const Scalar av = arow[kk];
-      if (av == 0.0f) continue;
-      Scalar* crow = pc + static_cast<std::size_t>(kk) * n;
-      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  Tensor c = Tensor::Uninitialized({k, n});
+  kernels::Gemm(true, false, k, n, m, a.data().data(), k, b.data().data(), n,
+                0.0f, c.data().data(), n);
   return c;
 }
 
 Tensor Transpose2d(const Tensor& a) {
   MHB_CHECK_EQ(a.ndim(), 2);
   const int m = a.dim(0), n = a.dim(1);
-  Tensor out({n, m});
+  Tensor out = Tensor::Uninitialized({n, m});
+  const Scalar* in = a.data().data();
+  Scalar* o = out.data().data();
   for (int i = 0; i < m; ++i) {
     for (int j = 0; j < n; ++j) {
-      out[static_cast<std::size_t>(j) * m + i] =
-          a[static_cast<std::size_t>(i) * n + j];
+      o[static_cast<std::size_t>(j) * m + i] =
+          in[static_cast<std::size_t>(i) * n + j];
     }
   }
   return out;
@@ -160,7 +147,7 @@ Tensor Transpose2d(const Tensor& a) {
 Tensor SoftmaxRows(const Tensor& logits) {
   MHB_CHECK_EQ(logits.ndim(), 2);
   const int n = logits.dim(0), c = logits.dim(1);
-  Tensor out({n, c});
+  Tensor out = Tensor::Uninitialized({n, c});
   for (int i = 0; i < n; ++i) {
     const Scalar* row = logits.data().data() + static_cast<std::size_t>(i) * c;
     Scalar* orow = out.data().data() + static_cast<std::size_t>(i) * c;
@@ -180,7 +167,7 @@ Tensor SoftmaxRows(const Tensor& logits) {
 Tensor LogSoftmaxRows(const Tensor& logits) {
   MHB_CHECK_EQ(logits.ndim(), 2);
   const int n = logits.dim(0), c = logits.dim(1);
-  Tensor out({n, c});
+  Tensor out = Tensor::Uninitialized({n, c});
   for (int i = 0; i < n; ++i) {
     const Scalar* row = logits.data().data() + static_cast<std::size_t>(i) * c;
     Scalar* orow = out.data().data() + static_cast<std::size_t>(i) * c;
@@ -209,8 +196,8 @@ std::vector<int> ArgmaxRows(const Tensor& t) {
   return out;
 }
 
-Tensor Im2Col(const Tensor& input, int kh, int kw, int stride, int pad_h,
-              int pad_w) {
+void Im2ColInto(const Tensor& input, int kh, int kw, int stride, int pad_h,
+                int pad_w, float* out) {
   MHB_CHECK_EQ(input.ndim(), 4);
   MHB_CHECK_GT(stride, 0);
   MHB_CHECK_GE(pad_h, 0);
@@ -221,9 +208,7 @@ Tensor Im2Col(const Tensor& input, int kh, int kw, int stride, int pad_h,
   const int ow = (w + 2 * pad_w - kw) / stride + 1;
   MHB_CHECK_GT(oh, 0);
   MHB_CHECK_GT(ow, 0);
-  Tensor cols({n * oh * ow, c * kh * kw});
   const Scalar* in = input.data().data();
-  Scalar* out = cols.data().data();
   const std::size_t in_cs = static_cast<std::size_t>(h) * w;
   const std::size_t in_ns = static_cast<std::size_t>(c) * in_cs;
   std::size_t row = 0;
@@ -237,18 +222,79 @@ Tensor Im2Col(const Tensor& input, int kh, int kw, int stride, int pad_h,
                                 static_cast<std::size_t>(ch) * in_cs;
           for (int ky = 0; ky < kh; ++ky) {
             const int iy = oy * stride + ky - pad_h;
+            if (iy < 0 || iy >= h) {
+              for (int kx = 0; kx < kw; ++kx, ++col) orow[col] = 0.0f;
+              continue;
+            }
+            const Scalar* line = plane + static_cast<std::size_t>(iy) * w;
+            const int ix0 = ox * stride - pad_w;
+            if (ix0 >= 0 && ix0 + kw <= w) {
+              // Fully interior: one contiguous copy per kernel row.
+              std::memcpy(orow + col, line + ix0,
+                          static_cast<std::size_t>(kw) * sizeof(Scalar));
+              col += static_cast<std::size_t>(kw);
+              continue;
+            }
             for (int kx = 0; kx < kw; ++kx, ++col) {
-              const int ix = ox * stride + kx - pad_w;
-              orow[col] = (iy >= 0 && iy < h && ix >= 0 && ix < w)
-                              ? plane[static_cast<std::size_t>(iy) * w + ix]
-                              : 0.0f;
+              const int ix = ix0 + kx;
+              orow[col] = (ix >= 0 && ix < w) ? line[ix] : 0.0f;
             }
           }
         }
       }
     }
   }
+}
+
+Tensor Im2Col(const Tensor& input, int kh, int kw, int stride, int pad_h,
+              int pad_w) {
+  MHB_CHECK_EQ(input.ndim(), 4);
+  const int n = input.dim(0), c = input.dim(1), h = input.dim(2),
+            w = input.dim(3);
+  const int oh = (h + 2 * pad_h - kh) / stride + 1;
+  const int ow = (w + 2 * pad_w - kw) / stride + 1;
+  MHB_CHECK_GT(oh, 0);
+  MHB_CHECK_GT(ow, 0);
+  Tensor cols = Tensor::Uninitialized({n * oh * ow, c * kh * kw});
+  Im2ColInto(input, kh, kw, stride, pad_h, pad_w, cols.data().data());
   return cols;
+}
+
+void Col2ImAcc(const float* cols, const Shape& input_shape, int kh, int kw,
+               int stride, int pad_h, int pad_w, float* out) {
+  MHB_CHECK_EQ(static_cast<int>(input_shape.size()), 4);
+  const int n = input_shape[0], c = input_shape[1], h = input_shape[2],
+            w = input_shape[3];
+  const int oh = (h + 2 * pad_h - kh) / stride + 1;
+  const int ow = (w + 2 * pad_w - kw) / stride + 1;
+  const std::size_t out_cs = static_cast<std::size_t>(h) * w;
+  const std::size_t out_ns = static_cast<std::size_t>(c) * out_cs;
+  std::size_t row = 0;
+  for (int b = 0; b < n; ++b) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox, ++row) {
+        const Scalar* irow = cols + row * static_cast<std::size_t>(c) * kh * kw;
+        std::size_t col = 0;
+        for (int ch = 0; ch < c; ++ch) {
+          Scalar* plane = out + static_cast<std::size_t>(b) * out_ns +
+                          static_cast<std::size_t>(ch) * out_cs;
+          for (int ky = 0; ky < kh; ++ky) {
+            const int iy = oy * stride + ky - pad_h;
+            if (iy < 0 || iy >= h) {
+              col += static_cast<std::size_t>(kw);
+              continue;
+            }
+            Scalar* line = plane + static_cast<std::size_t>(iy) * w;
+            const int ix0 = ox * stride - pad_w;
+            for (int kx = 0; kx < kw; ++kx, ++col) {
+              const int ix = ix0 + kx;
+              if (ix >= 0 && ix < w) line[ix] += irow[col];
+            }
+          }
+        }
+      }
+    }
+  }
 }
 
 Tensor Col2Im(const Tensor& cols, const Shape& input_shape, int kh, int kw,
@@ -262,43 +308,20 @@ Tensor Col2Im(const Tensor& cols, const Shape& input_shape, int kh, int kw,
   MHB_CHECK_EQ(cols.dim(0), n * oh * ow);
   MHB_CHECK_EQ(cols.dim(1), c * kh * kw);
   Tensor grad(input_shape);
-  const Scalar* in = cols.data().data();
-  Scalar* out = grad.data().data();
-  const std::size_t out_cs = static_cast<std::size_t>(h) * w;
-  const std::size_t out_ns = static_cast<std::size_t>(c) * out_cs;
-  std::size_t row = 0;
-  for (int b = 0; b < n; ++b) {
-    for (int oy = 0; oy < oh; ++oy) {
-      for (int ox = 0; ox < ow; ++ox, ++row) {
-        const Scalar* irow = in + row * static_cast<std::size_t>(c) * kh * kw;
-        std::size_t col = 0;
-        for (int ch = 0; ch < c; ++ch) {
-          Scalar* plane = out + static_cast<std::size_t>(b) * out_ns +
-                          static_cast<std::size_t>(ch) * out_cs;
-          for (int ky = 0; ky < kh; ++ky) {
-            const int iy = oy * stride + ky - pad_h;
-            for (int kx = 0; kx < kw; ++kx, ++col) {
-              const int ix = ox * stride + kx - pad_w;
-              if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
-                plane[static_cast<std::size_t>(iy) * w + ix] += irow[col];
-              }
-            }
-          }
-        }
-      }
-    }
-  }
+  Col2ImAcc(cols.data().data(), input_shape, kh, kw, stride, pad_h, pad_w,
+            grad.data().data());
   return grad;
 }
 
 Tensor GatherDims(const Tensor& src, const DimIndices& index) {
-  Tensor out(SelectedShape(src.shape(), index));
+  Tensor out = Tensor::Uninitialized(SelectedShape(src.shape(), index));
   const Scalar* ps = src.data().data();
   Scalar* po = out.data().data();
-  ForEachSelected(src.shape(), index,
-                  [&](std::size_t small_off, std::size_t large_off) {
-                    po[small_off] = ps[large_off];
-                  });
+  ForEachSelectedBlock(
+      src.shape(), index,
+      [&](std::size_t small_off, std::size_t large_off, std::size_t block) {
+        std::memcpy(po + small_off, ps + large_off, block * sizeof(Scalar));
+      });
   return out;
 }
 
@@ -309,10 +332,40 @@ void ScatterAddDims(Tensor& dst, const Tensor& src, const DimIndices& index) {
       << ShapeToString(expect);
   const Scalar* ps = src.data().data();
   Scalar* pd = dst.data().data();
-  ForEachSelected(dst.shape(), index,
-                  [&](std::size_t small_off, std::size_t large_off) {
-                    pd[large_off] += ps[small_off];
-                  });
+  ForEachSelectedBlock(
+      dst.shape(), index,
+      [&](std::size_t small_off, std::size_t large_off, std::size_t block) {
+        const Scalar* s = ps + small_off;
+        Scalar* d = pd + large_off;
+        for (std::size_t i = 0; i < block; ++i) d[i] += s[i];
+      });
+}
+
+void ScatterAxpyDims(Tensor& dst, Scalar alpha, const Tensor& src,
+                     const DimIndices& index) {
+  const Shape expect = SelectedShape(dst.shape(), index);
+  MHB_CHECK(src.shape() == expect)
+      << "scatter source" << ShapeToString(src.shape()) << "expected"
+      << ShapeToString(expect);
+  const Scalar* ps = src.data().data();
+  Scalar* pd = dst.data().data();
+  ForEachSelectedBlock(
+      dst.shape(), index,
+      [&](std::size_t small_off, std::size_t large_off, std::size_t block) {
+        const Scalar* s = ps + small_off;
+        Scalar* d = pd + large_off;
+        for (std::size_t i = 0; i < block; ++i) d[i] += alpha * s[i];
+      });
+}
+
+void ScatterAddScalarDims(Tensor& dst, Scalar value, const DimIndices& index) {
+  Scalar* pd = dst.data().data();
+  ForEachSelectedBlock(
+      dst.shape(), index,
+      [&](std::size_t, std::size_t large_off, std::size_t block) {
+        Scalar* d = pd + large_off;
+        for (std::size_t i = 0; i < block; ++i) d[i] += value;
+      });
 }
 
 void ScatterAssignDims(Tensor& dst, const Tensor& src,
@@ -323,18 +376,15 @@ void ScatterAssignDims(Tensor& dst, const Tensor& src,
       << ShapeToString(expect);
   const Scalar* ps = src.data().data();
   Scalar* pd = dst.data().data();
-  ForEachSelected(dst.shape(), index,
-                  [&](std::size_t small_off, std::size_t large_off) {
-                    pd[large_off] = ps[small_off];
-                  });
+  ForEachSelectedBlock(
+      dst.shape(), index,
+      [&](std::size_t small_off, std::size_t large_off, std::size_t block) {
+        std::memcpy(pd + large_off, ps + small_off, block * sizeof(Scalar));
+      });
 }
 
 void ScatterCountDims(Tensor& counts, const DimIndices& index) {
-  Scalar* pd = counts.data().data();
-  ForEachSelected(counts.shape(), index,
-                  [&](std::size_t, std::size_t large_off) {
-                    pd[large_off] += 1.0f;
-                  });
+  ScatterAddScalarDims(counts, 1.0f, index);
 }
 
 }  // namespace mhbench::ops

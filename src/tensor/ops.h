@@ -1,6 +1,11 @@
 // Free-function tensor operations: GEMM variants, im2col for convolutions,
 // softmax, and the gather/scatter primitives that sub-model extraction and
 // masked federated aggregation are built on.
+//
+// The GEMM family routes through the packed kernel layer in
+// tensor/gemm.h; the raw `*Into` / `*Acc` variants let layers stage
+// temporaries in the per-thread scratch arena (tensor/scratch.h) instead of
+// allocating fresh tensors every minibatch.
 #pragma once
 
 #include <optional>
@@ -40,6 +45,12 @@ inline Tensor Im2Col(const Tensor& input, int kh, int kw, int stride,
   return Im2Col(input, kh, kw, stride, pad, pad);
 }
 
+// Allocation-free im2col: writes the [N*OH*OW, C*KH*KW] column matrix into
+// `out` (fully overwritten, padding included).  `out` must hold
+// N*OH*OW * C*KH*KW floats.
+void Im2ColInto(const Tensor& input, int kh, int kw, int stride, int pad_h,
+                int pad_w, float* out);
+
 // Adjoint of Im2Col: scatters columns [N*OH*OW, C*KH*KW] back into an
 // input-shaped gradient [N, C, H, W].
 Tensor Col2Im(const Tensor& cols, const Shape& input_shape, int kh, int kw,
@@ -49,9 +60,18 @@ inline Tensor Col2Im(const Tensor& cols, const Shape& input_shape, int kh,
   return Col2Im(cols, input_shape, kh, kw, stride, pad, pad);
 }
 
+// Accumulating raw-pointer adjoint: `out` (an input-shaped gradient,
+// already initialized) receives `cols` scattered back; `cols` holds
+// N*OH*OW * C*KH*KW floats.
+void Col2ImAcc(const float* cols, const Shape& input_shape, int kh, int kw,
+               int stride, int pad_h, int pad_w, float* out);
+
 // Per-dimension index selection.  `index[d]`, when present, lists the kept
 // indices along dimension d (in order, duplicates allowed); absent means
 // keep the whole dimension.  This is the sub-model *extraction* primitive.
+// Trailing unindexed dimensions form contiguous blocks, which the whole
+// family processes with bulk memcpy/vector loops rather than per-element
+// calls.
 using DimIndices = std::vector<std::optional<std::vector<int>>>;
 Tensor GatherDims(const Tensor& src, const DimIndices& index);
 
@@ -59,6 +79,15 @@ Tensor GatherDims(const Tensor& src, const DimIndices& index);
 // index selects.  `dst` retains its shape.  This is the server-side
 // *aggregation* primitive (scatter-add of client updates).
 void ScatterAddDims(Tensor& dst, const Tensor& src, const DimIndices& index);
+
+// Fused scaled scatter-add: dst[sel] += alpha * src.  Saves the aggregator
+// a full weighted copy of every client tensor.
+void ScatterAxpyDims(Tensor& dst, Scalar alpha, const Tensor& src,
+                     const DimIndices& index);
+
+// Adds the constant `value` at every selected position (the aggregation
+// weight mass; generalizes ScatterCountDims).
+void ScatterAddScalarDims(Tensor& dst, Scalar value, const DimIndices& index);
 
 // Scatter-assign variant (overwrites instead of accumulating).
 void ScatterAssignDims(Tensor& dst, const Tensor& src, const DimIndices& index);

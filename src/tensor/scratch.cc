@@ -1,0 +1,124 @@
+#include "tensor/scratch.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+
+#include "core/error.h"
+
+namespace mhbench::kernels {
+namespace {
+
+// Chunks are sized so a typical conv/GEMM working set (packing panels plus
+// one im2col block) fits in the first chunk; growth beyond it is geometric
+// via max(min, requested).
+constexpr std::size_t kMinChunkFloats = std::size_t{1} << 20;  // 4 MiB
+constexpr std::size_t kAlignFloats = 16;                       // 64 bytes
+
+std::atomic<std::uint64_t> g_chunk_allocs{0};
+
+// Live-arena registry so serial phases can compute a fleet-wide peak.
+std::mutex& RegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+std::vector<ScratchArena*>& RegisteredArenas() {
+  static std::vector<ScratchArena*> arenas;
+  return arenas;
+}
+
+std::size_t AlignUp(std::size_t n) {
+  return (n + kAlignFloats - 1) / kAlignFloats * kAlignFloats;
+}
+
+}  // namespace
+
+ScratchArena::ScratchArena() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  RegisteredArenas().push_back(this);
+}
+
+ScratchArena::~ScratchArena() {
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    auto& arenas = RegisteredArenas();
+    arenas.erase(std::remove(arenas.begin(), arenas.end(), this),
+                 arenas.end());
+  }
+  for (auto& c : chunks_) std::free(c.data);
+}
+
+void ScratchArena::AddChunk(std::size_t min_floats) {
+  Chunk c;
+  c.cap = std::max(kMinChunkFloats, AlignUp(min_floats));
+  c.data = static_cast<float*>(
+      std::aligned_alloc(kAlignFloats * sizeof(float), c.cap * sizeof(float)));
+  MHB_CHECK(c.data != nullptr) << "scratch chunk allocation failed";
+  chunks_.push_back(c);
+  g_chunk_allocs.fetch_add(1, std::memory_order_relaxed);
+}
+
+float* ScratchArena::Alloc(std::size_t n) {
+  const std::size_t need = AlignUp(std::max<std::size_t>(n, 1));
+  // Advance to the first chunk (from the active one) with room; chunks
+  // passed over stay empty until the next Restore/Reset rewinds below them.
+  while (active_ < chunks_.size() &&
+         chunks_[active_].used + need > chunks_[active_].cap) {
+    ++active_;
+  }
+  if (active_ == chunks_.size()) AddChunk(need);
+  Chunk& c = chunks_[active_];
+  float* p = c.data + c.used;
+  c.used += need;
+  in_use_ += need;
+  const std::uint64_t bytes = static_cast<std::uint64_t>(in_use_) * sizeof(float);
+  if (bytes > peak_bytes_.load(std::memory_order_relaxed)) {
+    peak_bytes_.store(bytes, std::memory_order_relaxed);
+  }
+  return p;
+}
+
+ScratchArena::Mark ScratchArena::Save() const {
+  Mark m;
+  m.chunk = active_;
+  m.used = active_ < chunks_.size() ? chunks_[active_].used : 0;
+  m.in_use = in_use_;
+  return m;
+}
+
+void ScratchArena::Restore(const Mark& mark) {
+  for (std::size_t i = mark.chunk + 1; i < chunks_.size(); ++i) {
+    chunks_[i].used = 0;
+  }
+  if (mark.chunk < chunks_.size()) chunks_[mark.chunk].used = mark.used;
+  active_ = mark.chunk;
+  in_use_ = mark.in_use;
+}
+
+void ScratchArena::Reset() { Restore(Mark{}); }
+
+std::size_t ScratchArena::peak_bytes() const {
+  return static_cast<std::size_t>(peak_bytes_.load(std::memory_order_relaxed));
+}
+
+ScratchArena& ThreadScratch() {
+  static thread_local ScratchArena arena;
+  return arena;
+}
+
+void ResetThreadScratch() { ThreadScratch().Reset(); }
+
+std::size_t ScratchPeakBytesAllThreads() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  std::size_t peak = 0;
+  for (const ScratchArena* a : RegisteredArenas()) {
+    peak = std::max(peak, a->peak_bytes());
+  }
+  return peak;
+}
+
+std::uint64_t ScratchChunkAllocs() {
+  return g_chunk_allocs.load(std::memory_order_relaxed);
+}
+
+}  // namespace mhbench::kernels

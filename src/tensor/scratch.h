@@ -1,0 +1,103 @@
+// Per-thread scratch memory for the kernel layer.
+//
+// A ScratchArena is a bump allocator over a small list of large chunks:
+// Alloc() hands out 64-byte-aligned float spans in O(1), and a saved Mark
+// rewinds the arena to a previous state without freeing anything.  Kernels
+// (GEMM packing buffers, im2col temporaries, layout transposes) allocate
+// through the calling thread's arena inside a ScratchScope, so every kernel
+// call is balanced: storage is reused across calls instead of hitting the
+// heap per minibatch.  Chunks are only ever malloc'd when a thread's
+// high-water mark grows, which happens a handful of times per run.
+//
+// Lifetime rules (see DESIGN.md §5d):
+//   - Arena memory is strictly call-scoped: a kernel may not return arena
+//     pointers to its caller.  Anything that must survive the call (layer
+//     caches, outputs) lives in a Tensor.
+//   - Each thread owns exactly one arena; nothing is shared, so arenas are
+//     trivially race-free and thread-count changes cannot affect results.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mhbench::kernels {
+
+class ScratchArena {
+ public:
+  ScratchArena();
+  ~ScratchArena();
+
+  ScratchArena(const ScratchArena&) = delete;
+  ScratchArena& operator=(const ScratchArena&) = delete;
+
+  // 64-byte-aligned, uninitialized storage for `n` floats.  Valid until the
+  // enclosing mark is restored (or Reset).  n == 0 returns a non-null
+  // sentinel usable as an empty span.
+  float* Alloc(std::size_t n);
+
+  struct Mark {
+    std::size_t chunk = 0;
+    std::size_t used = 0;      // floats used in that chunk
+    std::size_t in_use = 0;    // total floats live across chunks
+  };
+  Mark Save() const;
+  void Restore(const Mark& mark);
+
+  // Rewinds everything (keeps the chunks).
+  void Reset();
+
+  // Bytes currently handed out / high-water mark for this arena.
+  std::size_t in_use_bytes() const { return in_use_ * sizeof(float); }
+  std::size_t peak_bytes() const;
+
+ private:
+  struct Chunk {
+    float* data = nullptr;
+    std::size_t cap = 0;   // floats
+    std::size_t used = 0;  // floats
+  };
+
+  void AddChunk(std::size_t min_floats);
+
+  std::vector<Chunk> chunks_;  // touched only by the owning thread
+  std::size_t active_ = 0;     // index of the chunk currently bumping
+  std::size_t in_use_ = 0;     // floats
+  // Written only by the owner, sampled by serial phases on other threads.
+  std::atomic<std::uint64_t> peak_bytes_{0};
+};
+
+// The calling thread's arena (created on first use).
+ScratchArena& ThreadScratch();
+
+// Rewinds the calling thread's arena to empty.  Called between client
+// training steps as a hygiene barrier; kernels are already balanced via
+// ScratchScope, so this is a no-op in steady state.
+void ResetThreadScratch();
+
+// RAII mark/restore over the calling thread's arena.
+class ScratchScope {
+ public:
+  ScratchScope() : arena_(ThreadScratch()), mark_(arena_.Save()) {}
+  ~ScratchScope() { arena_.Restore(mark_); }
+
+  ScratchScope(const ScratchScope&) = delete;
+  ScratchScope& operator=(const ScratchScope&) = delete;
+
+  float* Alloc(std::size_t n) { return arena_.Alloc(n); }
+
+ private:
+  ScratchArena& arena_;
+  ScratchArena::Mark mark_;
+};
+
+// Max peak_bytes over every live thread arena (serial phases only; the
+// engine samples it at round barriers for the scratch_bytes_peak gauge).
+std::size_t ScratchPeakBytesAllThreads();
+
+// Process-wide count of chunk allocations (monotone).  The zero-allocation
+// tests assert this stays flat across warmed-up training steps.
+std::uint64_t ScratchChunkAllocs();
+
+}  // namespace mhbench::kernels

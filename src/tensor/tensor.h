@@ -4,9 +4,17 @@
 // the only numeric container in the library; all layer parameters,
 // activations and gradients are `Tensor`s.  Shape arithmetic is checked with
 // MHB_CHECK at API boundaries.
+//
+// Storage comes from a per-thread buffer pool: destroying a tensor recycles
+// its buffer into the destroying thread's free list and constructing one
+// reuses a pooled buffer of sufficient capacity when available.  Training
+// loops allocate the same handful of shapes every step, so after a warmup
+// step the hot path performs no data-buffer heap allocations at all (see
+// DESIGN.md §5d and Tensor::ThreadAllocStats).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <initializer_list>
 #include <span>
 #include <string>
@@ -36,11 +44,21 @@ class Tensor {
   explicit Tensor(Shape shape);
   Tensor(Shape shape, Scalar fill);
 
-  // Takes ownership of `values`; size must match the shape.
+  // Copies `values` into pooled storage; size must match the shape.
   Tensor(Shape shape, std::vector<Scalar> values);
+
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept;
+  Tensor& operator=(Tensor&& other) noexcept;
+  ~Tensor();
 
   static Tensor FromVector(std::vector<Scalar> values);  // rank-1
   static Tensor Scalar1(Scalar v);                       // shape [1]
+
+  // Pooled storage with *unspecified contents* — for kernel outputs that
+  // are fully overwritten before being read.
+  static Tensor Uninitialized(Shape shape);
 
   // Gaussian-initialized tensor (used by parameter initializers and tests).
   static Tensor Randn(Shape shape, Rng& rng, Scalar stddev = 1.0f);
@@ -48,14 +66,14 @@ class Tensor {
   const Shape& shape() const { return shape_; }
   int ndim() const { return static_cast<int>(shape_.size()); }
   int dim(int i) const;
-  std::size_t numel() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  std::size_t numel() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
-  std::span<Scalar> data() { return data_; }
-  std::span<const Scalar> data() const { return data_; }
+  std::span<Scalar> data() { return {ptr_, size_}; }
+  std::span<const Scalar> data() const { return {ptr_, size_}; }
 
-  Scalar& operator[](std::size_t i) { return data_[i]; }
-  Scalar operator[](std::size_t i) const { return data_[i]; }
+  Scalar& operator[](std::size_t i) { return ptr_[i]; }
+  Scalar operator[](std::size_t i) const { return ptr_[i]; }
 
   // Multi-index access (size must equal ndim()); bounds-checked in debug.
   Scalar& at(std::initializer_list<int> idx);
@@ -67,6 +85,12 @@ class Tensor {
   // Returns a tensor sharing no storage with this one, with a new shape of
   // equal element count.
   Tensor Reshape(Shape new_shape) const;
+
+  // Reshapes in place without touching the data, reusing the existing
+  // buffer whenever its capacity suffices.  Contents are unspecified when
+  // the element count changes; callers must fully overwrite them.  This is
+  // the zero-allocation workhorse for per-step layer caches.
+  void ResizeUninitialized(std::span<const int> new_shape);
 
   // In-place fill.
   void Fill(Scalar v);
@@ -92,9 +116,26 @@ class Tensor {
   // True iff shapes are equal and all elements differ by at most `tol`.
   bool AllClose(const Tensor& other, Scalar tol = 1e-5f) const;
 
+  // Per-thread data-buffer allocation statistics.  `heap_allocs` counts
+  // buffers that had to come from the heap, `pool_hits` buffers recycled
+  // from the thread's pool.  The zero-allocation tests assert heap_allocs
+  // stays flat across warmed-up training steps.
+  struct AllocStats {
+    std::uint64_t heap_allocs = 0;
+    std::uint64_t pool_hits = 0;
+    std::uint64_t pool_returns = 0;
+    std::uint64_t heap_frees = 0;
+  };
+  static AllocStats ThreadAllocStats();
+
  private:
+  void AcquireBuffer(std::size_t n);  // sets ptr_/size_/cap_
+  void ReleaseBuffer();
+
   Shape shape_;
-  std::vector<Scalar> data_;
+  Scalar* ptr_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
 };
 
 }  // namespace mhbench

@@ -173,6 +173,7 @@ TEST(ParallelDeterminismTest, InstrumentedRunsStayBitIdentical) {
     EXPECT_GT(totals.at("clients_trained"), 0);
     EXPECT_GT(totals.at("bytes_up"), 0);
     EXPECT_GT(totals.at("clients_dropped"), 0);
+    EXPECT_GT(totals.at("gemm_flops"), 0);
     if (threads == 1) {
       reference_totals = totals;
     } else {
@@ -180,6 +181,40 @@ TEST(ParallelDeterminismTest, InstrumentedRunsStayBitIdentical) {
           << "counter totals diverged at num_threads=" << threads;
     }
     EXPECT_EQ(registry.rounds().size(), 4u);
+  }
+}
+
+// Kernel-layer observability on a conv model: sheterofl/cifar10 trains
+// ResNet-like sub-models, so every client step runs im2col + packed GEMM
+// through the per-thread scratch arenas.  The exact gemm_flops count (an
+// integer, 2*m*n*k per call) and all metrics must be bit-identical at 1, 2,
+// and 4 threads — the kernels are single-threaded per client, so thread
+// count must not leak into either results or work accounting.
+TEST(ParallelDeterminismTest, KernelCountersDeterministicOnConvModel) {
+  data::TaskConfig tcfg;
+  tcfg.train_samples = 240;
+  tcfg.test_samples = 120;
+  tcfg.num_clients = 6;
+  const data::Task task = data::MakeTask("cifar10", tcfg);
+  const Case c{"sheterofl", "cifar10"};
+
+  RunResult reference;
+  std::int64_t reference_flops = 0;
+  for (const int threads : {1, 2, 4}) {
+    obs::Registry registry;
+    obs::ObsConfig obs;
+    obs.registry = &registry;
+    const RunResult result = RunWithThreads(c, task, threads, obs);
+    const std::int64_t flops = registry.Totals().at("gemm_flops");
+    EXPECT_GT(flops, 0);
+    if (threads == 1) {
+      reference = result;
+      reference_flops = flops;
+    } else {
+      ExpectIdentical(reference, result, threads);
+      EXPECT_EQ(flops, reference_flops)
+          << "gemm flop accounting diverged at num_threads=" << threads;
+    }
   }
 }
 

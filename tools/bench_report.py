@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Distills bench_micro's google-benchmark JSON into BENCH_kernels.json.
+
+Usage: bench_report.py <raw-benchmark.json> <out.json>
+
+Pairs each fast kernel benchmark (BM_Matmul/128, BM_Conv2dForward, ...) with
+its *Naive twin, records median wall time and GFLOP/s (where the benchmark
+reports items_per_second), and computes the fast/naive speedup ratio from the
+median timings.  The acceptance targets from the kernel-layer issue
+(>= 3x on BM_Matmul/128, >= 2x on BM_Conv2dForward) are annotated so the
+committed file documents whether the reference machine met them.
+"""
+import json
+import sys
+
+TARGETS = {"BM_Matmul/128": 3.0, "BM_Conv2dForward": 2.0}
+
+
+def main() -> int:
+    raw_path, out_path = sys.argv[1], sys.argv[2]
+    with open(raw_path) as f:
+        raw = json.load(f)
+
+    medians = {}
+    for b in raw["benchmarks"]:
+        if b.get("aggregate_name") != "median":
+            continue
+        name = b["run_name"]
+        gflops = b.get("items_per_second", 0.0) / 1e9
+        medians[name] = {
+            "wall_ns": round(b["real_time"]),
+            "gflops": round(gflops, 2) if gflops else None,
+        }
+
+    report = {
+        "context": {
+            "host": raw["context"].get("host_name"),
+            "num_cpus": raw["context"].get("num_cpus"),
+            "mhz_per_cpu": raw["context"].get("mhz_per_cpu"),
+            "date": raw["context"].get("date"),
+            "benchmark_lib_build_type": raw["context"].get(
+                "library_build_type"),
+            "load_avg": raw["context"].get("load_avg"),
+            "repetitions": 3,
+            "statistic": "median",
+        },
+        "kernels": {},
+    }
+    for name, fast in sorted(medians.items()):
+        base = name.replace("BM_", "", 1)
+        if "Naive" in name:
+            continue
+        naive_name = (
+            name.replace("/", "Naive/", 1)
+            if "/" in name
+            else name + "Naive"
+        )
+        entry = {"fast": fast}
+        naive = medians.get(naive_name)
+        if naive is not None:
+            entry["naive"] = naive
+            entry["speedup"] = round(naive["wall_ns"] / fast["wall_ns"], 2)
+        if name in TARGETS:
+            entry["target_speedup"] = TARGETS[name]
+            if "speedup" in entry:
+                entry["meets_target"] = entry["speedup"] >= TARGETS[name]
+        report["kernels"][base] = entry
+
+    with open(out_path, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+
+    for base, entry in report["kernels"].items():
+        ratio = entry.get("speedup")
+        mark = ""
+        if "target_speedup" in entry:
+            mark = " (target %.1fx: %s)" % (
+                entry["target_speedup"],
+                "met" if entry.get("meets_target") else "MISSED",
+            )
+        if ratio is not None:
+            print(f"bench_report: {base}: {ratio}x vs naive{mark}")
+    print(f"bench_report: wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

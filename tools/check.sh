@@ -8,6 +8,9 @@
 #   tools/check.sh           # plain + tsan
 #   tools/check.sh --plain   # plain only
 #   tools/check.sh --tsan    # tsan only
+#   tools/check.sh --release # Release (-O3) build + ctest
+#   tools/check.sh --bench   # Release build + kernel bench smoke
+#                            #   (writes BENCH_kernels.json)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -72,6 +75,28 @@ print("check.sh: telemetry smoke passed")
 PY
 }
 
+# Kernel benchmark smoke: builds Release, runs the GEMM/conv micro-benchmarks
+# through both backends, and distills the raw google-benchmark output into
+# BENCH_kernels.json (GFLOP/s per shape plus fast/naive speedup ratios).
+# Ratios are reported, not asserted — shared CI machines are too noisy for a
+# hard perf gate; the committed BENCH_kernels.json records the reference run.
+smoke_bench() {
+  local build_dir="$1"
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "check.sh: python3 not found, skipping kernel bench smoke"
+    return 0
+  fi
+  local raw
+  raw="$(mktemp)"
+  trap 'rm -f "$raw"' RETURN
+  "$build_dir/bench/bench_micro" \
+    --benchmark_filter='BM_Matmul|BM_Conv2d' \
+    --benchmark_min_time=0.3 --benchmark_repetitions=3 \
+    --benchmark_report_aggregates_only=true \
+    --benchmark_out="$raw" --benchmark_out_format=json >/dev/null
+  python3 "$repo/tools/bench_report.py" "$raw" "$repo/BENCH_kernels.json"
+}
+
 case "$mode" in
   all|--all)
     run_suite "$repo/build"
@@ -83,8 +108,13 @@ case "$mode" in
     smoke_obs "$repo/build"
     ;;
   --tsan)  run_suite "$repo/build-tsan" -DMHBENCH_SANITIZE=thread ;;
+  --release) run_suite "$repo/build-release" -DCMAKE_BUILD_TYPE=Release ;;
+  --bench)
+    run_suite "$repo/build-release" -DCMAKE_BUILD_TYPE=Release
+    smoke_bench "$repo/build-release"
+    ;;
   *)
-    echo "usage: tools/check.sh [--plain|--tsan]" >&2
+    echo "usage: tools/check.sh [--plain|--tsan|--release|--bench]" >&2
     exit 2
     ;;
 esac
