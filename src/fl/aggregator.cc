@@ -1,6 +1,7 @@
 #include "fl/aggregator.h"
 
 #include "core/error.h"
+#include "obs/profile.h"
 #include "tensor/ops.h"
 
 namespace mhbench::fl {
@@ -9,6 +10,7 @@ ClientUpdate ExtractUpdate(nn::Module& model,
                            const models::ParamMapping& mapping,
                            double weight) {
   MHB_CHECK_GT(weight, 0.0);
+  obs::ProfileScope profile_scope("extract_update");
   std::vector<nn::NamedParam> params;
   model.CollectParams("", params);
   MHB_CHECK_EQ(params.size(), mapping.size());
@@ -32,6 +34,7 @@ void MaskedAverager::Accumulate(nn::Module& model,
 void MaskedAverager::Accumulate(const ClientUpdate& update,
                                 const ParamStore& reference) {
   MHB_CHECK_GT(update.weight, 0.0);
+  obs::ProfileScope profile_scope("aggregate_accumulate");
   MHB_CHECK_EQ(update.values.size(), update.mapping.size());
   for (std::size_t i = 0; i < update.values.size(); ++i) {
     const auto& slice = update.mapping[i];
@@ -49,6 +52,7 @@ void MaskedAverager::Accumulate(const ClientUpdate& update,
 
 void MaskedAverager::ApplyTo(ParamStore& store) {
   MHB_CHECK(!empty()) << "no accumulated updates";
+  obs::ProfileScope profile_scope("aggregate_apply");
   for (auto& [name, acc] : sum_) {
     Tensor& target = store.GetMutable(name);
     const Tensor& w = weight_.at(name);

@@ -4,6 +4,7 @@
 #include "data/loader.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
+#include "obs/profile.h"
 #include "tensor/scratch.h"
 
 namespace mhbench::fl {
@@ -23,6 +24,7 @@ std::vector<ClientAssignment> UniformCapacityAssignments(
 double TrainLocal(nn::Module& model, const data::Dataset& shard,
                   const LocalTrainOptions& options, Rng& rng) {
   MHB_CHECK(!shard.empty());
+  obs::ProfileScope train_scope("local_train");
   nn::OptimizerOptions opt_opts;
   opt_opts.kind = options.optimizer;
   opt_opts.lr = options.lr;
@@ -42,12 +44,21 @@ double TrainLocal(nn::Module& model, const data::Dataset& shard,
       // previous step is dead here, so the step reuses the same storage.
       kernels::ResetThreadScratch();
       opt->ZeroGrad();
-      const Tensor logits = model.Forward(x, true);
       Tensor grad;
-      loss_sum += nn::SoftmaxCrossEntropy(logits, y, grad);
-      model.Backward(grad);
-      if (options.grad_clip > 0) opt->ClipGradNorm(options.grad_clip);
-      opt->Step();
+      {
+        obs::ProfileScope fwd_scope("forward");
+        const Tensor logits = model.Forward(x, true);
+        loss_sum += nn::SoftmaxCrossEntropy(logits, y, grad);
+      }
+      {
+        obs::ProfileScope bwd_scope("backward");
+        model.Backward(grad);
+      }
+      {
+        obs::ProfileScope opt_scope("opt_step");
+        if (options.grad_clip > 0) opt->ClipGradNorm(options.grad_clip);
+        opt->Step();
+      }
       ++batch_count;
     }
     last_epoch_loss = loss_sum / std::max(1, batch_count);

@@ -10,6 +10,7 @@
 #include "data/partition.h"
 #include "fl/evaluation.h"
 #include "nn/lr_schedule.h"
+#include "obs/profile.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "tensor/gemm.h"
@@ -118,7 +119,12 @@ FlEngine::FlEngine(const data::Task& task, FlConfig config,
 RunResult FlEngine::Run() {
   obs::Tracer* const tracer = config_.obs.tracer;
   obs::Registry* const reg = config_.obs.registry;
+  obs::Profiler* const prof = config_.obs.profiler;
   const bool sim_spans = config_.obs.sim_spans && tracer != nullptr;
+  // Serial phases (setup, merge, aggregation) profile on this thread; the
+  // dispatch and eval lambdas install their own guards because pool workers
+  // have no profiler context of their own.
+  obs::ProfilerThreadGuard main_profiler_guard(prof);
 
   // All counters are registered serially up front so concurrent Add calls
   // from the dispatch phase only ever touch pre-sized per-thread sinks.
@@ -126,6 +132,14 @@ RunResult FlEngine::Run() {
     obs::Registry::CounterId selected{}, offline{}, dropped{}, trained{},
         bytes_up{}, bytes_down{}, train_mflops{}, pool_tasks{}, gemm_flops{};
   } ids;
+  // Histograms follow the same rule: registered serially, observed from
+  // any thread, merged at the barrier.  client_wall_us is wall-clock (its
+  // quantiles vary run to run); bytes_up / train_mflops distributions are
+  // pure functions of the cost model and stay thread-count independent.
+  struct HistIds {
+    obs::Registry::HistogramId client_wall_us{}, client_bytes_up{},
+        client_train_mflops{};
+  } hids;
   if (reg != nullptr) {
     ids.selected = reg->Counter("clients_selected");
     ids.offline = reg->Counter("clients_offline");
@@ -136,6 +150,9 @@ RunResult FlEngine::Run() {
     ids.train_mflops = reg->Counter("train_mflops");
     ids.pool_tasks = reg->Counter("pool_tasks");
     ids.gemm_flops = reg->Counter("gemm_flops");
+    hids.client_wall_us = reg->Histogram("client_wall_us");
+    hids.client_bytes_up = reg->Histogram("client_bytes_up");
+    hids.client_train_mflops = reg->Histogram("client_train_mflops");
   }
   core::ThreadPool::Stats pool_base =
       pool_ != nullptr ? pool_->stats() : core::ThreadPool::Stats{};
@@ -160,6 +177,7 @@ RunResult FlEngine::Run() {
 
   auto evaluate_global = [&]() {
     obs::Span span(tracer, "eval_global", "eval");
+    obs::ProfileScope profile_scope("eval_global");
     return EvaluateAccuracy(
         [&](const Tensor& x) { return algorithm_.GlobalLogits(x); },
         ctx_.task->test, config_.eval_max_samples);
@@ -182,6 +200,12 @@ RunResult FlEngine::Run() {
     obs::Span select_span(tracer, "select", "fl");
     std::vector<Participant> participants;
     participants.reserve(sampled.size());
+    // Per-client timeline rows, built serially for every sampled client
+    // (dropped ones included, with their drop reason).  Each participant
+    // remembers its row index so the dispatch lambda can write the measured
+    // wall time into its own slot without synchronization.
+    std::vector<obs::Registry::ClientRow> client_rows;
+    std::vector<std::size_t> participant_row;
     double round_time = 0.0;
     int round_offline = 0;
     int round_dropped = 0;
@@ -189,11 +213,24 @@ RunResult FlEngine::Run() {
       const auto& sys = ctx_.assignments[static_cast<std::size_t>(c)].system;
       const double client_time = sys.compute_time_s + sys.comm_time_s;
       ++result.total_participations;
+      std::size_t row_idx = 0;
+      if (reg != nullptr) {
+        row_idx = client_rows.size();
+        obs::Registry::ClientRow row;
+        row.run = algorithm_.name();
+        row.round = round;
+        row.client = c;
+        row.sim_compute_s = sys.compute_time_s;
+        row.sim_comm_s = sys.comm_time_s;
+        row.memory_mb = sys.memory_mb;
+        client_rows.push_back(std::move(row));
+      }
       if (sys.availability < 1.0 &&
           round_rng.Uniform() >= sys.availability) {
         // State heterogeneity: the device is offline this round.
         ++result.offline_skips;
         ++round_offline;
+        if (reg != nullptr) client_rows[row_idx].drop_reason = "offline";
         continue;
       }
       if (config_.round_deadline_s > 0 &&
@@ -201,7 +238,15 @@ RunResult FlEngine::Run() {
         // Straggler: the synchronous round closes without this client.
         ++result.straggler_drops;
         ++round_dropped;
+        if (reg != nullptr) client_rows[row_idx].drop_reason = "straggler";
         continue;
+      }
+      if (reg != nullptr) {
+        auto& row = client_rows[row_idx];
+        row.bytes_up = static_cast<std::int64_t>(sys.comm_mb * 5e5);
+        row.bytes_down = static_cast<std::int64_t>(sys.comm_mb * 5e5);
+        row.train_mflops = static_cast<std::int64_t>(sys.train_gflops * 1e3);
+        participant_row.push_back(row_idx);
       }
       participants.push_back(
           {c, round_rng.Fork(static_cast<std::uint64_t>(c))});
@@ -239,16 +284,32 @@ RunResult FlEngine::Run() {
       client_span.Arg("bytes_up", sys.comm_mb * 5e5);
       client_span.Arg("bytes_down", sys.comm_mb * 5e5);
       client_span.Arg("train_gflops", sys.train_gflops);
-      algorithm_.RunClient(client_id, round, participants[i].rng);
+      const auto client_wall_start = std::chrono::steady_clock::now();
+      {
+        // Pool workers have no profiler installed; the guard scopes it to
+        // this task so each client's op tree lands in the worker's sink.
+        obs::ProfilerThreadGuard profiler_guard(prof);
+        obs::ProfileScope profile_scope("client");
+        algorithm_.RunClient(client_id, round, participants[i].rng);
+      }
+      const double client_wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - client_wall_start)
+              .count();
       if (reg != nullptr) {
         // The cost model charges comm_mb for the full up+down payload.
-        reg->Add(ids.bytes_up,
-                 static_cast<std::int64_t>(sys.comm_mb * 5e5));
-        reg->Add(ids.bytes_down,
-                 static_cast<std::int64_t>(sys.comm_mb * 5e5));
-        reg->Add(ids.train_mflops,
-                 static_cast<std::int64_t>(sys.train_gflops * 1e3));
+        const auto bytes = static_cast<std::int64_t>(sys.comm_mb * 5e5);
+        const auto mflops =
+            static_cast<std::int64_t>(sys.train_gflops * 1e3);
+        reg->Add(ids.bytes_up, bytes);
+        reg->Add(ids.bytes_down, bytes);
+        reg->Add(ids.train_mflops, mflops);
         reg->Add(ids.trained, 1);
+        reg->Observe(hids.client_wall_us,
+                     static_cast<std::int64_t>(client_wall_ms * 1e3));
+        reg->Observe(hids.client_bytes_up, bytes);
+        reg->Observe(hids.client_train_mflops, mflops);
+        client_rows[participant_row[i]].wall_ms = client_wall_ms;
       }
     });
     dispatch_span.End();
@@ -316,6 +377,7 @@ RunResult FlEngine::Run() {
                           1e6);
         pool_base = now;
       }
+      for (auto& row : client_rows) reg->AddClientRow(std::move(row));
       reg->EndRound(algorithm_.name(), round);
       MHB_LOG_TRACE << algorithm_.name() << " round " << round
                     << " participants=" << participants.size()
@@ -338,6 +400,8 @@ RunResult FlEngine::Run() {
       pool_.get(), static_cast<std::size_t>(num_clients), [&](std::size_t c) {
         obs::Span span(tracer, "client_eval", "eval");
         span.Arg("client", static_cast<std::int64_t>(c));
+        obs::ProfilerThreadGuard profiler_guard(prof);
+        obs::ProfileScope profile_scope("client_eval");
         result.client_accuracies[c] = EvaluateAccuracy(
             [&](const Tensor& x) {
               return algorithm_.ClientLogits(static_cast<int>(c), x);

@@ -49,17 +49,43 @@ TrunkModel::TrunkModel(nn::ModulePtr stem, std::vector<nn::ModulePtr> blocks,
       << "deepest exit must be after the last block";
 }
 
+obs::Profiler* TrunkModel::ProfilerScopeNames() {
+  obs::Profiler* const prof = obs::Profiler::Current();
+  if (prof != nullptr && interned_for_ != prof) {
+    // Per-round sub-models die before the profiler does, so scope names
+    // must not point into this model's strings — intern them instead.
+    block_scope_names_.clear();
+    block_scope_names_.reserve(block_names_.size());
+    for (const auto& name : block_names_) {
+      block_scope_names_.push_back(prof->Intern(name));
+    }
+    interned_for_ = prof;
+  }
+  return prof;
+}
+
 std::vector<Tensor> TrunkModel::ForwardHeads(const Tensor& x, bool train) {
+  obs::Profiler* const prof = ProfilerScopeNames();
   std::vector<Tensor> logits;
   logits.reserve(heads_.size());
-  Tensor h = stem_->Forward(x, train);
+  Tensor h;
+  {
+    obs::ProfileScope stem_scope("stem");
+    h = stem_->Forward(x, train);
+  }
   std::size_t next_exit = 0;
   for (int b = 0; b < num_blocks(); ++b) {
-    h = blocks_[static_cast<std::size_t>(b)]->Forward(h, train);
+    {
+      obs::ProfileScope block_scope(
+          prof != nullptr ? block_scope_names_[static_cast<std::size_t>(b)]
+                          : "block");
+      h = blocks_[static_cast<std::size_t>(b)]->Forward(h, train);
+    }
     if (next_exit < exit_blocks_.size() && exit_blocks_[next_exit] == b) {
       if (capture_embedding_ && next_exit + 1 == exit_blocks_.size()) {
         last_embedding_ = h;
       }
+      obs::ProfileScope head_scope("head");
       logits.push_back(
           heads_[next_exit]->Forward(h, train));
       ++next_exit;
@@ -80,6 +106,7 @@ Tensor TrunkModel::BackwardHeads(const std::vector<Tensor>& head_grads,
       g.AddInPlace(extra);
     }
   };
+  obs::Profiler* const prof = ProfilerScopeNames();
   int next_exit = static_cast<int>(exit_blocks_.size()) - 1;
   for (int b = num_blocks() - 1; b >= 0; --b) {
     if (next_exit >= 0 && exit_blocks_[static_cast<std::size_t>(next_exit)] == b) {
@@ -89,15 +116,20 @@ Tensor TrunkModel::BackwardHeads(const std::vector<Tensor>& head_grads,
       }
       const Tensor& hg = head_grads[static_cast<std::size_t>(next_exit)];
       if (!hg.empty()) {
+        obs::ProfileScope head_scope("head");
         merge(heads_[static_cast<std::size_t>(next_exit)]->Backward(hg));
       }
       --next_exit;
     }
     if (!g.empty()) {
+      obs::ProfileScope block_scope(
+          prof != nullptr ? block_scope_names_[static_cast<std::size_t>(b)]
+                          : "block");
       g = blocks_[static_cast<std::size_t>(b)]->Backward(g);
     }
   }
   MHB_CHECK(!g.empty()) << "BackwardHeads called with no head gradients";
+  obs::ProfileScope stem_scope("stem");
   return stem_->Backward(g);
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/profile.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "tensor/scratch.h"
@@ -27,6 +28,7 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(int d_model, int heads,
 // storage.
 
 Tensor MultiHeadSelfAttention::Forward(const Tensor& x, bool train) {
+  obs::ProfileScope profile_scope("attention_fwd");
   MHB_CHECK_EQ(x.ndim(), 3);
   MHB_CHECK_EQ(x.dim(2), d_model_);
   const int n = x.dim(0), l = x.dim(1), d = d_model_, h = heads_;
@@ -80,6 +82,7 @@ Tensor MultiHeadSelfAttention::Forward(const Tensor& x, bool train) {
 }
 
 Tensor MultiHeadSelfAttention::Backward(const Tensor& grad_out) {
+  obs::ProfileScope profile_scope("attention_bwd");
   MHB_CHECK(!cached_q_.empty()) << "Backward before Forward";
   const int n = cached_n_, l = cached_l_, d = d_model_, h = heads_;
   const int dh = d / h;

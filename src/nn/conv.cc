@@ -3,6 +3,7 @@
 #include <cstddef>
 
 #include "nn/init.h"
+#include "obs/profile.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 #include "tensor/scratch.h"
@@ -75,6 +76,7 @@ Conv2d::Conv2d(Tensor weight, Tensor bias_or_empty, int stride, int pad_h,
 }
 
 Tensor Conv2d::Forward(const Tensor& x, bool /*train*/) {
+  obs::ProfileScope profile_scope("conv2d_fwd");
   MHB_CHECK_EQ(x.ndim(), 4);
   MHB_CHECK_EQ(x.dim(1), in_channels());
   cached_input_shape_ = x.shape();
@@ -106,6 +108,7 @@ Tensor Conv2d::Forward(const Tensor& x, bool /*train*/) {
 }
 
 Tensor Conv2d::Backward(const Tensor& grad_out) {
+  obs::ProfileScope profile_scope("conv2d_bwd");
   MHB_CHECK(!cached_cols_.empty()) << "Backward before Forward";
   MHB_CHECK_EQ(grad_out.ndim(), 4);
   MHB_CHECK_EQ(grad_out.dim(1), out_channels());

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/profile.h"
+
 namespace mhbench::nn {
 
 Embedding::Embedding(int vocab_size, int dim, Rng& rng) {
@@ -17,6 +19,7 @@ Embedding::Embedding(Tensor table) {
 }
 
 Tensor Embedding::Forward(const Tensor& ids, bool /*train*/) {
+  obs::ProfileScope profile_scope("embedding_fwd");
   MHB_CHECK_EQ(ids.ndim(), 2);  // [N, L]
   const int n = ids.dim(0), l = ids.dim(1), d = dim();
   cached_id_shape_ = ids.shape();
@@ -36,6 +39,7 @@ Tensor Embedding::Forward(const Tensor& ids, bool /*train*/) {
 }
 
 Tensor Embedding::Backward(const Tensor& grad_out) {
+  obs::ProfileScope profile_scope("embedding_bwd");
   MHB_CHECK_EQ(grad_out.ndim(), 3);
   const int d = dim();
   MHB_CHECK_EQ(grad_out.dim(2), d);

@@ -1,6 +1,7 @@
 #include "nn/linear.h"
 
 #include "nn/init.h"
+#include "obs/profile.h"
 #include "tensor/gemm.h"
 #include "tensor/ops.h"
 
@@ -25,6 +26,7 @@ Linear::Linear(Tensor weight, Tensor bias_or_empty) {
 }
 
 Tensor Linear::Forward(const Tensor& x, bool /*train*/) {
+  obs::ProfileScope profile_scope("linear_fwd");
   MHB_CHECK_EQ(x.ndim(), 2);
   MHB_CHECK_EQ(x.dim(1), in_features());
   cached_input_ = x;
@@ -38,6 +40,7 @@ Tensor Linear::Forward(const Tensor& x, bool /*train*/) {
 }
 
 Tensor Linear::Backward(const Tensor& grad_out) {
+  obs::ProfileScope profile_scope("linear_bwd");
   MHB_CHECK(!cached_input_.empty()) << "Backward before Forward";
   MHB_CHECK_EQ(grad_out.ndim(), 2);
   MHB_CHECK_EQ(grad_out.dim(0), cached_input_.dim(0));

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/profile.h"
+
 namespace mhbench::nn {
 namespace {
 
@@ -41,6 +43,7 @@ BatchNorm::BatchNorm(Tensor gamma, Tensor beta, Tensor running_mean,
 }
 
 Tensor BatchNorm::Forward(const Tensor& x, bool train) {
+  obs::ProfileScope profile_scope("batchnorm_fwd");
   int n = 0, c = 0, s = 0;
   SplitNCS(x.shape(), n, c, s);
   MHB_CHECK_EQ(c, channels());
@@ -104,6 +107,7 @@ Tensor BatchNorm::Forward(const Tensor& x, bool train) {
 }
 
 Tensor BatchNorm::Backward(const Tensor& grad_out) {
+  obs::ProfileScope profile_scope("batchnorm_bwd");
   MHB_CHECK(grad_out.shape() == cached_shape_);
   int n = 0, c = 0, s = 0;
   SplitNCS(cached_shape_, n, c, s);
@@ -171,6 +175,7 @@ LayerNorm::LayerNorm(int dim, Scalar eps)
 }
 
 Tensor LayerNorm::Forward(const Tensor& x, bool /*train*/) {
+  obs::ProfileScope profile_scope("layernorm_fwd");
   MHB_CHECK_GE(x.ndim(), 2);
   const int d = x.dim(x.ndim() - 1);
   MHB_CHECK_EQ(d, dim());
@@ -207,6 +212,7 @@ Tensor LayerNorm::Forward(const Tensor& x, bool /*train*/) {
 }
 
 Tensor LayerNorm::Backward(const Tensor& grad_out) {
+  obs::ProfileScope profile_scope("layernorm_bwd");
   MHB_CHECK(grad_out.shape() == cached_xhat_.shape());
   const int d = dim();
   const std::size_t rows = grad_out.numel() / static_cast<std::size_t>(d);

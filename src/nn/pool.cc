@@ -1,5 +1,7 @@
 #include "nn/pool.h"
 
+#include "obs/profile.h"
+
 namespace mhbench::nn {
 
 AvgPool2d::AvgPool2d(int kernel) : kernel_(kernel) {
@@ -7,6 +9,7 @@ AvgPool2d::AvgPool2d(int kernel) : kernel_(kernel) {
 }
 
 Tensor AvgPool2d::Forward(const Tensor& x, bool /*train*/) {
+  obs::ProfileScope profile_scope("avgpool2d_fwd");
   MHB_CHECK_EQ(x.ndim(), 4);
   const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
   MHB_CHECK_EQ(h % kernel_, 0);
@@ -40,6 +43,7 @@ Tensor AvgPool2d::Forward(const Tensor& x, bool /*train*/) {
 }
 
 Tensor AvgPool2d::Backward(const Tensor& grad_out) {
+  obs::ProfileScope profile_scope("avgpool2d_bwd");
   MHB_CHECK(!cached_input_shape_.empty());
   const int n = cached_input_shape_[0], c = cached_input_shape_[1],
             h = cached_input_shape_[2], w = cached_input_shape_[3];

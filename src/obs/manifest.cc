@@ -9,6 +9,7 @@
 
 #include "core/csv.h"
 #include "core/error.h"
+#include "obs/profile.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -70,10 +71,17 @@ void AppendJsonString(std::ostringstream& out, const std::string& s) {
   out << "\"" << JsonEscape(s) << "\"";
 }
 
+std::string FormatDouble(double v) {
+  std::ostringstream out;
+  out << v;
+  return out.str();
+}
+
 }  // namespace
 
 std::string WriteRunManifest(const std::string& dir, const RunManifest& m,
-                             const Registry* registry) {
+                             const Registry* registry,
+                             const Profiler* profiler) {
   namespace fs = std::filesystem;
   const fs::path run_dir = fs::path(dir) / SanitizeRunId(m.run_id);
   std::error_code ec;
@@ -118,6 +126,20 @@ std::string WriteRunManifest(const std::string& dir, const RunManifest& m,
       json << ": " << value;
     }
   }
+  json << "\n  },\n  \"histograms\": {";
+  if (registry != nullptr) {
+    std::size_t i = 0;
+    for (const auto& [name, h] : registry->Histograms()) {
+      if (h.empty()) continue;
+      json << (i++ == 0 ? "\n" : ",\n") << "    ";
+      AppendJsonString(json, name);
+      json << ": {\"count\":" << h.count() << ",\"sum\":" << h.sum
+           << ",\"min\":" << h.min << ",\"max\":" << h.max
+           << ",\"p50\":" << FormatDouble(h.Quantile(0.50))
+           << ",\"p95\":" << FormatDouble(h.Quantile(0.95))
+           << ",\"p99\":" << FormatDouble(h.Quantile(0.99)) << "}";
+    }
+  }
   json << "\n  },\n  \"rounds\": " << (registry ? registry->rounds().size() : 0)
        << "\n}\n";
 
@@ -130,17 +152,25 @@ std::string WriteRunManifest(const std::string& dir, const RunManifest& m,
   }
 
   if (registry != nullptr && !registry->rounds().empty()) {
-    // Column set: the union of counter and gauge names over all rows, so
-    // every row renders the same schema.
+    // Column set: the union of counter / gauge / histogram names over all
+    // rows, so every row renders the same schema.
     std::set<std::string> counter_cols;
     std::set<std::string> gauge_cols;
+    std::set<std::string> hist_cols;
     for (const auto& row : registry->rounds()) {
       for (const auto& [k, v] : row.counters) counter_cols.insert(k);
       for (const auto& [k, v] : row.gauges) gauge_cols.insert(k);
+      for (const auto& [k, v] : row.hists) hist_cols.insert(k);
     }
     std::vector<std::string> header = {"run", "round"};
     header.insert(header.end(), gauge_cols.begin(), gauge_cols.end());
     header.insert(header.end(), counter_cols.begin(), counter_cols.end());
+    for (const auto& h : hist_cols) {
+      header.push_back(h + "_count");
+      header.push_back(h + "_p50");
+      header.push_back(h + "_p95");
+      header.push_back(h + "_p99");
+    }
     CsvWriter csv(header);
     for (const auto& row : registry->rounds()) {
       std::vector<std::string> cells = {row.run, std::to_string(row.round)};
@@ -155,6 +185,20 @@ std::string WriteRunManifest(const std::string& dir, const RunManifest& m,
         cells.push_back(
             it == row.counters.end() ? "0" : std::to_string(it->second));
       }
+      for (const auto& h : hist_cols) {
+        auto it = row.hists.find(h);
+        if (it == row.hists.end()) {
+          cells.push_back("0");
+          cells.push_back("");
+          cells.push_back("");
+          cells.push_back("");
+        } else {
+          cells.push_back(std::to_string(it->second.count()));
+          cells.push_back(FormatDouble(it->second.Quantile(0.50)));
+          cells.push_back(FormatDouble(it->second.Quantile(0.95)));
+          cells.push_back(FormatDouble(it->second.Quantile(0.99)));
+        }
+      }
       csv.AddRow(cells);
     }
     const fs::path rounds_path = run_dir / "rounds.csv";
@@ -162,6 +206,33 @@ std::string WriteRunManifest(const std::string& dir, const RunManifest& m,
     if (!f.good()) throw Error("cannot open " + rounds_path.string());
     f << csv.ToString();
     if (!f.good()) throw Error("failed writing " + rounds_path.string());
+  }
+
+  if (registry != nullptr && !registry->client_rows().empty()) {
+    CsvWriter csv({"run", "round", "client", "drop_reason", "sim_compute_s",
+                   "sim_comm_s", "memory_mb", "wall_ms", "bytes_up",
+                   "bytes_down", "train_mflops"});
+    for (const auto& row : registry->client_rows()) {
+      csv.AddRow({row.run, std::to_string(row.round),
+                  std::to_string(row.client), row.drop_reason,
+                  FormatDouble(row.sim_compute_s),
+                  FormatDouble(row.sim_comm_s), FormatDouble(row.memory_mb),
+                  FormatDouble(row.wall_ms), std::to_string(row.bytes_up),
+                  std::to_string(row.bytes_down),
+                  std::to_string(row.train_mflops)});
+    }
+    const fs::path clients_path = run_dir / "clients.csv";
+    std::ofstream f(clients_path);
+    if (!f.good()) throw Error("cannot open " + clients_path.string());
+    f << csv.ToString();
+    if (!f.good()) throw Error("failed writing " + clients_path.string());
+  }
+
+  if (profiler != nullptr) {
+    const fs::path profile_path = run_dir / "profile.json";
+    if (!profiler->WriteJson(profile_path.string())) {
+      throw Error("failed writing " + profile_path.string());
+    }
   }
 
   return run_dir.string();

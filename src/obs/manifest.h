@@ -2,9 +2,15 @@
 //
 // WriteRunManifest creates `<dir>/<run_id>/` containing
 //   manifest.json — tool, git describe, seed, thread count, flattened
-//                   config, counter totals, and summary metrics
+//                   config, counter totals, histogram summaries
+//                   (count/sum/min/max/p50/p95/p99), and summary metrics
 //   rounds.csv    — one row per (run, round) from the registry's round
-//                   snapshots (counter deltas + gauges)
+//                   snapshots (counter deltas + gauges + per-round
+//                   histogram quantiles)
+//   clients.csv   — per-client per-round timeline (drop reason, simulated
+//                   compute/comm seconds, memory, measured wall ms, bytes)
+//                   when the registry collected client rows
+//   profile.json  — per-op attribution table when a profiler is supplied
 #pragma once
 
 #include <cstdint>
@@ -15,6 +21,7 @@
 namespace mhbench::obs {
 
 class Registry;
+class Profiler;
 
 struct RunManifest {
   std::string run_id;          // directory name; sanitized by the writer
@@ -41,10 +48,12 @@ std::string IsoTimestampUtc();
 // name ("/", spaces, ".." and friends become "_").
 std::string SanitizeRunId(const std::string& id);
 
-// Writes manifest.json (+ rounds.csv when `registry` is non-null and has
-// round rows) under `<dir>/<sanitized run_id>/`; creates directories as
-// needed.  Returns the run directory.  Throws mhbench::Error on I/O errors.
+// Writes manifest.json (+ rounds.csv / clients.csv when `registry` is
+// non-null and collected rows, + profile.json when `profiler` is non-null)
+// under `<dir>/<sanitized run_id>/`; creates directories as needed.
+// Returns the run directory.  Throws mhbench::Error on I/O errors.
 std::string WriteRunManifest(const std::string& dir, const RunManifest& m,
-                             const Registry* registry);
+                             const Registry* registry,
+                             const Profiler* profiler = nullptr);
 
 }  // namespace mhbench::obs

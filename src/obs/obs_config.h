@@ -7,17 +7,24 @@ namespace mhbench::obs {
 
 class Tracer;
 class Registry;
+class Profiler;
 
 struct ObsConfig {
   // Wall-clock span tracing (round / dispatch / per-client / merge / eval).
   Tracer* tracer = nullptr;
-  // Counter + gauge collection (bytes, FLOPs, drops, pool utilization).
+  // Counter + gauge + histogram collection (bytes, FLOPs, drops, latency
+  // distributions, pool utilization).
   Registry* registry = nullptr;
+  // Per-op profiling (layer fwd/bwd wall time, FLOPs, scratch, allocs).
+  // The engine installs it on every thread that runs client work.
+  Profiler* profiler = nullptr;
   // Also emit simulated-clock spans (one lane per client) on the tracer's
   // sim track.  Requires `tracer`.
   bool sim_spans = false;
 
-  bool enabled() const { return tracer != nullptr || registry != nullptr; }
+  bool enabled() const {
+    return tracer != nullptr || registry != nullptr || profiler != nullptr;
+  }
 };
 
 }  // namespace mhbench::obs

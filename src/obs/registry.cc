@@ -1,6 +1,9 @@
 #include "obs/registry.h"
 
+#include <algorithm>
 #include <atomic>
+#include <limits>
+#include <utility>
 
 namespace mhbench::obs {
 
@@ -18,7 +21,99 @@ std::uint64_t NextGeneration() {
   return g.fetch_add(1, std::memory_order_relaxed);
 }
 
+// std::bit_width without requiring <bit> (the TSan config builds with
+// older language-mode fallbacks elsewhere): position of the highest set
+// bit, for v > 0.
+int BitWidth(std::uint64_t v) {
+  int w = 0;
+  while (v != 0) {
+    v >>= 1;
+    ++w;
+  }
+  return w;
+}
+
 }  // namespace
+
+int Registry::BucketIndex(std::int64_t v) {
+  if (v <= 0) return 0;
+  return BitWidth(static_cast<std::uint64_t>(v));  // 1..63
+}
+
+std::int64_t Registry::BucketLo(int bucket) {
+  if (bucket <= 0) return 0;
+  return std::int64_t{1} << (bucket - 1);
+}
+
+std::int64_t Registry::BucketHi(int bucket) {
+  if (bucket <= 0) return 0;
+  if (bucket >= kHistogramBuckets - 1) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return (std::int64_t{1} << bucket) - 1;
+}
+
+std::int64_t Registry::HistogramData::count() const {
+  std::int64_t n = 0;
+  for (const std::int64_t b : buckets) n += b;
+  return n;
+}
+
+void Registry::HistogramData::Observe(std::int64_t v) {
+  if (count() == 0) {
+    min = v;
+    max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  buckets[static_cast<std::size_t>(BucketIndex(v))] += 1;
+  sum += v;
+}
+
+void Registry::HistogramData::Merge(const HistogramData& other) {
+  if (other.count() == 0) return;
+  if (count() == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+  sum += other.sum;
+}
+
+double Registry::HistogramData::Quantile(double q) const {
+  const std::int64_t n = count();
+  if (n == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double target = q * static_cast<double>(n);
+  std::int64_t seen = 0;
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    const std::int64_t in_bucket = buckets[static_cast<std::size_t>(b)];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      // Interpolate within the bucket's [lo, hi] span, then clamp to the
+      // observed range so degenerate histograms (single value) are exact.
+      const double lo = static_cast<double>(BucketLo(b));
+      const double hi = static_cast<double>(BucketHi(b));
+      const double frac =
+          in_bucket == 0
+              ? 0.0
+              : (target - static_cast<double>(seen)) /
+                    static_cast<double>(in_bucket);
+      double v = lo + frac * (hi - lo);
+      v = std::max(v, static_cast<double>(min));
+      v = std::min(v, static_cast<double>(max));
+      return v;
+    }
+    seen += in_bucket;
+  }
+  return static_cast<double>(max);
+}
 
 Registry::Registry() : generation_(NextGeneration()) {}
 Registry::~Registry() = default;
@@ -32,6 +127,18 @@ Registry::CounterId Registry::Counter(const std::string& name) {
   ids_.emplace(name, id);
   totals_.push_back(0);
   round_base_.push_back(0);
+  return id;
+}
+
+Registry::HistogramId Registry::Histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hist_ids_.find(name);
+  if (it != hist_ids_.end()) return it->second;
+  const HistogramId id = hist_names_.size();
+  hist_names_.push_back(name);
+  hist_ids_.emplace(name, id);
+  hist_totals_.emplace_back();
+  hist_round_.emplace_back();
   return id;
 }
 
@@ -61,6 +168,16 @@ void Registry::AddNamed(const std::string& name, std::int64_t delta) {
   Add(Counter(name), delta);
 }
 
+void Registry::Observe(HistogramId id, std::int64_t value) {
+  Sink* sink = ThreadSink();
+  if (sink->hists.size() <= id) sink->hists.resize(id + 1);
+  sink->hists[id].Observe(value);
+}
+
+void Registry::ObserveNamed(const std::string& name, std::int64_t value) {
+  Observe(Histogram(name), value);
+}
+
 void Registry::SetGauge(const std::string& name, double value) {
   std::lock_guard<std::mutex> lock(mu_);
   gauges_[name] = value;
@@ -71,6 +188,11 @@ void Registry::FlushLocked() {
     for (std::size_t id = 0; id < sink->values.size(); ++id) {
       totals_[id] += sink->values[id];
       sink->values[id] = 0;
+    }
+    for (std::size_t id = 0; id < sink->hists.size(); ++id) {
+      hist_totals_[id].Merge(sink->hists[id]);
+      hist_round_[id].Merge(sink->hists[id]);
+      sink->hists[id] = HistogramData{};
     }
   }
 }
@@ -91,6 +213,15 @@ void Registry::EndRound(const std::string& run, int round) {
     if (delta != 0) row.counters[names_[id]] = delta;
     round_base_[id] = totals_[id];
   }
+  // Histogram deltas can't be derived by subtraction (min/max aren't
+  // invertible), so a per-round accumulator is kept alongside the totals
+  // and reset here.
+  for (std::size_t id = 0; id < hist_round_.size(); ++id) {
+    if (!hist_round_[id].empty()) {
+      row.hists[hist_names_[id]] = hist_round_[id];
+    }
+    hist_round_[id] = HistogramData{};
+  }
   row.gauges = std::move(gauges_);
   gauges_.clear();
   rounds_.push_back(std::move(row));
@@ -109,6 +240,27 @@ std::map<std::string, std::int64_t> Registry::Totals() const {
     out[names_[id]] = totals_[id];
   }
   return out;
+}
+
+Registry::HistogramData Registry::HistogramTotals(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = hist_ids_.find(name);
+  return it == hist_ids_.end() ? HistogramData{} : hist_totals_[it->second];
+}
+
+std::map<std::string, Registry::HistogramData> Registry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, HistogramData> out;
+  for (std::size_t id = 0; id < hist_names_.size(); ++id) {
+    out[hist_names_[id]] = hist_totals_[id];
+  }
+  return out;
+}
+
+void Registry::AddClientRow(ClientRow row) {
+  std::lock_guard<std::mutex> lock(mu_);
+  client_rows_.push_back(std::move(row));
 }
 
 }  // namespace mhbench::obs

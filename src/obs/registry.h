@@ -1,4 +1,4 @@
-// Counter/gauge registry with deterministic parallel aggregation.
+// Counter/gauge/histogram registry with deterministic parallel aggregation.
 //
 // Counters are 64-bit integers (bytes, FLOPs, drops, task counts) that may
 // be incremented from any thread between round barriers: each thread writes
@@ -7,13 +7,24 @@
 // barrier.  Integer addition is order-independent, so totals are identical
 // for any thread count — determinism is untouched.
 //
+// Histograms are fixed log2-bucketed int64 distributions (latency µs,
+// bytes, batch sizes).  Observe() lands in the calling thread's sink like
+// counters; bucket counts, sums and min/max all merge with commutative
+// operations, so bucket totals are thread-count independent too.  Quantiles
+// (p50/p95/p99) are derived from the bucket counts at export time by linear
+// interpolation inside the crossing bucket, clamped to the observed
+// [min, max] — never tracked online.
+//
 // Gauges are doubles (simulated time, wall time, accuracy) set only from
 // serial phases.
 //
-// EndRound snapshots the per-round counter deltas plus the round's gauges
-// into a row; the manifest writer turns the rows into rounds.csv.
+// EndRound snapshots the per-round counter deltas, histogram deltas and the
+// round's gauges into a row; the manifest writer turns the rows into
+// rounds.csv.  AddClientRow (serial phases only) accumulates the per-client
+// per-round timeline the manifest writer emits as clients.csv.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -27,6 +38,34 @@ namespace mhbench::obs {
 class Registry {
  public:
   using CounterId = std::size_t;
+  using HistogramId = std::size_t;
+
+  // Bucket 0 holds v <= 0; bucket b in [1, 63] holds v in [2^(b-1), 2^b).
+  static constexpr int kHistogramBuckets = 64;
+
+  // Bucket index for a value: 0 for v <= 0, otherwise bit_width(v).
+  static int BucketIndex(std::int64_t v);
+  // Inclusive lower / upper bound of a bucket (0/0 for bucket 0).
+  static std::int64_t BucketLo(int bucket);
+  static std::int64_t BucketHi(int bucket);
+
+  // One histogram's merged state.  All fields combine with commutative,
+  // associative operations (+, min, max), so merged totals are independent
+  // of thread count and merge order.
+  struct HistogramData {
+    std::array<std::int64_t, kHistogramBuckets> buckets{};
+    std::int64_t sum = 0;
+    std::int64_t min = 0;  // valid only when count() > 0
+    std::int64_t max = 0;  // valid only when count() > 0
+
+    std::int64_t count() const;
+    void Observe(std::int64_t v);
+    void Merge(const HistogramData& other);
+    // q in [0, 1]; linear interpolation within the crossing bucket, clamped
+    // to [min, max].  0 when empty.
+    double Quantile(double q) const;
+    bool empty() const { return count() == 0; }
+  };
 
   Registry();
   ~Registry();
@@ -48,14 +87,24 @@ class Registry {
   // Serial convenience: register + add in one call.
   void AddNamed(const std::string& name, std::int64_t delta);
 
+  // Registers (or looks up) a histogram; same threading contract as
+  // Counter.  Histogram and counter names are independent namespaces.
+  HistogramId Histogram(const std::string& name);
+
+  // Records one observation.  Same threading contract as Add.
+  void Observe(HistogramId id, std::int64_t value);
+
+  // Serial convenience: register + observe in one call.
+  void ObserveNamed(const std::string& name, std::int64_t value);
+
   // Sets a gauge for the current round.  Serial phases only.
   void SetGauge(const std::string& name, double value);
 
   // Merges every thread sink into the global totals.  Serial barrier only.
   void FlushThreadSinks();
 
-  // Flushes sinks, then snapshots this round's counter deltas and gauges
-  // into a row labelled (`run`, `round`).  Serial barrier only.
+  // Flushes sinks, then snapshots this round's counter/histogram deltas and
+  // gauges into a row labelled (`run`, `round`).  Serial barrier only.
   void EndRound(const std::string& run, int round);
 
   // Total for a counter (0 if never registered).  Includes only flushed
@@ -63,17 +112,43 @@ class Registry {
   std::int64_t Total(const std::string& name) const;
   std::map<std::string, std::int64_t> Totals() const;
 
+  // Merged state of one histogram (empty data if never registered) / all
+  // histograms.  Includes only flushed sink contributions.
+  HistogramData HistogramTotals(const std::string& name) const;
+  std::map<std::string, HistogramData> Histograms() const;
+
   struct RoundRow {
     std::string run;  // run label (the engine uses the algorithm name)
     int round = 0;
     std::map<std::string, std::int64_t> counters;  // deltas for this round
     std::map<std::string, double> gauges;
+    std::map<std::string, HistogramData> hists;  // this round's observations
   };
   const std::vector<RoundRow>& rounds() const { return rounds_; }
+
+  // One sampled client in one round: the cost model's simulated clock
+  // joined with the measured wall time and the round's drop decision.
+  struct ClientRow {
+    std::string run;
+    int round = 0;
+    int client = 0;
+    std::string drop_reason;  // "" (trained), "offline", "straggler"
+    double sim_compute_s = 0.0;
+    double sim_comm_s = 0.0;
+    double memory_mb = 0.0;
+    double wall_ms = 0.0;  // measured local-training wall time; 0 if dropped
+    std::int64_t bytes_up = 0;
+    std::int64_t bytes_down = 0;
+    std::int64_t train_mflops = 0;
+  };
+  // Serial phases only (the engine appends at the round barrier).
+  void AddClientRow(ClientRow row);
+  const std::vector<ClientRow>& client_rows() const { return client_rows_; }
 
  private:
   struct Sink {
     std::vector<std::int64_t> values;  // indexed by CounterId
+    std::vector<HistogramData> hists;  // indexed by HistogramId
   };
 
   Sink* ThreadSink();
@@ -85,9 +160,14 @@ class Registry {
   std::unordered_map<std::string, CounterId> ids_;
   std::vector<std::int64_t> totals_;      // flushed totals, by id
   std::vector<std::int64_t> round_base_;  // totals at the last EndRound
-  std::map<std::string, double> gauges_;  // current round's gauges
+  std::vector<std::string> hist_names_;
+  std::unordered_map<std::string, HistogramId> hist_ids_;
+  std::vector<HistogramData> hist_totals_;  // flushed, by histogram id
+  std::vector<HistogramData> hist_round_;   // since the last EndRound
+  std::map<std::string, double> gauges_;    // current round's gauges
   std::vector<std::unique_ptr<Sink>> sinks_;
   std::vector<RoundRow> rounds_;
+  std::vector<ClientRow> client_rows_;
 };
 
 }  // namespace mhbench::obs

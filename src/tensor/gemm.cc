@@ -12,6 +12,7 @@ namespace mhbench::kernels {
 namespace {
 
 std::atomic<std::uint64_t> g_flops{0};
+thread_local std::uint64_t tl_flops = 0;
 
 Backend InitialBackend() {
   const char* env = std::getenv("MHB_KERNELS");
@@ -235,10 +236,11 @@ void FastGemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
 }
 
 void CountFlops(int m, int n, int k) {
-  g_flops.fetch_add(2ull * static_cast<std::uint64_t>(m) *
-                        static_cast<std::uint64_t>(n) *
-                        static_cast<std::uint64_t>(k),
-                    std::memory_order_relaxed);
+  const std::uint64_t flops = 2ull * static_cast<std::uint64_t>(m) *
+                              static_cast<std::uint64_t>(n) *
+                              static_cast<std::uint64_t>(k);
+  g_flops.fetch_add(flops, std::memory_order_relaxed);
+  tl_flops += flops;
 }
 
 }  // namespace
@@ -281,5 +283,7 @@ void ColSumAcc(const float* rows, int nrows, int ncols, int ld, float* out) {
 std::uint64_t TotalGemmFlops() {
   return g_flops.load(std::memory_order_relaxed);
 }
+
+std::uint64_t ThreadGemmFlops() { return tl_flops; }
 
 }  // namespace mhbench::kernels

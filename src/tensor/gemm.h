@@ -71,6 +71,11 @@ void ColSumAcc(const float* rows, int nrows, int ncols, int ld, float* out);
 // `gemm_flops` counter.
 std::uint64_t TotalGemmFlops();
 
+// Calling thread's share of TotalGemmFlops (monotone, no synchronization).
+// The per-op profiler differences it around a scope; using the global total
+// there would attribute other threads' concurrent GEMMs to this scope.
+std::uint64_t ThreadGemmFlops();
+
 namespace internal {
 // Uncounted naive implementation.  Lives in gemm_naive.cc, which is built
 // with the project's default flags (no per-file -O3/-mavx512f/-mfma): the

@@ -71,6 +71,7 @@ float* ScratchArena::Alloc(std::size_t n) {
   float* p = c.data + c.used;
   c.used += need;
   in_use_ += need;
+  if (in_use_ > hwm_) hwm_ = in_use_;
   const std::uint64_t bytes = static_cast<std::uint64_t>(in_use_) * sizeof(float);
   if (bytes > peak_bytes_.load(std::memory_order_relaxed)) {
     peak_bytes_.store(bytes, std::memory_order_relaxed);

@@ -52,6 +52,17 @@ class ScratchArena {
   std::size_t in_use_bytes() const { return in_use_ * sizeof(float); }
   std::size_t peak_bytes() const;
 
+  // Resettable in-scope watermark for per-op attribution (owner thread
+  // only).  Alloc raises it alongside in_use_; the profiler exchanges it on
+  // scope entry (to the current in_use_) and folds the scope's peak back
+  // into the saved value on exit, so nested scopes each see their own max.
+  std::size_t watermark_floats() const { return hwm_; }
+  std::size_t ExchangeWatermark(std::size_t floats) {
+    const std::size_t prev = hwm_;
+    hwm_ = floats;
+    return prev;
+  }
+
  private:
   struct Chunk {
     float* data = nullptr;
@@ -64,6 +75,7 @@ class ScratchArena {
   std::vector<Chunk> chunks_;  // touched only by the owning thread
   std::size_t active_ = 0;     // index of the chunk currently bumping
   std::size_t in_use_ = 0;     // floats
+  std::size_t hwm_ = 0;        // floats; see watermark_floats()
   // Written only by the owner, sampled by serial phases on other threads.
   std::atomic<std::uint64_t> peak_bytes_{0};
 };

@@ -28,6 +28,19 @@ TEST(MetricBundleTest, TimeToTarget) {
   EXPECT_TRUE(std::isinf(b.TimeTo(0.6)));
 }
 
+TEST(MetricBundleTest, StragglerDropRateGuardsZeroSelected) {
+  // A run where no client was ever selected (e.g. zero rounds, or an
+  // availability model that kept everyone offline) must report 0, not NaN.
+  MetricBundle b = MakeBundle("a", 0.5);
+  b.clients_selected = 0;
+  b.clients_dropped = 0;
+  EXPECT_DOUBLE_EQ(StragglerDropRate(b), 0.0);
+  b.clients_dropped = 3;  // inconsistent input still must not divide by zero
+  EXPECT_DOUBLE_EQ(StragglerDropRate(b), 0.0);
+  b.clients_selected = 10;
+  EXPECT_DOUBLE_EQ(StragglerDropRate(b), 0.3);
+}
+
 TEST(CommonTargetTest, FractionOfBest) {
   const std::vector<MetricBundle> bundles = {MakeBundle("a", 0.4),
                                              MakeBundle("b", 0.6)};

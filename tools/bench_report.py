@@ -4,16 +4,46 @@
 Usage: bench_report.py <raw-benchmark.json> <out.json>
 
 Pairs each fast kernel benchmark (BM_Matmul/128, BM_Conv2dForward, ...) with
-its *Naive twin, records median wall time and GFLOP/s (where the benchmark
-reports items_per_second), and computes the fast/naive speedup ratio from the
-median timings.  The acceptance targets from the kernel-layer issue
-(>= 3x on BM_Matmul/128, >= 2x on BM_Conv2dForward) are annotated so the
-committed file documents whether the reference machine met them.
+its *Naive twin.  Per-repetition samples (run with --benchmark_repetitions=N
+and WITHOUT --benchmark_report_aggregates_only) give real p50/p95 wall times
+rather than a median-of-3; speedup ratios come from the p50s.  The context
+block embeds `git describe` and the kernel backend (MHB_KERNELS) so
+tools/mhb_diff.py can refuse to compare apples to oranges.  The acceptance
+targets from the kernel-layer issue (>= 3x on BM_Matmul/128, >= 2x on
+BM_Conv2dForward) are annotated so the committed file documents whether the
+reference machine met them.
 """
 import json
+import os
+import subprocess
 import sys
 
 TARGETS = {"BM_Matmul/128": 3.0, "BM_Conv2dForward": 2.0}
+
+
+def percentile(sorted_samples, q):
+    """Linear-interpolated quantile of a pre-sorted, non-empty list."""
+    if len(sorted_samples) == 1:
+        return sorted_samples[0]
+    pos = q * (len(sorted_samples) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_samples) - 1)
+    frac = pos - lo
+    return sorted_samples[lo] * (1 - frac) + sorted_samples[hi] * frac
+
+
+def git_describe():
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
 
 
 def main() -> int:
@@ -21,14 +51,32 @@ def main() -> int:
     with open(raw_path) as f:
         raw = json.load(f)
 
-    medians = {}
+    # One sample per repetition.  Aggregate rows (mean/median/stddev, present
+    # when google-benchmark emits them alongside repetitions) are skipped;
+    # a run without repetitions yields a single "iteration" row per name.
+    samples = {}
+    items_per_second = {}
     for b in raw["benchmarks"]:
-        if b.get("aggregate_name") != "median":
+        if b.get("run_type") == "aggregate" or "aggregate_name" in b:
             continue
         name = b["run_name"]
-        gflops = b.get("items_per_second", 0.0) / 1e9
-        medians[name] = {
-            "wall_ns": round(b["real_time"]),
+        samples.setdefault(name, []).append(b["real_time"])
+        if b.get("items_per_second"):
+            items_per_second.setdefault(name, []).append(
+                b["items_per_second"])
+
+    stats = {}
+    repetitions = 0
+    for name, xs in samples.items():
+        xs.sort()
+        repetitions = max(repetitions, len(xs))
+        gflops_samples = sorted(items_per_second.get(name, []))
+        gflops = (
+            percentile(gflops_samples, 0.50) / 1e9 if gflops_samples else None
+        )
+        stats[name] = {
+            "wall_ns": round(percentile(xs, 0.50)),
+            "p95_wall_ns": round(percentile(xs, 0.95)),
             "gflops": round(gflops, 2) if gflops else None,
         }
 
@@ -41,12 +89,14 @@ def main() -> int:
             "benchmark_lib_build_type": raw["context"].get(
                 "library_build_type"),
             "load_avg": raw["context"].get("load_avg"),
-            "repetitions": 3,
-            "statistic": "median",
+            "git_describe": git_describe(),
+            "kernel_backend": os.environ.get("MHB_KERNELS", "fast"),
+            "repetitions": repetitions,
+            "statistic": "p50 (p95 recorded per benchmark)",
         },
         "kernels": {},
     }
-    for name, fast in sorted(medians.items()):
+    for name, fast in sorted(stats.items()):
         base = name.replace("BM_", "", 1)
         if "Naive" in name:
             continue
@@ -56,7 +106,7 @@ def main() -> int:
             else name + "Naive"
         )
         entry = {"fast": fast}
-        naive = medians.get(naive_name)
+        naive = stats.get(naive_name)
         if naive is not None:
             entry["naive"] = naive
             entry["speedup"] = round(naive["wall_ns"] / fast["wall_ns"], 2)

@@ -9,8 +9,9 @@
 #   tools/check.sh --plain   # plain only
 #   tools/check.sh --tsan    # tsan only
 #   tools/check.sh --release # Release (-O3) build + ctest
-#   tools/check.sh --bench   # Release build + kernel bench smoke
-#                            #   (writes BENCH_kernels.json)
+#   tools/check.sh --bench   # Release build + kernel bench smoke (gates the
+#                            #   fresh report against BENCH_kernels.json with
+#                            #   mhb_diff, then refreshes it) + obs artifacts
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -71,15 +72,60 @@ assert manifest["counters"]["clients_trained"] > 0
 rounds = (runs[0] / "rounds.csv").read_text().splitlines()
 assert rounds[0].startswith("run,round,"), "rounds.csv: bad header"
 assert len(rounds) == 1 + manifest["rounds"], "rounds.csv: row count"
+
+hists = manifest["histograms"]
+for name in ("client_wall_us", "client_bytes_up", "client_train_mflops"):
+    h = hists[name]
+    assert h["count"] == manifest["counters"]["clients_trained"], name
+    for q in ("p50", "p95", "p99"):
+        assert h["min"] <= h[q] <= h["max"], f"{name}.{q} outside [min,max]"
+
+profile = json.loads((runs[0] / "profile.json").read_text())
+assert profile["op_totals"], "profile.json: no op totals"
+for op in ("local_train", "forward", "backward", "conv2d_fwd"):
+    assert op in profile["op_totals"], f"profile.json: no {op!r} op"
+assert profile["op_totals"]["conv2d_fwd"]["gemm_flops"] > 0
+for row in profile["tree"]:
+    assert row["wall_us"] + 1e-6 >= row["self_wall_us"] >= 0, row["path"]
+
+clients = (runs[0] / "clients.csv").read_text().splitlines()
+assert clients[0] == ("run,round,client,drop_reason,sim_compute_s,"
+                      "sim_comm_s,memory_mb,wall_ms,bytes_up,bytes_down,"
+                      "train_mflops"), "clients.csv: bad header"
+trained = sum(1 for line in clients[1:] if line.split(",")[3] == "")
+assert trained == manifest["counters"]["clients_trained"], "clients.csv rows"
 print("check.sh: telemetry smoke passed")
 PY
+
+  # Regression differ round-trip: a run must diff clean against itself, and
+  # a doctored copy with 2x client latency must trip the 1.3x gate.
+  local run_dir
+  run_dir="$(echo "$out"/results/*)"
+  python3 "$repo/tools/mhb_diff.py" "$run_dir" "$run_dir" >/dev/null
+  cp -r "$run_dir" "$out/regressed"
+  python3 - "$out/regressed/manifest.json" <<'PY'
+import json, sys
+path = sys.argv[1]
+m = json.load(open(path))
+for q in ("p50", "p95", "p99"):
+    m["histograms"]["client_wall_us"][q] *= 2
+json.dump(m, open(path, "w"))
+PY
+  if python3 "$repo/tools/mhb_diff.py" "$run_dir" "$out/regressed" \
+      >/dev/null; then
+    echo "check.sh: mhb_diff missed an injected 2x latency regression" >&2
+    return 1
+  fi
+  echo "check.sh: mhb_diff smoke passed"
 }
 
 # Kernel benchmark smoke: builds Release, runs the GEMM/conv micro-benchmarks
 # through both backends, and distills the raw google-benchmark output into
-# BENCH_kernels.json (GFLOP/s per shape plus fast/naive speedup ratios).
-# Ratios are reported, not asserted — shared CI machines are too noisy for a
-# hard perf gate; the committed BENCH_kernels.json records the reference run.
+# BENCH_kernels.json (p50/p95 wall time per shape plus fast/naive speedup
+# ratios).  Per-repetition rows (no aggregates-only) feed real quantiles.
+# The fresh report is gated against the committed baseline with mhb_diff at
+# a 1.3x threshold on the machine-normalized speedup ratios — absolute times
+# are too host-dependent to assert — then replaces the committed file.
 smoke_bench() {
   local build_dir="$1"
   if ! command -v python3 >/dev/null 2>&1; then
@@ -91,10 +137,23 @@ smoke_bench() {
   trap 'rm -f "$raw"' RETURN
   "$build_dir/bench/bench_micro" \
     --benchmark_filter='BM_Matmul|BM_Conv2d' \
-    --benchmark_min_time=0.3 --benchmark_repetitions=3 \
-    --benchmark_report_aggregates_only=true \
+    --benchmark_min_time=0.3 --benchmark_repetitions=5 \
     --benchmark_out="$raw" --benchmark_out_format=json >/dev/null
-  python3 "$repo/tools/bench_report.py" "$raw" "$repo/BENCH_kernels.json"
+  python3 "$repo/tools/bench_report.py" "$raw" "$build_dir/BENCH_kernels.json"
+  python3 "$repo/tools/mhb_diff.py" --latency-ratio 1.3 \
+    "$repo/BENCH_kernels.json" "$build_dir/BENCH_kernels.json"
+  cp "$build_dir/BENCH_kernels.json" "$repo/BENCH_kernels.json"
+}
+
+# Writes the observability artifacts of a small profiled run into
+# $build_dir/obs-artifacts so CI can upload them alongside the bench report.
+emit_obs_artifacts() {
+  local build_dir="$1"
+  rm -rf "$build_dir/obs-artifacts"
+  MHB_TRAIN=160 MHB_TEST=80 "$build_dir/tools/mhbench" run \
+    --task cifar10 --algorithm sheterofl --rounds 2 --clients 4 \
+    --threads 2 --manifest-dir "$build_dir/obs-artifacts" >/dev/null
+  echo "check.sh: obs artifacts in $build_dir/obs-artifacts"
 }
 
 case "$mode" in
@@ -112,6 +171,7 @@ case "$mode" in
   --bench)
     run_suite "$repo/build-release" -DCMAKE_BUILD_TYPE=Release
     smoke_bench "$repo/build-release"
+    emit_obs_artifacts "$repo/build-release"
     ;;
   *)
     echo "usage: tools/check.sh [--plain|--tsan|--release|--bench]" >&2

@@ -12,7 +12,7 @@
 //               [--constraint computation] [--rounds 20] [--clients 10]
 //               [--alpha 0.5] [--deadline 0] [--seed 1] [--threads 1]
 //               [--trace out.json] [--trace-sim-clock 1]
-//               [--manifest-dir results]
+//               [--manifest-dir results] [--profile 0|1]
 //       Run one federated experiment and print the metric panel.
 //       --threads parallelizes client training and stability evaluation;
 //       results are bit-identical for any thread count.
@@ -20,7 +20,15 @@
 //       https://ui.perfetto.dev) plus a .jsonl event log next to it;
 //       --trace-sim-clock 1 adds simulated-clock lanes per client.
 //       --manifest-dir writes results/<run-id>/manifest.json + rounds.csv
-//       capturing config, seed, git revision and per-round telemetry.
+//       + clients.csv capturing config, seed, git revision, per-round
+//       telemetry (counters, gauges, histogram quantiles) and the
+//       per-client timeline.
+//       --profile enables the per-op profiler (profile.json in the run
+//       dir); defaults to on when --manifest-dir is set.
+//
+// Every command also accepts --log-level <silent|error|warn|info|debug|
+// trace|0-5>, mirroring the MHB_LOG_LEVEL environment variable (the flag
+// wins when both are given).
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -32,6 +40,7 @@
 #include "bench_support/experiment.h"
 #include "constraints/assignment.h"
 #include "core/error.h"
+#include "core/logging.h"
 #include "core/table.h"
 #include "device/calibration.h"
 #include "device/cost_model.h"
@@ -39,6 +48,7 @@
 #include "metrics/report.h"
 #include "models/zoo.h"
 #include "obs/manifest.h"
+#include "obs/profile.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -189,15 +199,25 @@ int CmdRun(const Args& args) {
 
   const std::string trace_path = args.Get("trace", "");
   const std::string manifest_dir = args.Get("manifest-dir", "");
+  const bool profile = args.GetI("profile", manifest_dir.empty() ? 0 : 1) != 0;
   std::unique_ptr<obs::Tracer> tracer;
   std::unique_ptr<obs::Registry> registry;
+  std::unique_ptr<obs::Profiler> profiler;
   if (!trace_path.empty()) tracer = std::make_unique<obs::Tracer>();
   if (!trace_path.empty() || !manifest_dir.empty()) {
     registry = std::make_unique<obs::Registry>();
   }
+  if (profile) profiler = std::make_unique<obs::Profiler>();
   options.obs.tracer = tracer.get();
   options.obs.registry = registry.get();
+  options.obs.profiler = profiler.get();
   options.obs.sim_spans = args.GetI("trace-sim-clock", 0) != 0;
+  MHB_LOG_INFO << "obs config: trace="
+               << (tracer != nullptr ? trace_path : "off")
+               << " manifest_dir="
+               << (manifest_dir.empty() ? "off" : manifest_dir)
+               << " profiler=" << (profile ? "on" : "off")
+               << " sim_spans=" << (options.obs.sim_spans ? "on" : "off");
 
   const std::string algorithm = args.Get("algorithm", "sheterofl");
   std::printf("running %s on %s under %s-limited MHFL (%d rounds, %d "
@@ -259,7 +279,8 @@ int CmdRun(const Args& args) {
                              metrics::StragglerDropRate(b));
     }
     const std::string run_dir =
-        obs::WriteRunManifest(manifest_dir, m, registry.get());
+        obs::WriteRunManifest(manifest_dir, m, registry.get(),
+                              profiler.get());
     std::printf("[manifest written to %s]\n", run_dir.c_str());
   }
   return 0;
@@ -278,6 +299,11 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     Args args(argc, argv, 2);
+    const std::string log_level = args.Get("log-level", "");
+    if (!log_level.empty()) {
+      mhbench::SetLogLevel(
+          mhbench::ParseLogLevel(log_level, mhbench::GetLogLevel()));
+    }
     if (cmd == "list") return CmdList();
     if (cmd == "cost") return CmdCost(args);
     if (cmd == "plan") return CmdPlan(args);
