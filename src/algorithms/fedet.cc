@@ -134,8 +134,11 @@ void FedEt::FinishRound(int /*round*/, Rng& rng) {
       for (std::size_t e = 0; e < elems; ++e) dst[e] = src[e];
     }
 
-    // Weighted consensus teacher.
+    // Weighted consensus teacher.  FinishRound is a serial phase, but
+    // GroupLogits requires eval_mu_ unconditionally (see fedet.h); the
+    // acquisition is uncontended here.
     Tensor teacher;
+    core::MutexLock lock(eval_mu_);
     for (std::size_t a = 0; a < families_.size(); ++a) {
       if (group_weight[a] <= 0) continue;
       Tensor probs = nn::SoftmaxWithTemperature(GroupLogits(static_cast<int>(a), x),
@@ -177,7 +180,7 @@ Tensor FedEt::GlobalLogits(const Tensor& x) {
 
 Tensor FedEt::ClientLogits(int client_id, const Tensor& x) {
   // Shared group models; see eval_mu_ in the header.
-  std::lock_guard<std::mutex> lock(eval_mu_);
+  core::MutexLock lock(eval_mu_);
   return GroupLogits(ArchOf(client_id), x);
 }
 

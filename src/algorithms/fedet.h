@@ -9,8 +9,9 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 #include "fl/aggregator.h"
 #include "fl/engine.h"
 #include "fl/server.h"
@@ -40,7 +41,11 @@ class FedEt : public fl::MhflAlgorithm {
 
  private:
   int ArchOf(int client_id) const;
-  Tensor GroupLogits(int arch, const Tensor& x);
+  // Syncs and forwards through the shared group models.  Callers hold
+  // eval_mu_ — serial phases too, so the invariant is uniform and clang's
+  // thread-safety analysis can check it (the serial acquisition is
+  // uncontended and per distill batch, not per sample).
+  Tensor GroupLogits(int arch, const Tensor& x) MHB_REQUIRES(eval_mu_);
 
   std::vector<models::FamilyPtr> families_;
   Options options_;
@@ -62,7 +67,7 @@ class FedEt : public fl::MhflAlgorithm {
   // engine may evaluate ClientLogits concurrently, so serialize access.
   // Results are independent of acquisition order (sync + eval-mode forward
   // is a pure function of store contents), preserving determinism.
-  std::mutex eval_mu_;
+  core::Mutex eval_mu_;
 
   // Server (large) model, trained by distillation.
   models::BuiltModel server_model_;

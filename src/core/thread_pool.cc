@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(int num_workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -31,7 +31,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     MHB_CHECK(!stop_) << "Submit after shutdown";
     queue_.push(std::move(task));
   }
@@ -53,8 +53,10 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       const auto wait_start = std::chrono::steady_clock::now();
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      // Explicit wait loop, not a predicate lambda: the guarded reads stay
+      // inside this annotated function (see core/mutex.h).
+      while (!stop_ && queue_.empty()) cv_.wait(lock.native());
       idle_ns_.fetch_add(
           static_cast<std::uint64_t>(
               std::chrono::duration_cast<std::chrono::nanoseconds>(

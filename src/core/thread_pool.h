@@ -12,10 +12,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace mhbench::core {
 
@@ -32,7 +34,7 @@ class ThreadPool {
   int num_workers() const { return static_cast<int>(workers_.size()); }
 
   // Enqueues a task.  Must not be called after destruction has begun.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) MHB_EXCLUDES(mu_);
 
   // True when the calling thread is one of *any* pool's workers.  Nested
   // ParallelFor calls use this to run inline instead of submitting to a
@@ -52,10 +54,10 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable cv_;
-  std::queue<std::function<void()>> queue_;
-  bool stop_ = false;
+  std::queue<std::function<void()>> queue_ MHB_GUARDED_BY(mu_);
+  bool stop_ MHB_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> tasks_executed_{0};
   std::atomic<std::uint64_t> idle_ns_{0};

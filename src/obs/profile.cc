@@ -44,7 +44,7 @@ Profiler::~Profiler() = default;
 Profiler* Profiler::Current() { return tl_profiler; }
 
 const char* Profiler::Intern(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   auto it = interned_.find(name);
   if (it != interned_.end()) return it->second;
   interned_storage_.push_back(name);
@@ -60,7 +60,7 @@ Profiler::Sink* Profiler::ThreadSink() {
   auto sink = std::make_unique<Sink>();
   Sink* raw = sink.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     sinks_.push_back(std::move(sink));
   }
   tl_sinks.push_back({this, generation_, raw});
@@ -209,7 +209,7 @@ void EmitTreeRows(const Profiler::TreeNode& node, const std::string& path,
 }  // namespace
 
 Profiler::TreeNode Profiler::MergedTree() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   BuildNode root;
   for (const auto& sink : sinks_) {
     MergeInto(*sink, 0, &root);

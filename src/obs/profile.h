@@ -26,10 +26,12 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace mhbench::obs {
 
@@ -101,14 +103,17 @@ class Profiler {
     Sink() : nodes(1) {}
   };
 
-  Sink* ThreadSink();
+  Sink* ThreadSink() MHB_EXCLUDES(mu_);
 
  private:
   const std::uint64_t generation_;
-  mutable std::mutex mu_;  // guards sinks_ registration and interning
-  std::vector<std::unique_ptr<Sink>> sinks_;
-  std::deque<std::string> interned_storage_;
-  std::unordered_map<std::string, const char*> interned_;
+  // Guards sink registration and interning.  Sink *contents* are owner-
+  // thread-only on the hot path and merged at serial points, so they are
+  // deliberately outside the capability (same contract as obs::Registry).
+  mutable core::Mutex mu_;
+  std::vector<std::unique_ptr<Sink>> sinks_ MHB_GUARDED_BY(mu_);
+  std::deque<std::string> interned_storage_ MHB_GUARDED_BY(mu_);
+  std::unordered_map<std::string, const char*> interned_ MHB_GUARDED_BY(mu_);
 };
 
 // Installs `profiler` as the calling thread's active profiler for the

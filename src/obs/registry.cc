@@ -119,7 +119,7 @@ Registry::Registry() : generation_(NextGeneration()) {}
 Registry::~Registry() = default;
 
 Registry::CounterId Registry::Counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   auto it = ids_.find(name);
   if (it != ids_.end()) return it->second;
   const CounterId id = names_.size();
@@ -131,7 +131,7 @@ Registry::CounterId Registry::Counter(const std::string& name) {
 }
 
 Registry::HistogramId Registry::Histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   auto it = hist_ids_.find(name);
   if (it != hist_ids_.end()) return it->second;
   const HistogramId id = hist_names_.size();
@@ -151,7 +151,7 @@ Registry::Sink* Registry::ThreadSink() {
   auto sink = std::make_unique<Sink>();
   Sink* raw = sink.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     sinks_.push_back(std::move(sink));
   }
   tl_sinks.push_back({this, generation_, raw});
@@ -179,7 +179,7 @@ void Registry::ObserveNamed(const std::string& name, std::int64_t value) {
 }
 
 void Registry::SetGauge(const std::string& name, double value) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   gauges_[name] = value;
 }
 
@@ -198,12 +198,12 @@ void Registry::FlushLocked() {
 }
 
 void Registry::FlushThreadSinks() {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   FlushLocked();
 }
 
 void Registry::EndRound(const std::string& run, int round) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   FlushLocked();
   RoundRow row;
   row.run = run;
@@ -228,13 +228,13 @@ void Registry::EndRound(const std::string& run, int round) {
 }
 
 std::int64_t Registry::Total(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   auto it = ids_.find(name);
   return it == ids_.end() ? 0 : totals_[it->second];
 }
 
 std::map<std::string, std::int64_t> Registry::Totals() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   std::map<std::string, std::int64_t> out;
   for (std::size_t id = 0; id < names_.size(); ++id) {
     out[names_[id]] = totals_[id];
@@ -244,13 +244,13 @@ std::map<std::string, std::int64_t> Registry::Totals() const {
 
 Registry::HistogramData Registry::HistogramTotals(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   auto it = hist_ids_.find(name);
   return it == hist_ids_.end() ? HistogramData{} : hist_totals_[it->second];
 }
 
 std::map<std::string, Registry::HistogramData> Registry::Histograms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   std::map<std::string, HistogramData> out;
   for (std::size_t id = 0; id < hist_names_.size(); ++id) {
     out[hist_names_[id]] = hist_totals_[id];
@@ -259,7 +259,7 @@ std::map<std::string, Registry::HistogramData> Registry::Histograms() const {
 }
 
 void Registry::AddClientRow(ClientRow row) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   client_rows_.push_back(std::move(row));
 }
 

@@ -28,10 +28,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace mhbench::obs {
 
@@ -101,11 +103,11 @@ class Registry {
   void SetGauge(const std::string& name, double value);
 
   // Merges every thread sink into the global totals.  Serial barrier only.
-  void FlushThreadSinks();
+  void FlushThreadSinks() MHB_EXCLUDES(mu_);
 
   // Flushes sinks, then snapshots this round's counter/histogram deltas and
   // gauges into a row labelled (`run`, `round`).  Serial barrier only.
-  void EndRound(const std::string& run, int round);
+  void EndRound(const std::string& run, int round) MHB_EXCLUDES(mu_);
 
   // Total for a counter (0 if never registered).  Includes only flushed
   // sink contributions.
@@ -124,7 +126,11 @@ class Registry {
     std::map<std::string, double> gauges;
     std::map<std::string, HistogramData> hists;  // this round's observations
   };
-  const std::vector<RoundRow>& rounds() const { return rounds_; }
+  // Lock-free read of guarded state: legal because it is called only from
+  // serial phases (manifest export), when no sink writer is live.
+  const std::vector<RoundRow>& rounds() const MHB_NO_THREAD_SAFETY_ANALYSIS {
+    return rounds_;
+  }
 
   // One sampled client in one round: the cost model's simulated clock
   // joined with the measured wall time and the round's drop decision.
@@ -142,8 +148,12 @@ class Registry {
     std::int64_t train_mflops = 0;
   };
   // Serial phases only (the engine appends at the round barrier).
-  void AddClientRow(ClientRow row);
-  const std::vector<ClientRow>& client_rows() const { return client_rows_; }
+  void AddClientRow(ClientRow row) MHB_EXCLUDES(mu_);
+  // Serial-phase accessor; same safety argument as rounds().
+  const std::vector<ClientRow>& client_rows() const
+      MHB_NO_THREAD_SAFETY_ANALYSIS {
+    return client_rows_;
+  }
 
  private:
   struct Sink {
@@ -151,23 +161,32 @@ class Registry {
     std::vector<HistogramData> hists;  // indexed by HistogramId
   };
 
-  Sink* ThreadSink();
-  void FlushLocked();
+  Sink* ThreadSink() MHB_EXCLUDES(mu_);
+  void FlushLocked() MHB_REQUIRES(mu_);
 
   const std::uint64_t generation_;
-  mutable std::mutex mu_;  // guards everything below
-  std::vector<std::string> names_;
-  std::unordered_map<std::string, CounterId> ids_;
-  std::vector<std::int64_t> totals_;      // flushed totals, by id
-  std::vector<std::int64_t> round_base_;  // totals at the last EndRound
-  std::vector<std::string> hist_names_;
-  std::unordered_map<std::string, HistogramId> hist_ids_;
-  std::vector<HistogramData> hist_totals_;  // flushed, by histogram id
-  std::vector<HistogramData> hist_round_;   // since the last EndRound
-  std::map<std::string, double> gauges_;    // current round's gauges
-  std::vector<std::unique_ptr<Sink>> sinks_;
-  std::vector<RoundRow> rounds_;
-  std::vector<ClientRow> client_rows_;
+  // Guards all registration/merge state below.  Sink *contents* are
+  // deliberately unguarded: each Sink is written by its owning thread only
+  // and read by the serial barrier merge (FlushLocked), which cannot run
+  // concurrently with client work by the engine's round-barrier contract.
+  mutable core::Mutex mu_;
+  std::vector<std::string> names_ MHB_GUARDED_BY(mu_);
+  std::unordered_map<std::string, CounterId> ids_ MHB_GUARDED_BY(mu_);
+  // Flushed totals, by id.
+  std::vector<std::int64_t> totals_ MHB_GUARDED_BY(mu_);
+  // Totals at the last EndRound.
+  std::vector<std::int64_t> round_base_ MHB_GUARDED_BY(mu_);
+  std::vector<std::string> hist_names_ MHB_GUARDED_BY(mu_);
+  std::unordered_map<std::string, HistogramId> hist_ids_ MHB_GUARDED_BY(mu_);
+  // Flushed, by histogram id.
+  std::vector<HistogramData> hist_totals_ MHB_GUARDED_BY(mu_);
+  // Since the last EndRound.
+  std::vector<HistogramData> hist_round_ MHB_GUARDED_BY(mu_);
+  // Current round's gauges.
+  std::map<std::string, double> gauges_ MHB_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Sink>> sinks_ MHB_GUARDED_BY(mu_);
+  std::vector<RoundRow> rounds_ MHB_GUARDED_BY(mu_);
+  std::vector<ClientRow> client_rows_ MHB_GUARDED_BY(mu_);
 };
 
 }  // namespace mhbench::obs

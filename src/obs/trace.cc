@@ -85,7 +85,7 @@ Tracer::Buffer* Tracer::ThreadBuffer() {
   auto buf = std::make_unique<Buffer>();
   Buffer* raw = buf.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     raw->tid = static_cast<int>(buffers_.size());
     buffers_.push_back(std::move(buf));
   }
@@ -116,7 +116,7 @@ void Tracer::RecordSim(
 std::vector<TraceEvent> Tracer::Snapshot() const {
   std::vector<TraceEvent> all;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     for (const auto& buf : buffers_) {
       all.insert(all.end(), buf->events.begin(), buf->events.end());
     }

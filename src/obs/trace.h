@@ -15,10 +15,12 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "core/mutex.h"
+#include "core/thread_annotations.h"
 
 namespace mhbench::obs {
 
@@ -82,14 +84,17 @@ class Tracer {
     std::vector<TraceEvent> events;
   };
 
-  Buffer* ThreadBuffer();  // registers the calling thread on first use
+  // Registers the calling thread on first use.
+  Buffer* ThreadBuffer() MHB_EXCLUDES(mu_);
 
   std::chrono::steady_clock::time_point epoch_;
   // Distinguishes this tracer from an earlier one at the same address, so
   // threads' cached buffer resolutions can never alias across tracers.
   const std::uint64_t generation_;
-  mutable std::mutex mu_;  // guards buffers_ (registration + snapshot)
-  std::vector<std::unique_ptr<Buffer>> buffers_;
+  // Guards buffers_ (registration + snapshot).  Buffer *contents* are
+  // owner-thread-only between barriers, as in obs::Registry.
+  mutable core::Mutex mu_;
+  std::vector<std::unique_ptr<Buffer>> buffers_ MHB_GUARDED_BY(mu_);
 };
 
 // RAII wall-clock span.  Records a complete event on destruction (or End()).

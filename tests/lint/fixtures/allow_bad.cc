@@ -1,0 +1,24 @@
+// mhb-lint: path(src/fl/fixture_allow_bad.cc)
+// Fixture: the escape hatch policing itself.  A justification-free allow
+// does not waive (so the violation also fires), a stale allow is an error,
+// and an allow naming a nonexistent rule is an error.
+#include <cstdlib>
+
+int Bad() {
+  return std::rand();  // mhb-lint: allow(no-rand)
+}
+// expect-at:8: allow-needs-justification
+// expect-at:8: no-rand
+
+int Stale() {
+  // mhb-lint: allow(no-rand) -- nothing below actually violates
+  return 4;
+}
+// expect-at:14: allow-unused
+
+int Unknown() {
+  // mhb-lint: allow(no-such-rule) -- typo in the rule id
+  return 4;
+}
+// expect-at:20: allow-unknown-rule
+// expect-at:20: allow-unused

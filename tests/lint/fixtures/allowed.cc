@@ -1,0 +1,16 @@
+// mhb-lint: path(src/fl/fixture_allowed.cc)
+// Fixture: deliberate violations waived through the escape hatch, both
+// trailing and line-above style.  Must exit 0.
+#include <cstdlib>
+#include <unordered_map>
+
+int DrawWaived() {
+  return std::rand();  // mhb-lint: allow(no-rand) -- fixture exercising the trailing waiver
+}
+
+double SumWaived(const std::unordered_map<int, double>& m) {
+  double s = 0.0;
+  // mhb-lint: allow(no-unordered-iteration) -- order-independent sum, fixture for line-above waiver
+  for (const auto& kv : m) s += kv.second;
+  return s;
+}

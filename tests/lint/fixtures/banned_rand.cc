@@ -1,0 +1,24 @@
+// mhb-lint: path(src/fl/fixture_rand.cc)
+// Fixture: every spelling of the C RNG is caught; member calls and foreign
+// namespaces are not (context-awareness, not grep).
+#include <cstdlib>
+
+namespace mylib {
+inline int rand() { return 4; }
+}  // namespace mylib
+
+struct Dice {
+  int rand() { return 6; }
+};
+
+int Draw(Dice& d) {
+  int x = std::rand();  // expect: no-rand
+  x += rand();          // expect: no-rand
+  std::srand(7u);       // expect: no-srand
+  srand(7u);            // expect: no-srand
+  x += mylib::rand();   // foreign namespace: legal
+  x += d.rand();        // member call: legal
+  // "rand()" in a comment or string is invisible to the tokenizer:
+  const char* s = "rand()";
+  return x + (s != nullptr);
+}

@@ -1,0 +1,14 @@
+// mhb-lint: path(src/models/fixture_random_device.cc)
+// Fixture: non-reproducible entropy sources are banned everywhere in src/.
+#include <random>
+
+unsigned Seed() {
+  std::random_device rd;  // expect: no-random-device
+  return rd();
+}
+
+unsigned SeedBare() {
+  using namespace std;
+  random_device rd;  // expect: no-random-device
+  return rd();
+}

@@ -1,0 +1,21 @@
+// mhb-lint: path(src/fl/fixture_time.cc)
+// Fixture: wall-clock reads in simulated-clock code.  steady_clock is the
+// sanctioned duration source and stays legal.
+#include <chrono>
+#include <ctime>
+
+long Now() {
+  long t = std::time(nullptr);  // expect: no-time-call
+  t += time(nullptr);           // expect: no-time-call
+  auto wall =                   // (system_clock flagged on its own line)
+      std::chrono::system_clock::now();  // expect: no-system-clock
+  auto mono = std::chrono::steady_clock::now();  // legal
+  return t + wall.time_since_epoch().count() +
+         mono.time_since_epoch().count();
+}
+
+struct Sim {
+  double time() const { return 0.0; }  // member named `time`: legal
+};
+
+double SimNow(const Sim& s) { return s.time(); }

@@ -1,0 +1,33 @@
+// mhb-lint: path(src/fl/fixture_clean.cc)
+// Fixture: idiomatic mhbench code — seeded RNG, sorted iteration, monotonic
+// clock, logging-free — must produce zero findings.
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Rng {
+  std::uint64_t state;
+  explicit Rng(std::uint64_t seed) : state(seed) {}
+  std::uint64_t Next() { return state = state * 6364136223846793005ull + 1ull; }
+};
+
+double AggregateSorted(const std::map<std::string, double>& weights) {
+  double s = 0.0;
+  for (const auto& kv : weights) s += kv.second;
+  return s;
+}
+
+// An unordered map used as a pure lookup table is fine.
+double Lookup(const std::unordered_map<int, double>& table, int key) {
+  auto it = table.find(key);
+  return it == table.end() ? 0.0 : it->second;
+}
+
+std::int64_t ElapsedNs(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}

@@ -1,0 +1,23 @@
+// mhb-lint: path(src/tensor/gemm_fixture.cc)
+// Fixture: heap traffic in a kernel hot-path TU.  The files glob
+// (src/tensor/gemm*.cc) must pick this virtual path up.
+#include <cstdlib>
+#include <vector>
+
+float* Pack(std::vector<float>& buf, int n) {
+  buf.resize(n);                     // expect: no-heap-in-hotpath
+  buf.push_back(0.0f);               // expect: no-heap-in-hotpath
+  buf.emplace_back(0.0f);            // expect: no-heap-in-hotpath
+  float* a = new float[n];           // expect: no-heap-in-hotpath
+  float* b = static_cast<float*>(std::malloc(n));  // expect: no-heap-in-hotpath
+  float* c = static_cast<float*>(malloc(n));       // expect: no-heap-in-hotpath
+  float* d = static_cast<float*>(
+      aligned_alloc(64, 64));  // expect: no-heap-in-hotpath
+  (void)a;
+  (void)b;
+  (void)c;
+  return d;
+}
+
+// A vector *lookup* (no allocation) stays legal.
+float At(const std::vector<float>& buf, int i) { return buf[i]; }

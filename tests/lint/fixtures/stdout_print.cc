@@ -1,0 +1,19 @@
+// mhb-lint: path(src/metrics/fixture_stdout.cc)
+// Fixture: direct stdout writes from library code.  snprintf (formatting
+// into a caller buffer) and fprintf to stderr stay legal, as does a local
+// variable that happens to be named `cout`.
+#include <cstdio>
+#include <iostream>
+
+void Report(double v) {
+  std::cout << v;             // expect: no-stdout
+  printf("%f\n", v);          // expect: no-stdout
+  std::printf("%f\n", v);     // expect: no-stdout
+  puts("done");               // expect: no-stdout
+  fprintf(stdout, "%f\n", v); // expect: no-stdout
+  fprintf(stderr, "%f\n", v); // stderr: legal
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%f", v);  // legal
+  int cout = static_cast<int>(v);            // just a variable: legal
+  (void)cout;
+}

@@ -1,0 +1,43 @@
+// mhb-lint: path(src/fl/fixture_unordered.cc)
+// Fixture: hash-order iteration feeding an aggregation loop.  Lookups stay
+// legal; iteration (range-for or explicit iterators) is flagged, including
+// through a type alias.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using SeenSet = std::unordered_set<int>;
+
+struct Aggregator {
+  std::unordered_map<std::string, double> weights;
+  std::map<std::string, double> sorted_weights;
+
+  double Sum() const {
+    double s = 0.0;
+    for (const auto& kv : weights) {  // expect: no-unordered-iteration
+      s += kv.second;
+    }
+    return s;
+  }
+
+  double SumSorted() const {
+    double s = 0.0;
+    for (const auto& kv : sorted_weights) s += kv.second;  // legal
+    return s;
+  }
+
+  double Lookup(const std::string& k) const {
+    auto it = weights.find(k);  // lookup, not iteration: legal
+    return it == weights.end() ? 0.0 : it->second;
+  }
+};
+
+int CountVia(const SeenSet& seen) {
+  int n = 0;
+  for (auto it = seen.begin(); it != seen.end(); ++it) {  // expect: no-unordered-iteration
+    n += *it;
+  }
+  return n;
+}

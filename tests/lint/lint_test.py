@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Fixture tests for tools/mhb_lint.py.
+
+Each fixture in tests/lint/fixtures/ is a tiny C++ file seeded with known
+violations.  Expectations live inside the fixtures as comments:
+
+    code;  // expect: <rule-id>          violation on this line
+    // expect-at:<line>: <rule-id>       violation on a specific line
+
+The driver runs the real linter (same entry point check.sh --lint uses) on
+every fixture and asserts, in both directions, the exact set of
+(line, rule-id) findings plus the exit code: 1 when violations are
+expected, 0 for the clean/waived fixtures.  Finally the whole repository
+tree must lint clean.
+
+Exit code: 0 on success, 1 on any mismatch.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+LINTER = os.path.join(REPO, "tools", "mhb_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+EXPECT_INLINE = re.compile(r"//\s*expect:\s*([A-Za-z0-9_-]+)")
+EXPECT_AT = re.compile(r"//\s*expect-at:(\d+):\s*([A-Za-z0-9_-]+)")
+OUTPUT_LINE = re.compile(r"^(.*):(\d+): ([A-Za-z0-9_-]+): ")
+
+
+def expected_findings(path):
+    expected = set()
+    with open(path, "r", encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            for m in EXPECT_INLINE.finditer(line):
+                expected.add((lineno, m.group(1)))
+            for m in EXPECT_AT.finditer(line):
+                expected.add((int(m.group(1)), m.group(2)))
+    return expected
+
+
+def run_linter(path):
+    proc = subprocess.run(
+        [sys.executable, LINTER, path],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    findings = set()
+    for line in proc.stdout.splitlines():
+        m = OUTPUT_LINE.match(line)
+        if m:
+            findings.add((int(m.group(2)), m.group(3)))
+    return proc.returncode, findings, proc.stdout + proc.stderr
+
+
+def main():
+    fixtures = sorted(
+        f for f in os.listdir(FIXTURES) if f.endswith((".cc", ".h"))
+    )
+    if not fixtures:
+        print("lint_test: no fixtures found", file=sys.stderr)
+        return 1
+
+    failures = []
+    for name in fixtures:
+        path = os.path.join(FIXTURES, name)
+        expected = expected_findings(path)
+        want_exit = 1 if expected else 0
+        got_exit, got, output = run_linter(path)
+        if got != expected or got_exit != want_exit:
+            failures.append(name)
+            print(f"FAIL {name}")
+            if got_exit != want_exit:
+                print(f"  exit code: want {want_exit}, got {got_exit}")
+            for line, rule in sorted(expected - got):
+                print(f"  missing: line {line}: {rule}")
+            for line, rule in sorted(got - expected):
+                print(f"  unexpected: line {line}: {rule}")
+            if output.strip():
+                print("  linter output:")
+                for line in output.strip().splitlines():
+                    print(f"    {line}")
+        else:
+            print(f"ok   {name} ({len(expected)} expected finding(s))")
+
+    # The repository itself must be clean — the fixtures prove the rules
+    # fire, this proves the tree honors them.
+    proc = subprocess.run(
+        [sys.executable, LINTER], capture_output=True, text=True, cwd=REPO
+    )
+    if proc.returncode != 0:
+        failures.append("<repository tree>")
+        print("FAIL <repository tree> (expected clean)")
+        for line in (proc.stdout + proc.stderr).strip().splitlines():
+            print(f"    {line}")
+    else:
+        print("ok   <repository tree> (clean)")
+
+    if failures:
+        print(f"lint_test: {len(failures)} failure(s)", file=sys.stderr)
+        return 1
+    print(f"lint_test: {len(fixtures)} fixtures + tree scan passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

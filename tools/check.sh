@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# Full verification: build + ctest in the plain configuration (plus an
-# observability smoke run that emits and schema-checks a trace + manifest),
-# then again under ThreadSanitizer (MHBENCH_SANITIZE=thread) to race-check
-# the parallel round executor.  Run from anywhere; builds live in build/
-# and build-tsan/.
+# Full verification: static analysis (mhb_lint + its fixture suite), then
+# build + ctest in the plain configuration (plus an observability smoke run
+# that emits and schema-checks a trace + manifest), then again under
+# ThreadSanitizer (MHBENCH_SANITIZE=thread) to race-check the parallel
+# round executor.  Run from anywhere; builds live in build*/ siblings.
 #
-#   tools/check.sh           # plain + tsan
+#   tools/check.sh           # lint + plain + tsan
+#   tools/check.sh --lint    # mhb_lint fixtures + clean tree scan (no build)
 #   tools/check.sh --plain   # plain only
 #   tools/check.sh --tsan    # tsan only
+#   tools/check.sh --asan    # AddressSanitizer build + ctest
+#   tools/check.sh --ubsan   # UBSan build + ctest (recover disabled)
+#   tools/check.sh --asan-ubsan      # combined address,undefined build
+#   tools/check.sh --wthread-safety  # clang -Werror=thread-safety compile
+#                            #   (skipped with a notice when clang is absent)
 #   tools/check.sh --release # Release (-O3) build + ctest
 #   tools/check.sh --bench   # Release build + kernel bench smoke (gates the
 #                            #   fresh report against BENCH_kernels.json with
@@ -22,6 +28,33 @@ run_suite() {
   cmake -B "$dir" -S "$repo" "$@"
   cmake --build "$dir" -j
   ctest --test-dir "$dir" --output-on-failure -j
+}
+
+# Determinism/concurrency static analysis: the linter's own fixture tests
+# (exact rule IDs, file:line anchors, exit codes — the same suite ctest
+# runs), which end with a clean scan of the repository tree.  No build.
+run_lint() {
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "check.sh: python3 not found, cannot run mhb_lint" >&2
+    return 1
+  fi
+  python3 "$repo/tests/lint/lint_test.py"
+  echo "check.sh: mhb_lint passed"
+}
+
+# Compile with clang's thread-safety analysis promoted to errors; checks the
+# MHB_GUARDED_BY/MHB_REQUIRES contracts on core::Mutex-protected state
+# (DESIGN.md §5f).  Compile-only: the plain/tsan suites already execute the
+# tests, this leg only needs the analysis verdict.
+run_wthread_safety() {
+  if ! command -v clang++ >/dev/null 2>&1; then
+    echo "check.sh: clang++ not found, skipping -Wthread-safety leg"
+    return 0
+  fi
+  cmake -B "$repo/build-clang" -S "$repo" \
+    -DCMAKE_C_COMPILER=clang -DCMAKE_CXX_COMPILER=clang++
+  cmake --build "$repo/build-clang" -j
+  echo "check.sh: clang -Werror=thread-safety build passed"
 }
 
 # End-to-end telemetry smoke: a tiny mhbench run that writes a Chrome trace
@@ -158,15 +191,27 @@ emit_obs_artifacts() {
 
 case "$mode" in
   all|--all)
+    run_lint
     run_suite "$repo/build"
     smoke_obs "$repo/build"
     run_suite "$repo/build-tsan" -DMHBENCH_SANITIZE=thread
     ;;
+  --lint) run_lint ;;
   --plain)
     run_suite "$repo/build"
     smoke_obs "$repo/build"
     ;;
   --tsan)  run_suite "$repo/build-tsan" -DMHBENCH_SANITIZE=thread ;;
+  --asan)  run_suite "$repo/build-asan" -DMHBENCH_SANITIZE=address ;;
+  --ubsan)
+    UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+      run_suite "$repo/build-ubsan" -DMHBENCH_SANITIZE=undefined
+    ;;
+  --asan-ubsan)
+    UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \
+      run_suite "$repo/build-asan-ubsan" -DMHBENCH_SANITIZE=address,undefined
+    ;;
+  --wthread-safety) run_wthread_safety ;;
   --release) run_suite "$repo/build-release" -DCMAKE_BUILD_TYPE=Release ;;
   --bench)
     run_suite "$repo/build-release" -DCMAKE_BUILD_TYPE=Release
@@ -174,7 +219,8 @@ case "$mode" in
     emit_obs_artifacts "$repo/build-release"
     ;;
   *)
-    echo "usage: tools/check.sh [--plain|--tsan|--release|--bench]" >&2
+    echo "usage: tools/check.sh [--lint|--plain|--tsan|--asan|--ubsan|" \
+         "--asan-ubsan|--wthread-safety|--release|--bench]" >&2
     exit 2
     ;;
 esac

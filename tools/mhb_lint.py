@@ -1,0 +1,567 @@
+#!/usr/bin/env python3
+"""mhb_lint: determinism & concurrency linter for the mhbench tree.
+
+The benchmark's reproduction guarantees (bit-identical metrics, counters,
+histograms and per-op FLOP attribution at any --threads value) are easy to
+break with one stray rand(), a wall-clock read in a simulated-clock path, or
+an unordered-container iteration feeding merge order.  This scanner enforces
+the contract statically, at review time.
+
+It is context-aware, not a grep: files are tokenized (comments, string and
+char literals, raw strings stripped with line numbers preserved), banned
+names match qualified identifiers (``std::rand`` matches ``rand``,
+``std::rand`` and ``::rand`` but not ``engine.rand`` or ``mylib::rand``),
+and the unordered-iteration rule tracks which identifiers in a file were
+declared as ``std::unordered_map``/``unordered_set`` before flagging
+range-for or ``.begin()`` iteration over them.
+
+Rules, scopes and messages live in tools/lint_rules.json — new rules are
+data, not code.  Deliberate violations are waived inline with
+
+    // mhb-lint: allow(rule-id) -- why this one is fine
+
+The justification is mandatory, and an allow that suppresses nothing is
+itself an error, so waivers cannot go stale.
+
+Usage:
+    tools/mhb_lint.py                 # lint the configured roots (src/)
+    tools/mhb_lint.py path...         # lint specific files/directories
+    tools/mhb_lint.py --rules FILE --root DIR path...
+
+Exit codes: 0 clean, 1 violations found, 2 usage/config error.
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import re
+import sys
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<comment>//[^\n]*|/\*.*?\*/)
+    | (?P<rawstr>R"(?P<delim>[^()\s\\]{0,16})\(.*?\)(?P=delim)")
+    | (?P<str>"(?:[^"\\\n]|\\.)*")
+    | (?P<char>'(?:[^'\\\n]|\\.)*')
+    | (?P<id>[A-Za-z_]\w*)
+    | (?P<num>\.?\d(?:[\w.']|[eEpP][+-])*)
+    | (?P<punct>::|->|.)
+    """,
+    re.DOTALL | re.VERBOSE,
+)
+
+
+class Token:
+    __slots__ = ("text", "kind", "line")
+
+    def __init__(self, text, kind, line):
+        self.text = text
+        self.kind = kind  # "id", "num", or "punct"
+        self.line = line
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Token({self.text!r}, {self.kind}, L{self.line})"
+
+
+class Comment:
+    __slots__ = ("text", "line")
+
+    def __init__(self, text, line):
+        self.text = text
+        self.line = line
+
+
+def tokenize(source):
+    """Returns (tokens, comments); strings/chars are dropped, lines kept."""
+    tokens, comments = [], []
+    line = 1
+    for m in TOKEN_RE.finditer(source):
+        kind = m.lastgroup
+        text = m.group()
+        if kind == "comment":
+            comments.append(Comment(text, line))
+        elif kind in ("id", "num", "punct"):
+            tokens.append(Token(text, kind, line))
+        elif kind == "delim":
+            continue
+        line += text.count("\n")
+    return tokens, comments
+
+
+# ---------------------------------------------------------------------------
+# Allow directives and fixture path overrides
+# ---------------------------------------------------------------------------
+
+ALLOW_RE = re.compile(r"mhb-lint:\s*allow\(([^)]*)\)(?:\s*--\s*(\S.*))?")
+PATH_RE = re.compile(r"mhb-lint:\s*path\(([^)]+)\)")
+
+
+class Allow:
+    __slots__ = ("rules", "justification", "line", "used")
+
+    def __init__(self, rules, justification, line):
+        self.rules = rules
+        self.justification = justification
+        self.line = line
+        self.used = False
+
+
+def parse_directives(comments):
+    """Extracts allow waivers and an optional virtual-path override."""
+    allows, virtual_path = [], None
+    for c in comments:
+        m = ALLOW_RE.search(c.text)
+        if m:
+            rules = [r.strip() for r in m.group(1).split(",") if r.strip()]
+            justification = (m.group(2) or "").strip()
+            allows.append(Allow(rules, justification, c.line))
+        m = PATH_RE.search(c.text)
+        if m and virtual_path is None:
+            virtual_path = m.group(1).strip()
+    return allows, virtual_path
+
+
+# ---------------------------------------------------------------------------
+# Rule matching
+# ---------------------------------------------------------------------------
+
+
+class Violation:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+
+def in_scope(rule, scope_path):
+    """True when `scope_path` (repo-relative, /-separated) is in scope."""
+    dirs = rule.get("dirs")
+    files = rule.get("files")
+    selected = False
+    if dirs:
+        selected = any(
+            scope_path == d or scope_path.startswith(d + "/") for d in dirs
+        )
+    if not selected and files:
+        selected = any(fnmatch.fnmatch(scope_path, g) for g in files)
+    if not selected:
+        return False
+    for ex in rule.get("exempt", ()):
+        if scope_path == ex or scope_path.startswith(ex + "/"):
+            return False
+        if fnmatch.fnmatch(scope_path, ex):
+            return False
+    return True
+
+
+# Keywords that legally precede a call expression.  Any *other* identifier
+# directly before a matched name means a declaration (`inline int rand(`,
+# `double time() const`), which the banned-call rules deliberately skip:
+# they ban use of the API, not reusing the name.
+EXPR_KEYWORDS = frozenset(
+    "return throw case else do while if for switch goto break continue "
+    "default catch co_return co_yield co_await sizeof alignof typeid "
+    "delete new and or not xor bitand bitor compl not_eq and_eq or_eq "
+    "xor_eq operator static_assert decltype noexcept requires".split()
+)
+
+
+def qualifier_chain(tokens, i):
+    """Qualifiers before tokens[i]: ([...ids], member_access, before_idx).
+
+    Walks ``a::b::<tok>`` backwards.  member_access is True when the name is
+    reached via ``.`` or ``->`` (so ``obj.rand()`` never matches a banned
+    free function).  before_idx is the index of the token preceding the
+    whole qualified name (-1 at file start).
+    """
+    j = i - 1
+    if j >= 0 and tokens[j].kind == "punct" and tokens[j].text in (".", "->"):
+        return [], True, j
+    chain = []
+    while (
+        j - 1 >= 0
+        and tokens[j].kind == "punct"
+        and tokens[j].text == "::"
+        and tokens[j - 1].kind == "id"
+    ):
+        chain.append(tokens[j - 1].text)
+        j -= 2
+    chain.reverse()
+    # `mylib::rand` where mylib is itself member-accessed: treat as member.
+    if j >= 0 and tokens[j].kind == "punct" and tokens[j].text in (".", "->"):
+        return chain, True, j
+    return chain, False, j
+
+
+def next_token(tokens, i):
+    return tokens[i + 1] if i + 1 < len(tokens) else None
+
+
+def match_banned(rule, tokens, path):
+    """Matches qualified-name / keyword / member-call patterns."""
+    out = []
+    specs = rule["tokens"]
+    # Index by terminal identifier for a single pass over the token stream.
+    by_name = {}
+    members = {}
+    keywords = set()
+    for spec in specs:
+        if spec.get("keyword"):
+            keywords.add(spec["name"])
+        elif "member" in spec:
+            members[spec["member"]] = spec
+        else:
+            parts = spec["name"].split("::")
+            by_name.setdefault(parts[-1], []).append((parts[:-1], spec))
+    for i, tok in enumerate(tokens):
+        if tok.kind != "id":
+            continue
+        if tok.text in keywords:
+            out.append(Violation(path, tok.line, rule["id"], rule["message"]))
+            continue
+        prev = tokens[i - 1] if i > 0 else None
+        is_member = (
+            prev is not None
+            and prev.kind == "punct"
+            and prev.text in (".", "->")
+        )
+        if tok.text in members and is_member:
+            nxt = next_token(tokens, i)
+            if nxt is not None and nxt.text == "(":
+                out.append(
+                    Violation(path, tok.line, rule["id"], rule["message"])
+                )
+            continue
+        for quals, spec in by_name.get(tok.text, ()):
+            chain, member, before = qualifier_chain(tokens, i)
+            if member:
+                continue
+            # The written qualification must be a suffix of the banned name's
+            # (empty is fine: `rand(` and `time(` match without `std::`), so
+            # an unrelated `mylib::rand` stays legal.
+            if chain and chain != quals[len(quals) - len(chain):]:
+                continue
+            # Short names that double as ordinary identifiers (`cout` as a
+            # channels-out variable) only match when written qualified.
+            if spec.get("require_qualified") and not chain:
+                continue
+            if spec.get("call"):
+                nxt = next_token(tokens, i)
+                if nxt is None or nxt.text != "(":
+                    continue
+                prev = tokens[before] if before >= 0 else None
+                if (
+                    prev is not None
+                    and prev.kind == "id"
+                    and prev.text not in EXPR_KEYWORDS
+                ):
+                    continue  # declaration, not a call
+                first_arg = spec.get("first_arg")
+                if first_arg is not None:
+                    arg = next_token(tokens, i + 1)
+                    if arg is None or arg.text != first_arg:
+                        continue
+            out.append(Violation(path, tok.line, rule["id"], rule["message"]))
+            break
+    return out
+
+
+UNORDERED_TYPES = ("unordered_map", "unordered_set",
+                   "unordered_multimap", "unordered_multiset")
+
+
+def skip_template_args(tokens, i):
+    """tokens[i] is '<'; returns index just past the matching '>'."""
+    depth = 0
+    while i < len(tokens):
+        t = tokens[i].text
+        if t == "<":
+            depth += 1
+        elif t == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif t in (";", "{"):  # malformed / operator< — bail out
+            return i
+        i += 1
+    return i
+
+
+def unordered_names(tokens):
+    """Identifiers declared in this file as unordered containers.
+
+    Covers member/local/param declarations (``std::unordered_map<K,V> ids_``,
+    ``const unordered_set<int>& s``) and one level of alias indirection
+    (``using Index = std::unordered_map<...>; Index by_name;``).
+    """
+    names, aliases = set(), set()
+    i = 0
+    while i < len(tokens):
+        tok = tokens[i]
+        if tok.kind == "id" and tok.text in UNORDERED_TYPES:
+            # `using Alias = std::unordered_map<...>;` — capture the alias.
+            j = i
+            while j > 0 and tokens[j - 1].text in ("::", "std"):
+                j -= 1
+            if (
+                j - 3 >= 0
+                and tokens[j - 1].text == "="
+                and tokens[j - 2].kind == "id"
+                and tokens[j - 3].text == "using"
+            ):
+                aliases.add(tokens[j - 2].text)
+            k = i + 1
+            if k < len(tokens) and tokens[k].text == "<":
+                k = skip_template_args(tokens, k)
+            while k < len(tokens) and tokens[k].text in ("&", "*", "const",
+                                                         "&&"):
+                k += 1
+            if k < len(tokens) and tokens[k].kind == "id":
+                names.add(tokens[k].text)
+            i = k
+            continue
+        i += 1
+    if aliases:
+        for i, tok in enumerate(tokens):
+            if tok.kind == "id" and tok.text in aliases:
+                prev = tokens[i - 1] if i > 0 else None
+                if prev is not None and prev.text in (".", "->", "::",
+                                                      "using"):
+                    continue
+                nxt = next_token(tokens, i)
+                k = i + 1
+                while k < len(tokens) and tokens[k].text in ("&", "*",
+                                                             "const", "&&"):
+                    k += 1
+                if k < len(tokens) and tokens[k].kind == "id" and (
+                    nxt is None or nxt.text != "="
+                ):
+                    names.add(tokens[k].text)
+    return names
+
+
+def match_unordered_iteration(rule, tokens, path):
+    """Flags range-for over, or .begin()/.end() on, unordered containers."""
+    names = unordered_names(tokens)
+    if not names:
+        return []
+    out = []
+    for i, tok in enumerate(tokens):
+        if tok.kind != "id":
+            continue
+        # `tracked.begin()` / `tracked->cbegin()` etc.  Only begin-flavored
+        # members: iteration always needs one, while `it != m.end()` also
+        # appears in legal find() lookups.
+        if tok.text in ("begin", "cbegin", "rbegin"):
+            prev = tokens[i - 1] if i > 0 else None
+            if prev is not None and prev.text in (".", "->") and i >= 2:
+                recv = tokens[i - 2]
+                nxt = next_token(tokens, i)
+                if (
+                    recv.kind == "id"
+                    and recv.text in names
+                    and nxt is not None
+                    and nxt.text == "("
+                ):
+                    out.append(
+                        Violation(path, tok.line, rule["id"], rule["message"])
+                    )
+        # `for (auto& kv : tracked)` — find the top-level ':' inside the
+        # for-parens ('::' is a single token, so a lone ':' is the range
+        # separator) and look for a tracked name in the range expression.
+        if tok.text == "for":
+            nxt = next_token(tokens, i)
+            if nxt is None or nxt.text != "(":
+                continue
+            depth, j, colon = 0, i + 1, None
+            while j < len(tokens):
+                t = tokens[j].text
+                if t == "(":
+                    depth += 1
+                elif t == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif t == ":" and depth == 1 and colon is None:
+                    colon = j
+                j += 1
+            if colon is None:
+                continue
+            for k in range(colon + 1, j):
+                t = tokens[k]
+                prev = tokens[k - 1]
+                if (
+                    t.kind == "id"
+                    and t.text in names
+                    and prev.text not in (".", "->")
+                ):
+                    out.append(
+                        Violation(path, tok.line, rule["id"], rule["message"])
+                    )
+                    break
+    return out
+
+
+MATCHERS = {
+    "banned": match_banned,
+    "unordered_iteration": match_unordered_iteration,
+}
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def lint_file(path, scope_path, rules):
+    try:
+        with open(path, "r", encoding="utf-8", errors="replace") as f:
+            source = f.read()
+    except OSError as e:
+        return [Violation(path, 0, "io-error", str(e))]
+    tokens, comments = tokenize(source)
+    allows, virtual_path = parse_directives(comments)
+    if virtual_path is not None:
+        scope_path = virtual_path
+    known = {r["id"] for r in rules}
+
+    violations = []
+    for rule in rules:
+        if not in_scope(rule, scope_path):
+            continue
+        violations.extend(MATCHERS[rule["kind"]](rule, tokens, path))
+
+    # Apply waivers: an allow covers its own line (trailing comment) and the
+    # next line (comment-above style).
+    allows_by_line = {}
+    for a in allows:
+        allows_by_line.setdefault(a.line, []).append(a)
+        allows_by_line.setdefault(a.line + 1, []).append(a)
+    kept = []
+    for v in violations:
+        waived = False
+        for a in allows_by_line.get(v.line, ()):
+            if v.rule in a.rules and a.justification:
+                a.used = True
+                waived = True
+        if not waived:
+            kept.append(v)
+    violations = kept
+
+    # The escape hatch polices itself.
+    for a in allows:
+        if not a.justification:
+            violations.append(
+                Violation(
+                    path, a.line, "allow-needs-justification",
+                    "mhb-lint: allow(...) must carry '-- <why this is ok>'",
+                )
+            )
+            continue
+        for r in a.rules:
+            if r not in known:
+                violations.append(
+                    Violation(
+                        path, a.line, "allow-unknown-rule",
+                        f"allow names unknown rule '{r}'",
+                    )
+                )
+        if not a.used:
+            violations.append(
+                Violation(
+                    path, a.line, "allow-unused",
+                    "allow suppresses nothing on this or the next line; "
+                    "remove the stale waiver",
+                )
+            )
+    return violations
+
+
+def collect_files(paths, root, config):
+    exts = tuple(config.get("extensions", [".cc", ".h"]))
+    if not paths:
+        paths = [os.path.join(root, r) for r in config.get("roots", ["src"])]
+    files = []
+    for p in paths:
+        if os.path.isdir(p):
+            for dirpath, _, filenames in os.walk(p):
+                for name in sorted(filenames):
+                    if name.endswith(exts):
+                        files.append(os.path.join(dirpath, name))
+        elif os.path.isfile(p):
+            files.append(p)
+        else:
+            print(f"mhb_lint: no such path: {p}", file=sys.stderr)
+            sys.exit(2)
+    return sorted(set(files))
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Determinism & concurrency linter (rules in "
+        "tools/lint_rules.json)."
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories "
+                        "(default: the configured roots)")
+    parser.add_argument("--rules", default=None,
+                        help="rules JSON (default: lint_rules.json next to "
+                        "this script)")
+    parser.add_argument("--root", default=None,
+                        help="repo root for scope paths (default: parent of "
+                        "the rules file's directory)")
+    args = parser.parse_args(argv)
+
+    rules_path = args.rules or os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), "lint_rules.json"
+    )
+    try:
+        with open(rules_path, "r", encoding="utf-8") as f:
+            config = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"mhb_lint: cannot load rules: {e}", file=sys.stderr)
+        return 2
+    rules = config.get("rules", [])
+    for rule in rules:
+        if rule.get("kind") not in MATCHERS:
+            print(
+                f"mhb_lint: rule '{rule.get('id')}' has unknown kind "
+                f"'{rule.get('kind')}'",
+                file=sys.stderr,
+            )
+            return 2
+
+    root = os.path.abspath(
+        args.root or os.path.dirname(os.path.dirname(rules_path))
+    )
+    files = collect_files(args.paths, root, config)
+
+    all_violations = []
+    for path in files:
+        scope_path = os.path.relpath(os.path.abspath(path), root)
+        scope_path = scope_path.replace(os.sep, "/")
+        all_violations.extend(lint_file(path, scope_path, rules))
+
+    all_violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    for v in all_violations:
+        print(f"{v.path}:{v.line}: {v.rule}: {v.message}")
+    if all_violations:
+        print(
+            f"mhb_lint: {len(all_violations)} violation(s) in "
+            f"{len(files)} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
