@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fl/checkpoint.h"
 #include "fl/client.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -109,6 +110,28 @@ void WeightSharingAlgorithm::FinishRound(int round, Rng& rng) {
 }
 
 void WeightSharingAlgorithm::PostAggregate(int /*round*/, Rng& /*rng*/) {}
+
+void WeightSharingAlgorithm::SaveState(fl::SnapshotWriter& writer) const {
+  MHB_CHECK(global_ != nullptr) << "Setup not called";
+  writer.WriteString(name());
+  writer.WriteI32(last_round_);
+  writer.WriteBytes(global_->store().Serialize());
+  SaveExtraState(writer);
+}
+
+void WeightSharingAlgorithm::LoadState(fl::SnapshotReader& reader) {
+  MHB_CHECK(global_ != nullptr) << "Setup not called";
+  const std::string saved = reader.ReadString();
+  MHB_CHECK_EQ(saved, name()) << "algorithm state belongs to" << saved;
+  last_round_ = reader.ReadI32();
+  global_->store() = fl::ParamStore::Deserialize(reader.ReadBytes());
+  LoadExtraState(reader);
+}
+
+void WeightSharingAlgorithm::SaveExtraState(
+    fl::SnapshotWriter& /*writer*/) const {}
+
+void WeightSharingAlgorithm::LoadExtraState(fl::SnapshotReader& /*reader*/) {}
 
 double WeightSharingAlgorithm::MaxCapacity() const {
   MHB_CHECK(ctx_ != nullptr);

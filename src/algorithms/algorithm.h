@@ -28,7 +28,20 @@ class WeightSharingAlgorithm : public fl::MhflAlgorithm {
   Tensor GlobalLogits(const Tensor& x) override;
   Tensor ClientLogits(int client_id, const Tensor& x) override;
 
+  // Checkpoint hooks: the persistent state of every weight-sharing
+  // algorithm at a round barrier is the global store plus the last trained
+  // round (EvalSpec / local LR lookups); subclasses with extra server
+  // state add it through {Save,Load}ExtraState.
+  void SaveState(fl::SnapshotWriter& writer) const override;
+  void LoadState(fl::SnapshotReader& reader) override;
+
  protected:
+  // Appends / restores subclass state after the shared fields; the default
+  // is stateless.  Reads must mirror writes exactly (the engine calls
+  // ExpectSectionEnd after LoadState).
+  virtual void SaveExtraState(fl::SnapshotWriter& writer) const;
+  virtual void LoadExtraState(fl::SnapshotReader& reader);
+
   // The sub-model this client trains in this round.
   virtual models::BuildSpec ClientSpec(int client_id, int round,
                                        Rng& rng) = 0;

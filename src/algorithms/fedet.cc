@@ -2,7 +2,9 @@
 
 #include <numeric>
 
+#include "fl/checkpoint.h"
 #include "fl/client.h"
+#include "fl/param_store.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
 #include "tensor/ops.h"
@@ -182,6 +184,30 @@ Tensor FedEt::ClientLogits(int client_id, const Tensor& x) {
   // Shared group models; see eval_mu_ in the header.
   core::MutexLock lock(eval_mu_);
   return GroupLogits(ArchOf(client_id), x);
+}
+
+void FedEt::SaveState(fl::SnapshotWriter& writer) const {
+  MHB_CHECK(!group_models_.empty()) << "Setup not called";
+  writer.WriteString(name());
+  writer.WriteU32(static_cast<std::uint32_t>(group_models_.size()));
+  for (const auto& group : group_models_) {
+    writer.WriteBytes(group->store().Serialize());
+  }
+  writer.WriteBytes(
+      fl::ParamStore::FromModule(*server_model_.net).Serialize());
+}
+
+void FedEt::LoadState(fl::SnapshotReader& reader) {
+  MHB_CHECK(!group_models_.empty()) << "Setup not called";
+  const std::string saved = reader.ReadString();
+  MHB_CHECK_EQ(saved, name()) << "algorithm state belongs to" << saved;
+  const std::uint32_t groups = reader.ReadU32();
+  MHB_CHECK_EQ(groups, group_models_.size())
+      << "restored group count mismatch";
+  for (auto& group : group_models_) {
+    group->store() = fl::ParamStore::Deserialize(reader.ReadBytes());
+  }
+  fl::ParamStore::Deserialize(reader.ReadBytes()).LoadAll(*server_model_.net);
 }
 
 }  // namespace mhbench::algorithms

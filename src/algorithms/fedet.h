@@ -39,6 +39,12 @@ class FedEt : public fl::MhflAlgorithm {
   Tensor GlobalLogits(const Tensor& x) override;
   Tensor ClientLogits(int client_id, const Tensor& x) override;
 
+  // Checkpoint hooks: the persistent state is the per-group stores and the
+  // distilled server model.  The public distillation slice, averagers and
+  // round counters are rebuilt by Setup / empty at round barriers.
+  void SaveState(fl::SnapshotWriter& writer) const override;
+  void LoadState(fl::SnapshotReader& reader) override;
+
  private:
   int ArchOf(int client_id) const;
   // Syncs and forwards through the shared group models.  Callers hold

@@ -1,6 +1,8 @@
 #include "algorithms/fedproto.h"
 
 #include "data/loader.h"
+#include "fl/checkpoint.h"
+#include "fl/param_store.h"
 #include "nn/init.h"
 #include "nn/loss.h"
 #include "nn/optimizer.h"
@@ -333,6 +335,50 @@ Tensor FedProto::ClientLogits(int client_id, const Tensor& x) {
   EmbedAndLogits(state, x, proto_emb, logits);
   if (global_protos_.empty()) return logits;
   return DistanceLogits(proto_emb);
+}
+
+void FedProto::SaveState(fl::SnapshotWriter& writer) const {
+  writer.WriteString(name());
+  // global_protos_ is empty until the first participating round; an empty
+  // tensor is not round-trippable through the tensor serializer, so gate
+  // it behind a presence flag.
+  writer.WriteU8(global_protos_.empty() ? 0 : 1);
+  if (!global_protos_.empty()) writer.WriteTensor(global_protos_);
+  // proto_sum_ / proto_count_ / staged_ are empty at every round barrier
+  // (FinishRound drains them), so only the per-client personal models and
+  // projection heads persist.
+  writer.WriteU32(static_cast<std::uint32_t>(states_.size()));
+  for (const auto& [client_id, state] : states_) {
+    writer.WriteI32(client_id);
+    writer.WriteI32(state.arch);
+    writer.WriteBytes(fl::ParamStore::FromModule(*state.model.net).Serialize());
+    writer.WriteBytes(fl::ParamStore::FromModule(*state.proj).Serialize());
+  }
+}
+
+void FedProto::LoadState(fl::SnapshotReader& reader) {
+  MHB_CHECK(ctx_ != nullptr) << "Setup not called";
+  const std::string saved = reader.ReadString();
+  MHB_CHECK_EQ(saved, name()) << "algorithm state belongs to" << saved;
+  if (reader.ReadU8() != 0) {
+    global_protos_ = reader.ReadTensor();
+    MHB_CHECK(global_protos_.shape() == Shape({num_classes_, proto_dim_}))
+        << "restored prototype shape mismatch";
+  } else {
+    global_protos_ = Tensor();
+  }
+  const std::uint32_t count = reader.ReadU32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const int client_id = reader.ReadI32();
+    const int arch = reader.ReadI32();
+    // Recreate the state along the same deterministic path as a live run,
+    // then overwrite the trained parameters.
+    ClientState& state = GetOrCreateState(client_id);
+    MHB_CHECK_EQ(state.arch, arch)
+        << "restored arch mismatch for client" << client_id;
+    fl::ParamStore::Deserialize(reader.ReadBytes()).LoadAll(*state.model.net);
+    fl::ParamStore::Deserialize(reader.ReadBytes()).LoadAll(*state.proj);
+  }
 }
 
 }  // namespace mhbench::algorithms

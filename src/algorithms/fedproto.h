@@ -39,6 +39,13 @@ class FedProto : public fl::MhflAlgorithm {
   Tensor GlobalLogits(const Tensor& x) override;
   Tensor ClientLogits(int client_id, const Tensor& x) override;
 
+  // Checkpoint hooks: the persistent state is the global prototypes plus
+  // every created client's personal model + projection head.  LoadState
+  // recreates each saved client's state deterministically (same seed path
+  // as a live run) and then overwrites its parameters.
+  void SaveState(fl::SnapshotWriter& writer) const override;
+  void LoadState(fl::SnapshotReader& reader) override;
+
  private:
   struct ClientState {
     int arch = 0;

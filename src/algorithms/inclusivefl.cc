@@ -1,5 +1,7 @@
 #include "algorithms/inclusivefl.h"
 
+#include "fl/checkpoint.h"
+
 namespace mhbench::algorithms {
 
 InclusiveFl::InclusiveFl(models::FamilyPtr family, double momentum,
@@ -61,6 +63,23 @@ void InclusiveFl::PostAggregate(int /*round*/, Rng& /*rng*/) {
     }
   }
   pre_round_.clear();
+}
+
+void InclusiveFl::SaveExtraState(fl::SnapshotWriter& writer) const {
+  writer.WriteU32(static_cast<std::uint32_t>(pre_round_.size()));
+  for (const auto& [name, t] : pre_round_) {
+    writer.WriteString(name);
+    writer.WriteTensor(t);
+  }
+}
+
+void InclusiveFl::LoadExtraState(fl::SnapshotReader& reader) {
+  pre_round_.clear();
+  const std::uint32_t count = reader.ReadU32();
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::string name = reader.ReadString();
+    pre_round_[name] = reader.ReadTensor();
+  }
 }
 
 }  // namespace mhbench::algorithms

@@ -31,7 +31,11 @@ class InclusiveFl : public WeightSharingAlgorithm {
   // Snapshots the pre-round store (serial phase) for PostAggregate.
   void BeginRound(int round, const std::vector<int>& participants) override;
 
- private:
+ protected:
+  // pre_round_ persists across the round barrier (BeginRound only refreshes
+  // it when the round has participants), so checkpoints must carry it.
+  void SaveExtraState(fl::SnapshotWriter& writer) const override;
+  void LoadExtraState(fl::SnapshotReader& reader) override;
 
  private:
   double momentum_;

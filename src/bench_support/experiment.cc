@@ -103,9 +103,17 @@ constraints::BuiltAssignments BuildAssignments(
 metrics::MetricBundle RunWith(const std::string& algorithm,
                               const SuiteOptions& options,
                               const std::vector<double>& ladder,
-                              double fedavg_ratio) {
+                              double fedavg_ratio, bool allow_checkpoint) {
   const BenchPreset& p = options.preset;
   const int repeats = std::max(1, EnvInt("MHB_REPEATS", 1));
+  const bool checkpointing =
+      allow_checkpoint &&
+      (options.checkpoint_every > 0 || !options.resume_path.empty());
+  if (checkpointing) {
+    MHB_CHECK_EQ(repeats, 1)
+        << "checkpoint/resume requires MHB_REPEATS=1 (a snapshot names one "
+           "engine run)";
+  }
 
   metrics::MetricBundle bundle;
   bundle.algorithm = algorithm;
@@ -148,6 +156,11 @@ metrics::MetricBundle RunWith(const std::string& algorithm,
     }
     fcfg2.round_deadline_s = options.round_deadline_s;
     fcfg2.obs = options.obs;
+    if (checkpointing) {
+      fcfg2.checkpoint_every = options.checkpoint_every;
+      fcfg2.checkpoint_dir = options.checkpoint_dir;
+      fcfg2.resume_path = options.resume_path;
+    }
 
     fl::FlEngine engine(task, fcfg2, built.assignments, *alg);
     const fl::RunResult run = engine.Run();
@@ -178,7 +191,7 @@ metrics::MetricBundle RunWith(const std::string& algorithm,
 metrics::MetricBundle RunOne(const std::string& algorithm,
                              const SuiteOptions& options) {
   return RunWith(algorithm, options, algorithms::RatioLadder(),
-                 /*fedavg_ratio=*/1.0);
+                 /*fedavg_ratio=*/1.0, /*allow_checkpoint=*/true);
 }
 
 std::vector<metrics::MetricBundle> RunSuite(
@@ -201,7 +214,8 @@ std::vector<metrics::MetricBundle> RunSuite(
   std::vector<metrics::MetricBundle> bundles;
   {
     metrics::MetricBundle baseline =
-        RunWith("fedavg", options, {min_ratio}, min_ratio);
+        RunWith("fedavg", options, {min_ratio}, min_ratio,
+                /*allow_checkpoint=*/false);
     baseline.algorithm = "fedavg-small";
     bundles.push_back(std::move(baseline));
   }

@@ -30,6 +30,13 @@ struct SuiteOptions {
   // Observability hooks threaded into every engine run of the suite
   // (tracer / registry pointers; all-null disables collection).
   obs::ObsConfig obs;
+  // Checkpoint/resume, forwarded into the engine config of the *requested*
+  // algorithm's run only — never the fedavg-small effectiveness baseline.
+  // Requires MHB_REPEATS=1: a snapshot names exactly one engine run, and
+  // averaging repeats would silently mix resumed and fresh runs.
+  int checkpoint_every = 0;
+  std::string checkpoint_dir = "checkpoints";
+  std::string resume_path;
 };
 
 // Runs one algorithm under the options (no effectiveness/TTA filled).

@@ -48,8 +48,27 @@ class Rng {
   int WeightedChoice(const std::vector<double>& weights);
 
   // Derives an independent child generator; `stream` distinguishes children
-  // of the same parent state.
+  // of the same parent state.  Note Fork advances the parent (it consumes
+  // one NextU64), which is what makes the stream position checkpointable:
+  // restoring a saved State replays subsequent forks identically.
   Rng Fork(std::uint64_t stream);
+
+  // Checkpointing: the complete generator state — the SplitMix64 position
+  // plus the Box-Muller gaussian cache.  Restoring a saved State resumes
+  // the stream bit-identically.
+  struct State {
+    std::uint64_t state = 0;
+    bool have_cached_gaussian = false;
+    double cached_gaussian = 0.0;
+  };
+  State SaveState() const {
+    return {state_, have_cached_gaussian_, cached_gaussian_};
+  }
+  void RestoreState(const State& s) {
+    state_ = s.state;
+    have_cached_gaussian_ = s.have_cached_gaussian;
+    cached_gaussian_ = s.cached_gaussian;
+  }
 
  private:
   std::uint64_t state_;

@@ -4,10 +4,13 @@
 #include <cmath>
 
 #include <chrono>
+#include <filesystem>
+#include <utility>
 
 #include "core/error.h"
 #include "core/logging.h"
 #include "data/partition.h"
+#include "fl/checkpoint.h"
 #include "fl/evaluation.h"
 #include "nn/lr_schedule.h"
 #include "obs/profile.h"
@@ -73,6 +76,16 @@ void MhflAlgorithm::BeginRound(int /*round*/,
                                const std::vector<int>& /*participants*/) {}
 
 void MhflAlgorithm::PrepareEvaluation() {}
+
+void MhflAlgorithm::SaveState(SnapshotWriter& /*writer*/) const {
+  throw Error("algorithm '" + name() +
+              "' does not implement checkpoint SaveState");
+}
+
+void MhflAlgorithm::LoadState(SnapshotReader& /*reader*/) {
+  throw Error("algorithm '" + name() +
+              "' does not implement checkpoint LoadState");
+}
 
 FlEngine::FlEngine(const data::Task& task, FlConfig config,
                    std::vector<ClientAssignment> assignments,
@@ -156,11 +169,12 @@ RunResult FlEngine::Run() {
   }
   core::ThreadPool::Stats pool_base =
       pool_ != nullptr ? pool_->stats() : core::ThreadPool::Stats{};
-  // Kernel-layer observability: the GEMM flop count is an exact integer
-  // independent of thread count (published as per-round counter deltas);
-  // the scratch high-water mark is a gauge because it does depend on how
-  // many arenas are live.
-  std::uint64_t gemm_base = kernels::TotalGemmFlops();
+  // Totals at Run() entry: snapshots export per-run deltas relative to
+  // these so registries shared across runs never double-count on resume.
+  if (reg != nullptr) {
+    obs_base_counters_ = reg->Totals();
+    obs_base_hists_ = reg->Histograms();
+  }
 
   Rng setup_rng = rng_.Fork(1);
   {
@@ -170,6 +184,18 @@ RunResult FlEngine::Run() {
 
   RunResult result;
   double sim_time = 0.0;
+  int start_round = 0;
+  if (!config_.resume_path.empty()) {
+    obs::Span span(tracer, "restore", "fl");
+    start_round = RestoreCheckpoint(result, sim_time);
+  }
+  // Kernel-layer observability: the GEMM flop count is an exact integer
+  // independent of thread count (published as per-round counter deltas);
+  // the scratch high-water mark is a gauge because it does depend on how
+  // many arenas are live.  Captured after Setup + restore: restore-time
+  // shape probes must not count — their flops already live in the
+  // snapshot's imported counter deltas.
+  std::uint64_t gemm_base = kernels::TotalGemmFlops();
   const int num_clients = ctx_.num_clients();
   const int sample_count = std::max(
       config_.min_sampled,
@@ -183,7 +209,7 @@ RunResult FlEngine::Run() {
         ctx_.task->test, config_.eval_max_samples);
   };
 
-  for (int round = 0; round < config_.rounds; ++round) {
+  for (int round = start_round; round < config_.rounds; ++round) {
     const auto round_wall_start = std::chrono::steady_clock::now();
     const double round_sim_start = sim_time;
     obs::Span round_span(tracer, "round", "fl");
@@ -384,6 +410,14 @@ RunResult FlEngine::Run() {
                     << " offline=" << round_offline
                     << " dropped=" << round_dropped << " wall_ms=" << wall_ms;
     }
+
+    if (config_.checkpoint_every > 0 &&
+        (round + 1) % config_.checkpoint_every == 0) {
+      // After the round barrier: all sinks merged (EndRound above when a
+      // registry is attached), no client work in flight.
+      obs::Span ckpt_span(tracer, "checkpoint", "fl");
+      WriteCheckpoint(round + 1, sim_time, result);
+    }
   }
 
   result.total_sim_time_s = sim_time;
@@ -411,6 +445,259 @@ RunResult FlEngine::Run() {
   stability_span.End();
   if (reg != nullptr) reg->FlushThreadSinks();
   return result;
+}
+
+void FlEngine::WriteCheckpoint(int next_round, double sim_time,
+                               const RunResult& partial) const {
+  SnapshotWriter w;
+
+  // "meta": the config identity the snapshot was produced under.  Restore
+  // hard-checks the fields that change the partition / RNG stream / local
+  // objective and warns on the rest (see RestoreCheckpoint).
+  w.BeginSection("meta");
+  w.WriteString(algorithm_.name());
+  w.WriteU64(config_.seed);
+  w.WriteI32(ctx_.num_clients());
+  w.WriteI32(config_.rounds);
+  w.WriteF64(config_.sample_fraction);
+  w.WriteI32(config_.min_sampled);
+  w.WriteI32(config_.local_epochs);
+  w.WriteI32(config_.batch_size);
+  w.WriteF64(config_.lr);
+  w.WriteF64(config_.momentum);
+  w.WriteF64(config_.weight_decay);
+  w.WriteF64(config_.grad_clip);
+  w.WriteU8(static_cast<std::uint8_t>(config_.optimizer));
+  w.WriteU8(static_cast<std::uint8_t>(config_.lr_schedule));
+  w.WriteI32(config_.lr_step);
+  w.WriteF64(config_.lr_gamma);
+  w.WriteF64(config_.lr_cosine_floor);
+  w.WriteF64(config_.round_deadline_s);
+  w.WriteI32(config_.eval_every);
+  w.WriteI32(config_.eval_max_samples);
+  w.WriteI32(config_.stability_max_samples);
+  w.WriteU8(static_cast<std::uint8_t>(config_.partition));
+  w.WriteF64(config_.dirichlet_alpha);
+  w.EndSection();
+
+  // "engine": round position, simulated clock, the partial result, and the
+  // engine RNG stream (restoring it replays every later Fork identically).
+  w.BeginSection("engine");
+  w.WriteI32(next_round);
+  w.WriteF64(sim_time);
+  w.WriteI64(partial.straggler_drops);
+  w.WriteI64(partial.offline_skips);
+  w.WriteI64(partial.total_participations);
+  w.WriteU32(static_cast<std::uint32_t>(partial.curve.size()));
+  for (const auto& rec : partial.curve) {
+    w.WriteI32(rec.round);
+    w.WriteF64(rec.sim_time_s);
+    w.WriteF64(rec.global_acc);
+  }
+  const Rng::State rng_state = rng_.SaveState();
+  w.WriteU64(rng_state.state);
+  w.WriteU8(rng_state.have_cached_gaussian ? 1 : 0);
+  w.WriteF64(rng_state.cached_gaussian);
+  w.EndSection();
+
+  w.BeginSection("algorithm");
+  algorithm_.SaveState(w);
+  w.EndSection();
+
+  // "obs": this run's counter/histogram contributions so far, as deltas
+  // against the totals captured at Run() entry (the registry may be shared
+  // with earlier runs).  Histogram bucket counts and sums subtract exactly;
+  // min/max are taken from the merged totals, which is exact for the
+  // resume contract because min/max are idempotent over set unions.
+  obs::Registry* const reg = config_.obs.registry;
+  if (reg != nullptr) {
+    w.BeginSection("obs");
+    const auto counters = reg->Totals();
+    std::map<std::string, std::int64_t> counter_deltas;
+    for (const auto& [name, total] : counters) {
+      auto it = obs_base_counters_.find(name);
+      const std::int64_t base = it == obs_base_counters_.end() ? 0 : it->second;
+      if (total != base) counter_deltas[name] = total - base;
+    }
+    w.WriteU32(static_cast<std::uint32_t>(counter_deltas.size()));
+    for (const auto& [name, delta] : counter_deltas) {
+      w.WriteString(name);
+      w.WriteI64(delta);
+    }
+    const auto hists = reg->Histograms();
+    std::map<std::string, obs::Registry::HistogramData> hist_deltas;
+    for (const auto& [name, data] : hists) {
+      obs::Registry::HistogramData delta = data;
+      auto it = obs_base_hists_.find(name);
+      if (it != obs_base_hists_.end()) {
+        for (std::size_t b = 0; b < delta.buckets.size(); ++b) {
+          delta.buckets[b] -= it->second.buckets[b];
+        }
+        delta.sum -= it->second.sum;
+      }
+      if (delta.count() != 0) hist_deltas[name] = delta;
+    }
+    w.WriteU32(static_cast<std::uint32_t>(hist_deltas.size()));
+    for (const auto& [name, delta] : hist_deltas) {
+      w.WriteString(name);
+      for (const std::int64_t b : delta.buckets) w.WriteI64(b);
+      w.WriteI64(delta.sum);
+      w.WriteI64(delta.min);
+      w.WriteI64(delta.max);
+    }
+    w.EndSection();
+  }
+
+  std::filesystem::create_directories(config_.checkpoint_dir);
+  std::string num = std::to_string(next_round);
+  if (num.size() < 6) num.insert(0, 6 - num.size(), '0');
+  const std::string path =
+      config_.checkpoint_dir + "/round_" + num + ".mhbsnap";
+  w.WriteFile(path);
+  MHB_LOG_INFO << algorithm_.name() << " checkpoint @round " << next_round
+               << " -> " << path;
+}
+
+int FlEngine::RestoreCheckpoint(RunResult& result, double& sim_time) {
+  SnapshotReader r = SnapshotReader::FromFile(config_.resume_path);
+
+  r.EnterSection("meta");
+  // Hard identity checks: anything that changes the data partition, the
+  // RNG stream consumption pattern, or the local objective makes the saved
+  // state meaningless to resume from.
+  const std::string saved_algorithm = r.ReadString();
+  MHB_CHECK_EQ(saved_algorithm, algorithm_.name())
+      << "snapshot was written by a different algorithm";
+  const std::uint64_t saved_seed = r.ReadU64();
+  MHB_CHECK_EQ(saved_seed, config_.seed) << "snapshot seed mismatch";
+  const int saved_clients = r.ReadI32();
+  MHB_CHECK_EQ(saved_clients, ctx_.num_clients())
+      << "snapshot client-count mismatch";
+  const int saved_rounds = r.ReadI32();
+  const double saved_sample_fraction = r.ReadF64();
+  const int saved_min_sampled = r.ReadI32();
+  const int saved_local_epochs = r.ReadI32();
+  MHB_CHECK_EQ(saved_local_epochs, config_.local_epochs)
+      << "snapshot local_epochs mismatch";
+  const int saved_batch = r.ReadI32();
+  MHB_CHECK_EQ(saved_batch, config_.batch_size)
+      << "snapshot batch_size mismatch";
+  const double saved_lr = r.ReadF64();
+  const double saved_momentum = r.ReadF64();
+  const double saved_weight_decay = r.ReadF64();
+  const double saved_grad_clip = r.ReadF64();
+  const auto saved_optimizer = static_cast<nn::OptimizerKind>(r.ReadU8());
+  MHB_CHECK(saved_optimizer == config_.optimizer)
+      << "snapshot optimizer mismatch";
+  const auto saved_schedule = static_cast<LrScheduleKind>(r.ReadU8());
+  const int saved_lr_step = r.ReadI32();
+  const double saved_lr_gamma = r.ReadF64();
+  const double saved_lr_floor = r.ReadF64();
+  const double saved_deadline = r.ReadF64();
+  const int saved_eval_every = r.ReadI32();
+  const int saved_eval_max = r.ReadI32();
+  const int saved_stability_max = r.ReadI32();
+  const auto saved_partition = static_cast<PartitionKind>(r.ReadU8());
+  MHB_CHECK(saved_partition == config_.partition)
+      << "snapshot partition kind mismatch";
+  const double saved_alpha = r.ReadF64();
+  MHB_CHECK_EQ(saved_alpha, config_.dirichlet_alpha)
+      << "snapshot dirichlet_alpha mismatch";
+  r.ExpectSectionEnd();
+  // Soft checks: these may legitimately change mid-campaign (warm starts,
+  // constraint-switch studies) — the resumed run is then a new experiment,
+  // not a bit-identical continuation, so say so loudly.
+  if (saved_rounds != config_.rounds) {
+    MHB_LOG_WARN << "resume: rounds changed (" << saved_rounds << " -> "
+                 << config_.rounds << ")";
+  }
+  if (config_.lr_schedule == LrScheduleKind::kCosine) {
+    // Cosine multipliers depend on the horizon; a changed horizon silently
+    // re-shapes every remaining round's learning rate.
+    MHB_CHECK_EQ(saved_rounds, config_.rounds)
+        << "cosine schedule: cannot resume with a changed round count";
+  }
+  if (saved_sample_fraction != config_.sample_fraction ||
+      saved_min_sampled != config_.min_sampled) {
+    MHB_LOG_WARN << "resume: sampling config changed";
+  }
+  if (saved_lr != config_.lr || saved_momentum != config_.momentum ||
+      saved_weight_decay != config_.weight_decay ||
+      saved_grad_clip != config_.grad_clip ||
+      saved_schedule != config_.lr_schedule ||
+      saved_lr_step != config_.lr_step ||
+      saved_lr_gamma != config_.lr_gamma ||
+      saved_lr_floor != config_.lr_cosine_floor) {
+    MHB_LOG_WARN << "resume: optimizer/schedule hyperparameters changed";
+  }
+  if (saved_deadline != config_.round_deadline_s) {
+    MHB_LOG_WARN << "resume: round deadline changed (" << saved_deadline
+                 << " -> " << config_.round_deadline_s << ")";
+  }
+  if (saved_eval_every != config_.eval_every ||
+      saved_eval_max != config_.eval_max_samples ||
+      saved_stability_max != config_.stability_max_samples) {
+    MHB_LOG_WARN << "resume: evaluation config changed";
+  }
+
+  r.EnterSection("engine");
+  const int next_round = r.ReadI32();
+  MHB_CHECK_LE(next_round, config_.rounds)
+      << "snapshot is past the configured round count";
+  sim_time = r.ReadF64();
+  result.straggler_drops = static_cast<int>(r.ReadI64());
+  result.offline_skips = static_cast<int>(r.ReadI64());
+  result.total_participations = static_cast<int>(r.ReadI64());
+  const std::uint32_t curve_len = r.ReadU32();
+  result.curve.clear();
+  result.curve.reserve(curve_len);
+  for (std::uint32_t i = 0; i < curve_len; ++i) {
+    RoundRecord rec;
+    rec.round = r.ReadI32();
+    rec.sim_time_s = r.ReadF64();
+    rec.global_acc = r.ReadF64();
+    result.curve.push_back(rec);
+  }
+  Rng::State rng_state;
+  rng_state.state = r.ReadU64();
+  rng_state.have_cached_gaussian = r.ReadU8() != 0;
+  rng_state.cached_gaussian = r.ReadF64();
+  rng_.RestoreState(rng_state);
+  r.ExpectSectionEnd();
+
+  r.EnterSection("algorithm");
+  algorithm_.LoadState(r);
+  r.ExpectSectionEnd();
+
+  obs::Registry* const reg = config_.obs.registry;
+  if (r.HasSection("obs") && reg != nullptr) {
+    r.EnterSection("obs");
+    std::map<std::string, std::int64_t> counters;
+    const std::uint32_t ncounters = r.ReadU32();
+    for (std::uint32_t i = 0; i < ncounters; ++i) {
+      const std::string name = r.ReadString();
+      counters[name] = r.ReadI64();
+    }
+    std::map<std::string, obs::Registry::HistogramData> hists;
+    const std::uint32_t nhists = r.ReadU32();
+    for (std::uint32_t i = 0; i < nhists; ++i) {
+      const std::string name = r.ReadString();
+      obs::Registry::HistogramData data;
+      for (std::size_t b = 0; b < data.buckets.size(); ++b) {
+        data.buckets[b] = r.ReadI64();
+      }
+      data.sum = r.ReadI64();
+      data.min = r.ReadI64();
+      data.max = r.ReadI64();
+      hists[name] = data;
+    }
+    r.ExpectSectionEnd();
+    reg->ImportTotals(counters, hists);
+  }
+
+  MHB_LOG_INFO << algorithm_.name() << " resumed from " << config_.resume_path
+               << " @round " << next_round;
+  return next_round;
 }
 
 }  // namespace mhbench::fl

@@ -4,15 +4,21 @@
 #pragma once
 
 #include <limits>
+#include <map>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/thread_pool.h"
 #include "data/tasks.h"
 #include "fl/client.h"
 #include "obs/obs_config.h"
+#include "obs/registry.h"
 
 namespace mhbench::fl {
+
+class SnapshotWriter;  // fl/checkpoint.h
+class SnapshotReader;
 
 enum class PartitionKind { kIid, kDirichlet };
 
@@ -56,6 +62,16 @@ struct FlConfig {
   // in which case instrumentation reduces to untaken branches.  Collection
   // never feeds back into execution, so enabling it cannot change results.
   obs::ObsConfig obs;
+  // Checkpoint/resume (fl/checkpoint.h, DESIGN.md §5g).  checkpoint_every
+  // > 0 writes <checkpoint_dir>/round_NNNNNN.mhbsnap after every N-th
+  // round barrier, capturing the global store, all per-algorithm state,
+  // the engine RNG stream, the round index/curve and the run's obs totals.
+  // resume_path restores one such snapshot before the first round; with an
+  // otherwise identical config the continued run is bit-identical to the
+  // uninterrupted one at any thread count.
+  int checkpoint_every = 0;
+  std::string checkpoint_dir = "checkpoints";
+  std::string resume_path;
 };
 
 // Everything an algorithm can see.  Owned by the engine; stable for the
@@ -117,6 +133,15 @@ class MhflAlgorithm {
   // Personalized logits for one client (stability metric).  May be called
   // concurrently for distinct clients after PrepareEvaluation.
   virtual Tensor ClientLogits(int client_id, const Tensor& x) = 0;
+
+  // Checkpoint hooks (fl/checkpoint.h).  SaveState serializes every field
+  // that persists across round boundaries into the writer's open section;
+  // LoadState restores it into a freshly Setup() instance (both called
+  // only at round barriers, serially).  The defaults throw: an algorithm
+  // without the hooks must fail a checkpointed run loudly rather than
+  // resume with silently missing state.
+  virtual void SaveState(SnapshotWriter& writer) const;
+  virtual void LoadState(SnapshotReader& reader);
 };
 
 struct RoundRecord {
@@ -163,6 +188,14 @@ class FlEngine {
     Rng rng;
   };
 
+  // Serializes engine + algorithm + RNG + obs state after round
+  // `next_round - 1`'s barrier into checkpoint_dir.
+  void WriteCheckpoint(int next_round, double sim_time,
+                       const RunResult& partial) const;
+  // Restores config_.resume_path into the freshly-Setup engine; fills the
+  // partial result and simulated clock and returns the round to resume at.
+  int RestoreCheckpoint(RunResult& result, double& sim_time);
+
   FlConfig config_;
   FlContext ctx_;
   MhflAlgorithm& algorithm_;
@@ -170,6 +203,11 @@ class FlEngine {
   // Worker pool for client dispatch and stability evaluation; null when
   // config_.num_threads <= 1 (serial reference execution).
   std::unique_ptr<core::ThreadPool> pool_;
+  // Obs totals at Run() entry.  Snapshots store per-run *deltas* relative
+  // to these, so a registry shared across runs (the bench suites run a
+  // baseline first) never double-counts on resume.
+  std::map<std::string, std::int64_t> obs_base_counters_;
+  std::map<std::string, obs::Registry::HistogramData> obs_base_hists_;
 };
 
 }  // namespace mhbench::fl

@@ -81,6 +81,17 @@ void ParamStore::StoreFrom(nn::Module& module) {
   }
 }
 
+void ParamStore::LoadAll(nn::Module& module) const {
+  std::vector<nn::NamedParam> params;
+  module.CollectParams("", params);
+  for (auto& p : params) {
+    const Tensor& value = Get(p.name);  // throws on a missing name
+    MHB_CHECK(value.shape() == p.param->value.shape())
+        << "restored shape mismatch for" << p.name;
+    p.param->value = value;
+  }
+}
+
 // Checkpoint format: uint32 entry count, then per entry uint32 name length,
 // raw name bytes, and a SerializeTensor blob.
 std::vector<std::uint8_t> ParamStore::Serialize() const {

@@ -36,6 +36,11 @@ class ParamStore {
   // (full-model writeback; mapping-free).
   void StoreFrom(nn::Module& module);
 
+  // Writes every parameter of `module` from the same-named store entry
+  // (full-tensor, mapping-free restore — the checkpoint direction; shapes
+  // must match exactly and every parameter must be present).
+  void LoadAll(nn::Module& module) const;
+
   // Checkpointing: byte-serializes every named tensor (little-endian;
   // format documented in param_store.cc) and restores it.
   std::vector<std::uint8_t> Serialize() const;

@@ -258,6 +258,22 @@ std::map<std::string, Registry::HistogramData> Registry::Histograms() const {
   return out;
 }
 
+void Registry::ImportTotals(
+    const std::map<std::string, std::int64_t>& counters,
+    const std::map<std::string, HistogramData>& hists) {
+  for (const auto& [name, delta] : counters) {
+    const CounterId id = Counter(name);
+    core::MutexLock lock(mu_);
+    totals_[id] += delta;
+    round_base_[id] += delta;
+  }
+  for (const auto& [name, data] : hists) {
+    const HistogramId id = Histogram(name);
+    core::MutexLock lock(mu_);
+    hist_totals_[id].Merge(data);
+  }
+}
+
 void Registry::AddClientRow(ClientRow row) {
   core::MutexLock lock(mu_);
   client_rows_.push_back(std::move(row));

@@ -119,6 +119,16 @@ class Registry {
   HistogramData HistogramTotals(const std::string& name) const;
   std::map<std::string, HistogramData> Histograms() const;
 
+  // Checkpoint restore (fl/checkpoint): folds previously exported counter
+  // deltas and histogram state into the whole-run totals.  Counter imports
+  // also advance the per-round delta base, and histogram imports skip the
+  // per-round accumulator, so imported history never appears in any
+  // subsequent EndRound row — resumed runs report whole-campaign totals
+  // but only their own rounds.  Serial phases only.
+  void ImportTotals(const std::map<std::string, std::int64_t>& counters,
+                    const std::map<std::string, HistogramData>& hists)
+      MHB_EXCLUDES(mu_);
+
   struct RoundRow {
     std::string run;  // run label (the engine uses the algorithm name)
     int round = 0;

@@ -1,7 +1,5 @@
 // Checkpointing (ParamStore serialization) and the engine's synchronous
 // round deadline (straggler dropping) + LR schedules.
-#include <cstdio>
-
 #include <gtest/gtest.h>
 
 #include "algorithms/registry.h"
@@ -9,6 +7,7 @@
 #include "fl/engine.h"
 #include "fl/param_store.h"
 #include "models/zoo.h"
+#include "support/temp_dir.h"
 
 namespace mhbench::fl {
 namespace {
@@ -31,12 +30,14 @@ TEST(CheckpointTest, FileRoundTrip) {
   ParamStore store;
   store.Set("a/weight", Tensor({2, 3}, 1.5f));
   store.Set("b/bias", Tensor::FromVector({1, 2, 3}));
-  const std::string path = ::testing::TempDir() + "/mhb_ckpt.bin";
+  // Unique per-test dir: a fixed name under TempDir() collides under
+  // `ctest -j` when another binary's test round-trips concurrently.
+  const auto dir = testsupport::MakeTempDir();
+  const std::string path = dir.File("mhb_ckpt.bin");
   store.SaveFile(path);
   const ParamStore restored = ParamStore::LoadFile(path);
   EXPECT_TRUE(restored.Get("a/weight").AllClose(store.Get("a/weight")));
   EXPECT_TRUE(restored.Get("b/bias").AllClose(store.Get("b/bias")));
-  std::remove(path.c_str());
 }
 
 TEST(CheckpointTest, CorruptedBufferThrows) {

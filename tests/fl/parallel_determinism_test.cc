@@ -27,16 +27,22 @@ struct Case {
 
 class ParallelDeterminismTest : public ::testing::TestWithParam<Case> {};
 
-// One representative per heterogeneity level (width / depth / topology)
-// plus the stochastic-width ladder (Fjord draws from the per-client Rng in
-// ClientSpec, so it catches any shift of the forked streams) and the
-// distillation-based topology method (shared group models on the eval path).
+// Every algorithm in the zoo: the homogeneous baseline, the width family
+// (static and rolling ladders, Fjord's stochastic draws from the per-client
+// Rng in ClientSpec — which catches any shift of the forked streams), the
+// depth family (DepthFL's ucihar transformer path included), and both
+// topology methods (personal prototype models; shared distillation group
+// models on the eval path).
 INSTANTIATE_TEST_SUITE_P(
     Levels, ParallelDeterminismTest,
     ::testing::ValuesIn(std::vector<Case>{
-        {"fedrolex", "cifar10"},
+        {"fedavg", "cifar10"},
         {"fjord", "cifar10"},
+        {"sheterofl", "cifar10"},
+        {"fedrolex", "cifar10"},
         {"depthfl", "ucihar"},
+        {"inclusivefl", "cifar10"},
+        {"fedepth", "cifar10"},
         {"fedproto", "cifar10"},
         {"fedet", "cifar10"},
     }),

@@ -83,5 +83,87 @@ TEST(ParamStoreTest, NamesSorted) {
   EXPECT_EQ(names[1], "b");
 }
 
+TEST(ParamStoreTest, LoadAllRestoresEveryParam) {
+  Rng rng(4);
+  const auto tm = models::MakeTaskModels("cifar10");
+  auto built = tm.primary->Build(models::BuildSpec{}, rng);
+  const ParamStore store = ParamStore::FromModule(*built.net);
+  std::vector<nn::NamedParam> params;
+  built.net->CollectParams("", params);
+  for (auto& p : params) p.param->value.Fill(-7.0f);
+  store.LoadAll(*built.net);
+  for (const auto& p : params) {
+    EXPECT_TRUE(p.param->value.AllClose(store.Get(p.name), 0.0f)) << p.name;
+  }
+}
+
+TEST(ParamStoreTest, LoadAllMissingParamThrows) {
+  Rng rng(5);
+  const auto tm = models::MakeTaskModels("cifar10");
+  auto built = tm.primary->Build(models::BuildSpec{}, rng);
+  ParamStore store;  // empty: every lookup misses
+  EXPECT_THROW(store.LoadAll(*built.net), Error);
+}
+
+TEST(ParamStoreTest, LoadAllShapeMismatchThrows) {
+  Rng rng(6);
+  const auto tm = models::MakeTaskModels("cifar10");
+  auto built = tm.primary->Build(models::BuildSpec{}, rng);
+  ParamStore store = ParamStore::FromModule(*built.net);
+  std::vector<nn::NamedParam> params;
+  built.net->CollectParams("", params);
+  store.Set(params[0].name, Tensor({1, 1}));  // wrong shape
+  EXPECT_THROW(store.LoadAll(*built.net), Error);
+}
+
+// Negative paths of the Deserialize wire parser: every malformed prefix
+// must throw instead of constructing a partial store.
+TEST(ParamStoreDeserializeTest, TruncatedCountHeaderThrows) {
+  const std::vector<std::uint8_t> two_bytes = {0x01, 0x00};
+  EXPECT_THROW(ParamStore::Deserialize(two_bytes), Error);
+}
+
+TEST(ParamStoreDeserializeTest, CountOverrunThrows) {
+  // Header promises 1000 entries; no payload follows.
+  std::vector<std::uint8_t> bytes = {0xE8, 0x03, 0x00, 0x00};
+  EXPECT_THROW(ParamStore::Deserialize(bytes), Error);
+}
+
+TEST(ParamStoreDeserializeTest, ImplausibleNameLengthThrows) {
+  // count=1, then name_len=100000 (> the 4096 guard) with no name bytes —
+  // must hit the guard, not try to allocate/read 100000 bytes.
+  std::vector<std::uint8_t> bytes = {0x01, 0x00, 0x00, 0x00,
+                                     0xA0, 0x86, 0x01, 0x00};
+  EXPECT_THROW(ParamStore::Deserialize(bytes), Error);
+}
+
+TEST(ParamStoreDeserializeTest, TruncatedMidNameThrows) {
+  // count=1, name_len=8, only 3 name bytes present.
+  std::vector<std::uint8_t> bytes = {0x01, 0x00, 0x00, 0x00,
+                                     0x08, 0x00, 0x00, 0x00, 'a', 'b', 'c'};
+  EXPECT_THROW(ParamStore::Deserialize(bytes), Error);
+}
+
+TEST(ParamStoreDeserializeTest, TruncatedMidTensorThrows) {
+  ParamStore store;
+  store.Set("w", Tensor({4, 4}));
+  auto bytes = store.Serialize();
+  // Chop into the tensor payload (keep the count + name intact).
+  bytes.resize(bytes.size() - 17);
+  EXPECT_THROW(ParamStore::Deserialize(bytes), Error);
+}
+
+TEST(ParamStoreDeserializeTest, EveryTruncationThrows) {
+  ParamStore store;
+  store.Set("w", Tensor::FromVector({1, 2, 3}));
+  store.Set("x/y", Tensor({2, 2}, 0.5f));
+  const auto bytes = store.Serialize();
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    std::vector<std::uint8_t> prefix(bytes.begin(),
+                                     bytes.begin() + static_cast<long>(n));
+    EXPECT_THROW(ParamStore::Deserialize(prefix), Error) << "prefix " << n;
+  }
+}
+
 }  // namespace
 }  // namespace mhbench::fl

@@ -1,0 +1,50 @@
+// Unique per-test temporary directories.
+//
+// ::testing::TempDir() is shared across every test binary, so fixed file
+// names under it collide when ctest runs test binaries in parallel (-j).
+// MakeTempDir() returns a fresh mkdtemp-created directory seeded with the
+// current test's name; the RAII wrapper removes the whole tree on scope
+// exit, so tests never leak files into later runs either.
+#pragma once
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <system_error>
+
+#include <gtest/gtest.h>
+
+namespace mhbench::testsupport {
+
+struct TempDir {
+  std::string path;
+
+  explicit TempDir(std::string p) : path(std::move(p)) {}
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);  // best-effort cleanup
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  std::string File(const std::string& name) const { return path + "/" + name; }
+};
+
+inline TempDir MakeTempDir() {
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  std::string tag = info != nullptr
+                        ? std::string(info->test_suite_name()) + "_" +
+                              info->name()
+                        : std::string("mhb_test");
+  for (char& c : tag) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) c = '_';
+  }
+  std::string tmpl = ::testing::TempDir() + tag + ".XXXXXX";
+  char* made = ::mkdtemp(tmpl.data());
+  EXPECT_NE(made, nullptr) << "mkdtemp failed for " << tmpl;
+  return TempDir(made != nullptr ? std::string(made) : tmpl);
+}
+
+}  // namespace mhbench::testsupport

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Full verification: static analysis (mhb_lint + its fixture suite), then
 # build + ctest in the plain configuration (plus an observability smoke run
-# that emits and schema-checks a trace + manifest), then again under
-# ThreadSanitizer (MHBENCH_SANITIZE=thread) to race-check the parallel
-# round executor.  Run from anywhere; builds live in build*/ siblings.
+# that emits and schema-checks a trace + manifest, and a checkpoint/resume
+# smoke that mhb_diffs a resumed run against an uninterrupted one), then
+# again under ThreadSanitizer (MHBENCH_SANITIZE=thread) to race-check the
+# parallel round executor.  Run from anywhere; builds live in build*/
+# siblings.
 #
 #   tools/check.sh           # lint + plain + tsan
 #   tools/check.sh --lint    # mhb_lint fixtures + clean tree scan (no build)
@@ -152,6 +154,44 @@ PY
   echo "check.sh: mhb_diff smoke passed"
 }
 
+# Checkpoint/resume smoke: the CLI surface of the snapshot subsystem.  A
+# full run, a checkpointing run (snapshot every 2 rounds), and a run resumed
+# from the mid-run snapshot must produce manifests that diff clean — same
+# counters, histograms, and metrics.  Only the client_wall_us quantiles are
+# relaxed: wall time is real-clock noise, explicitly outside the
+# bit-identical-resume contract (DESIGN.md §5g).
+smoke_resume() {
+  local build_dir="$1"
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "check.sh: python3 not found, skipping resume smoke"
+    return 0
+  fi
+  local out
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' RETURN
+  local cli=("$build_dir/tools/mhbench")
+  local common=(run --task cifar10 --algorithm sheterofl --rounds 4 \
+    --clients 4 --threads 2 --profile 0)
+  MHB_TRAIN=160 MHB_TEST=80 "${cli[@]}" "${common[@]}" \
+    --manifest-dir "$out/full" >/dev/null
+  MHB_TRAIN=160 MHB_TEST=80 "${cli[@]}" "${common[@]}" \
+    --checkpoint-every 2 --checkpoint-dir "$out/ckpt" >/dev/null
+  test -f "$out/ckpt/round_000002.mhbsnap"
+  MHB_TRAIN=160 MHB_TEST=80 "${cli[@]}" "${common[@]}" \
+    --resume "$out/ckpt/round_000002.mhbsnap" \
+    --manifest-dir "$out/resumed" >/dev/null
+  cat > "$out/thresholds.json" <<'JSON'
+{
+  "client_wall_us.p50": {"ratio": 1000},
+  "client_wall_us.p95": {"ratio": 1000},
+  "client_wall_us.p99": {"ratio": 1000}
+}
+JSON
+  python3 "$repo/tools/mhb_diff.py" --thresholds "$out/thresholds.json" \
+    "$out/full" "$out/resumed" >/dev/null
+  echo "check.sh: resume smoke passed"
+}
+
 # Kernel benchmark smoke: builds Release, runs the GEMM/conv micro-benchmarks
 # through both backends, and distills the raw google-benchmark output into
 # BENCH_kernels.json (p50/p95 wall time per shape plus fast/naive speedup
@@ -194,12 +234,14 @@ case "$mode" in
     run_lint
     run_suite "$repo/build"
     smoke_obs "$repo/build"
+    smoke_resume "$repo/build"
     run_suite "$repo/build-tsan" -DMHBENCH_SANITIZE=thread
     ;;
   --lint) run_lint ;;
   --plain)
     run_suite "$repo/build"
     smoke_obs "$repo/build"
+    smoke_resume "$repo/build"
     ;;
   --tsan)  run_suite "$repo/build-tsan" -DMHBENCH_SANITIZE=thread ;;
   --asan)  run_suite "$repo/build-asan" -DMHBENCH_SANITIZE=address ;;

@@ -13,6 +13,8 @@
 //               [--alpha 0.5] [--deadline 0] [--seed 1] [--threads 1]
 //               [--trace out.json] [--trace-sim-clock 1]
 //               [--manifest-dir results] [--profile 0|1]
+//               [--checkpoint-every N] [--checkpoint-dir checkpoints]
+//               [--resume checkpoints/round_000002.mhbsnap]
 //       Run one federated experiment and print the metric panel.
 //       --threads parallelizes client training and stability evaluation;
 //       results are bit-identical for any thread count.
@@ -25,6 +27,11 @@
 //       per-client timeline.
 //       --profile enables the per-op profiler (profile.json in the run
 //       dir); defaults to on when --manifest-dir is set.
+//       --checkpoint-every N snapshots engine + algorithm + RNG + obs
+//       state to --checkpoint-dir after every N-th round; --resume
+//       restores one snapshot and continues — with the same config the
+//       resumed run is bit-identical to the uninterrupted one (see
+//       DESIGN.md §5g).
 //
 // Every command also accepts --log-level <silent|error|warn|info|debug|
 // trace|0-5>, mirroring the MHB_LOG_LEVEL environment variable (the flag
@@ -197,6 +204,10 @@ int CmdRun(const Args& args) {
       static_cast<std::uint64_t>(args.GetI("seed", 1));
   options.preset.threads = args.GetI("threads", options.preset.threads);
 
+  options.checkpoint_every = args.GetI("checkpoint-every", 0);
+  options.checkpoint_dir = args.Get("checkpoint-dir", "checkpoints");
+  options.resume_path = args.Get("resume", "");
+
   const std::string trace_path = args.Get("trace", "");
   const std::string manifest_dir = args.Get("manifest-dir", "");
   const bool profile = args.GetI("profile", manifest_dir.empty() ? 0 : 1) != 0;
@@ -204,7 +215,11 @@ int CmdRun(const Args& args) {
   std::unique_ptr<obs::Registry> registry;
   std::unique_ptr<obs::Profiler> profiler;
   if (!trace_path.empty()) tracer = std::make_unique<obs::Tracer>();
-  if (!trace_path.empty() || !manifest_dir.empty()) {
+  if (!trace_path.empty() || !manifest_dir.empty() ||
+      options.checkpoint_every > 0) {
+    // Checkpointing keeps a registry even without --manifest-dir so
+    // snapshots carry the obs section (resumed manifests then report
+    // whole-campaign totals).
     registry = std::make_unique<obs::Registry>();
   }
   if (profile) profiler = std::make_unique<obs::Profiler>();
