@@ -28,7 +28,11 @@ struct SuiteOptions {
   double target_fraction = 0.7;
   std::uint64_t fleet_seed = 11;
   // Observability hooks threaded into every engine run of the suite
-  // (tracer / registry pointers; all-null disables collection).
+  // (tracer / registry / profiler / live-exporter pointers; all-null
+  // disables collection).  The live exporter (obs/live.h) rides along
+  // here: every engine run of the suite — baseline included — notifies it
+  // at round barriers, so the watchdog and /status.json cover the whole
+  // suite, not just the requested algorithm.
   obs::ObsConfig obs;
   // Checkpoint/resume, forwarded into the engine config of the *requested*
   // algorithm's run only — never the fedavg-small effectiveness baseline.

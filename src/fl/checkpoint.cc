@@ -1,12 +1,17 @@
 #include "fl/checkpoint.h"
 
+#include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iterator>
 
 #include "core/error.h"
+#include "obs/obs_config.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "tensor/serialize.h"
 
 namespace mhbench::fl {
@@ -121,7 +126,12 @@ std::vector<std::uint8_t> SnapshotWriter::Finish() const {
   return out;
 }
 
-void SnapshotWriter::WriteFile(const std::string& path) const {
+void SnapshotWriter::WriteFile(const std::string& path,
+                               const obs::ObsConfig* obs) const {
+  obs::Tracer* const tracer = obs != nullptr ? obs->tracer : nullptr;
+  obs::Registry* const reg = obs != nullptr ? obs->registry : nullptr;
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::Span span(tracer, "snapshot_write", "checkpoint");
   const auto bytes = Finish();
   const std::string tmp = path + ".tmp";
   {
@@ -134,6 +144,22 @@ void SnapshotWriter::WriteFile(const std::string& path) const {
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   MHB_CHECK(!ec) << "cannot move snapshot into place:" << ec.message();
+  span.Arg("bytes", static_cast<std::int64_t>(bytes.size()));
+  if (reg != nullptr) {
+    const auto write_us =
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    // Serial barrier phase: AddNamed registers lazily, which is safe here
+    // because no client work is in flight during a checkpoint write.
+    reg->AddNamed("checkpoint_writes", 1);
+    reg->AddNamed("checkpoint_bytes",
+                  static_cast<std::int64_t>(bytes.size()));
+    // Wall time: lands in totals but is excluded from bit-identity
+    // comparisons, like client_wall_us.
+    reg->AddNamed("checkpoint_write_us",
+                  std::max<std::int64_t>(1, write_us));
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -185,11 +211,20 @@ SnapshotReader::SnapshotReader(std::vector<std::uint8_t> bytes) {
   MHB_CHECK_EQ(offset, bytes.size()) << "trailing bytes in snapshot";
 }
 
-SnapshotReader SnapshotReader::FromFile(const std::string& path) {
+SnapshotReader SnapshotReader::FromFile(const std::string& path,
+                                        const obs::ObsConfig* obs) {
+  obs::Span span(obs != nullptr ? obs->tracer : nullptr, "snapshot_read",
+                 "checkpoint");
   std::ifstream f(path, std::ios::binary);
   MHB_CHECK(f.good()) << "cannot open snapshot" << path;
   std::vector<std::uint8_t> bytes(
       (std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  if (obs != nullptr && obs->registry != nullptr) {
+    // Serial restore phase, before any client dispatch.
+    obs->registry->AddNamed("checkpoint_read_bytes",
+                            static_cast<std::int64_t>(bytes.size()));
+  }
+  span.Arg("bytes", static_cast<std::int64_t>(bytes.size()));
   return SnapshotReader(std::move(bytes));
 }
 

@@ -13,6 +13,7 @@
 #include "fl/checkpoint.h"
 #include "fl/evaluation.h"
 #include "nn/lr_schedule.h"
+#include "obs/live.h"
 #include "obs/profile.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -411,6 +412,13 @@ RunResult FlEngine::Run() {
                     << " dropped=" << round_dropped << " wall_ms=" << wall_ms;
     }
 
+    // Live telemetry heartbeat, after EndRound so a poller that sees round
+    // N in /status.json also sees round N's published totals.  Strictly
+    // one-way: the exporter records progress, nothing flows back.
+    if (config_.obs.live != nullptr) {
+      config_.obs.live->NotifyProgress(round, sim_time);
+    }
+
     if (config_.checkpoint_every > 0 &&
         (round + 1) % config_.checkpoint_every == 0) {
       // After the round barrier: all sinks merged (EndRound above when a
@@ -517,7 +525,12 @@ void FlEngine::WriteCheckpoint(int next_round, double sim_time,
     for (const auto& [name, total] : counters) {
       auto it = obs_base_counters_.find(name);
       const std::int64_t base = it == obs_base_counters_.end() ? 0 : it->second;
-      if (total != base) counter_deltas[name] = total - base;
+      // Zero deltas are written too: the registered-name set is fixed
+      // serially, so including them keeps the section size — and therefore
+      // the checkpoint_bytes counter — independent of --threads (a serial
+      // run's pool_tasks delta is 0, a pooled run's is not).  Importing a
+      // zero delta is a no-op.
+      counter_deltas[name] = total - base;
     }
     w.WriteU32(static_cast<std::uint32_t>(counter_deltas.size()));
     for (const auto& [name, delta] : counter_deltas) {
@@ -553,13 +566,17 @@ void FlEngine::WriteCheckpoint(int next_round, double sim_time,
   if (num.size() < 6) num.insert(0, 6 - num.size(), '0');
   const std::string path =
       config_.checkpoint_dir + "/round_" + num + ".mhbsnap";
-  w.WriteFile(path);
+  w.WriteFile(path, &config_.obs);
+  if (config_.obs.live != nullptr) {
+    config_.obs.live->NotifyCheckpoint(next_round, path);
+  }
   MHB_LOG_INFO << algorithm_.name() << " checkpoint @round " << next_round
                << " -> " << path;
 }
 
 int FlEngine::RestoreCheckpoint(RunResult& result, double& sim_time) {
-  SnapshotReader r = SnapshotReader::FromFile(config_.resume_path);
+  SnapshotReader r =
+      SnapshotReader::FromFile(config_.resume_path, &config_.obs);
 
   r.EnterSection("meta");
   // Hard identity checks: anything that changes the data partition, the

@@ -1,0 +1,171 @@
+#include "obs/http.h"
+
+#include <cstring>
+#include <utility>
+
+#include "core/error.h"
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace mhbench::obs {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+#if !defined(_WIN32)
+
+// Reads until the end of the request head ("\r\n\r\n"), a size cap, EOF or
+// the receive timeout; returns what arrived.  The endpoints take no bodies,
+// so the head is all that is ever needed.
+std::string ReadRequestHead(int fd) {
+  std::string req;
+  char buf[1024];
+  while (req.size() < 8192) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+    if (req.find("\r\n\r\n") != std::string::npos) break;
+    if (req.find("\n\n") != std::string::npos) break;  // tolerant clients
+  }
+  return req;
+}
+
+void SendAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off, 0);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+#endif  // !defined(_WIN32)
+
+}  // namespace
+
+HttpServer::HttpServer(int port, HttpHandler handler)
+    : handler_(std::move(handler)) {
+#if defined(_WIN32)
+  (void)port;
+  throw Error("live telemetry HTTP server is not supported on this platform");
+#else
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw Error("http: cannot create socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // never listen externally
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("http: cannot bind 127.0.0.1:" + std::to_string(port));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("http: listen failed");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+  thread_ = std::thread([this] { Serve(); });
+#endif
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Stop() {
+  if (!thread_.joinable()) return;
+  stopping_.store(true, std::memory_order_relaxed);
+  thread_.join();
+}
+
+void HttpServer::Serve() {
+#if !defined(_WIN32)
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    // Bounded poll so Stop() is honored within ~100 ms even when no client
+    // ever connects; accept itself never blocks indefinitely.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    timeval tv{};
+    tv.tv_sec = 2;  // slow-loris bound: a stuck client cannot wedge the loop
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+    const std::string head = ReadRequestHead(client);
+    HttpResponse resp;
+    const std::size_t line_end = head.find('\n');
+    std::string method;
+    std::string path;
+    if (line_end != std::string::npos) {
+      const std::string line = head.substr(0, line_end);
+      const std::size_t sp1 = line.find(' ');
+      const std::size_t sp2 =
+          sp1 == std::string::npos ? std::string::npos
+                                   : line.find(' ', sp1 + 1);
+      if (sp1 != std::string::npos && sp2 != std::string::npos) {
+        method = line.substr(0, sp1);
+        path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+        const std::size_t query = path.find('?');
+        if (query != std::string::npos) path.resize(query);
+      }
+    }
+    if (method.empty() || path.empty()) {
+      resp.status = 400;
+      resp.body = "bad request\n";
+    } else if (method != "GET" && method != "HEAD") {
+      resp.status = 405;
+      resp.body = "method not allowed\n";
+    } else {
+      resp = handler_(path);
+      if (method == "HEAD") resp.body.clear();
+    }
+
+    std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                      StatusText(resp.status) + "\r\n";
+    out += "Content-Type: " + resp.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += resp.body;
+    SendAll(client, out);
+    ::close(client);
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+#endif
+}
+
+}  // namespace mhbench::obs

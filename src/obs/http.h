@@ -1,0 +1,59 @@
+// Minimal blocking-socket HTTP/1.1 server for the live telemetry exporter
+// (DESIGN.md §5h).  One listener thread accepts loopback connections,
+// parses a GET request line, asks the handler for a response body, writes
+// it with Content-Length and closes.  Deliberately tiny: no keep-alive, no
+// TLS, no request bodies — the endpoints it serves (/metrics,
+// /status.json, /healthz) are read-only snapshots rendered per request.
+//
+// Threading: the handler runs on the listener thread, concurrently with
+// the benchmark.  It must therefore only touch state that is safe to read
+// cross-thread (the LiveExporter hands it lock-bounded snapshots); it must
+// never write into engine or registry state, which is what keeps the
+// exporter incapable of perturbing bit-determinism.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace mhbench::obs {
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+// Maps a request path ("/metrics") to a response.  Called on the listener
+// thread; must be thread-safe and read-only with respect to run state.
+using HttpHandler = std::function<HttpResponse(const std::string& path)>;
+
+class HttpServer {
+ public:
+  // Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
+  // listener thread.  Throws mhbench::Error when the socket cannot be
+  // created or bound.
+  HttpServer(int port, HttpHandler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  // The bound port (the resolved one when constructed with port 0).
+  int port() const { return port_; }
+
+  // Stops accepting and joins the listener thread.  Idempotent.
+  void Stop();
+
+ private:
+  void Serve();
+
+  int listen_fd_ = -1;
+  int port_ = -1;
+  HttpHandler handler_;
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace mhbench::obs

@@ -77,7 +77,82 @@ std::string FormatDouble(double v) {
   return out.str();
 }
 
+// Atomic publish: write to `<path>.tmp`, then rename over `path`.  Readers
+// polling the run directory (mhb_watch, the live smoke) never see a torn
+// file, and a crash mid-write leaves the previous version intact.
+void WriteFileAtomic(const std::filesystem::path& path,
+                     const std::string& content) {
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream f(tmp);
+    if (!f.good()) throw Error("cannot open " + tmp.string());
+    f << content;
+    if (!f.good()) throw Error("failed writing " + tmp.string());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    throw Error("cannot move " + tmp.string() + " into place: " +
+                ec.message());
+  }
+}
+
 }  // namespace
+
+void WriteRoundsCsv(const std::string& run_dir, const Registry& registry) {
+  if (registry.rounds().empty()) return;
+  // Column set: the union of counter / gauge / histogram names over all
+  // rows, so every row renders the same schema.
+  std::set<std::string> counter_cols;
+  std::set<std::string> gauge_cols;
+  std::set<std::string> hist_cols;
+  for (const auto& row : registry.rounds()) {
+    for (const auto& [k, v] : row.counters) counter_cols.insert(k);
+    for (const auto& [k, v] : row.gauges) gauge_cols.insert(k);
+    for (const auto& [k, v] : row.hists) hist_cols.insert(k);
+  }
+  std::vector<std::string> header = {"run", "round"};
+  header.insert(header.end(), gauge_cols.begin(), gauge_cols.end());
+  header.insert(header.end(), counter_cols.begin(), counter_cols.end());
+  for (const auto& h : hist_cols) {
+    header.push_back(h + "_count");
+    header.push_back(h + "_p50");
+    header.push_back(h + "_p95");
+    header.push_back(h + "_p99");
+  }
+  CsvWriter csv(header);
+  for (const auto& row : registry.rounds()) {
+    std::vector<std::string> cells = {row.run, std::to_string(row.round)};
+    for (const auto& g : gauge_cols) {
+      auto it = row.gauges.find(g);
+      std::ostringstream v;
+      if (it != row.gauges.end()) v << it->second;
+      cells.push_back(v.str());
+    }
+    for (const auto& c : counter_cols) {
+      auto it = row.counters.find(c);
+      cells.push_back(
+          it == row.counters.end() ? "0" : std::to_string(it->second));
+    }
+    for (const auto& h : hist_cols) {
+      auto it = row.hists.find(h);
+      if (it == row.hists.end()) {
+        cells.push_back("0");
+        cells.push_back("");
+        cells.push_back("");
+        cells.push_back("");
+      } else {
+        cells.push_back(std::to_string(it->second.count()));
+        cells.push_back(FormatDouble(it->second.Quantile(0.50)));
+        cells.push_back(FormatDouble(it->second.Quantile(0.95)));
+        cells.push_back(FormatDouble(it->second.Quantile(0.99)));
+      }
+    }
+    csv.AddRow(cells);
+  }
+  WriteFileAtomic(std::filesystem::path(run_dir) / "rounds.csv",
+                  csv.ToString());
+}
 
 std::string WriteRunManifest(const std::string& dir, const RunManifest& m,
                              const Registry* registry,
@@ -143,70 +218,9 @@ std::string WriteRunManifest(const std::string& dir, const RunManifest& m,
   json << "\n  },\n  \"rounds\": " << (registry ? registry->rounds().size() : 0)
        << "\n}\n";
 
-  const fs::path manifest_path = run_dir / "manifest.json";
-  {
-    std::ofstream f(manifest_path);
-    if (!f.good()) throw Error("cannot open " + manifest_path.string());
-    f << json.str();
-    if (!f.good()) throw Error("failed writing " + manifest_path.string());
-  }
+  WriteFileAtomic(run_dir / "manifest.json", json.str());
 
-  if (registry != nullptr && !registry->rounds().empty()) {
-    // Column set: the union of counter / gauge / histogram names over all
-    // rows, so every row renders the same schema.
-    std::set<std::string> counter_cols;
-    std::set<std::string> gauge_cols;
-    std::set<std::string> hist_cols;
-    for (const auto& row : registry->rounds()) {
-      for (const auto& [k, v] : row.counters) counter_cols.insert(k);
-      for (const auto& [k, v] : row.gauges) gauge_cols.insert(k);
-      for (const auto& [k, v] : row.hists) hist_cols.insert(k);
-    }
-    std::vector<std::string> header = {"run", "round"};
-    header.insert(header.end(), gauge_cols.begin(), gauge_cols.end());
-    header.insert(header.end(), counter_cols.begin(), counter_cols.end());
-    for (const auto& h : hist_cols) {
-      header.push_back(h + "_count");
-      header.push_back(h + "_p50");
-      header.push_back(h + "_p95");
-      header.push_back(h + "_p99");
-    }
-    CsvWriter csv(header);
-    for (const auto& row : registry->rounds()) {
-      std::vector<std::string> cells = {row.run, std::to_string(row.round)};
-      for (const auto& g : gauge_cols) {
-        auto it = row.gauges.find(g);
-        std::ostringstream v;
-        if (it != row.gauges.end()) v << it->second;
-        cells.push_back(v.str());
-      }
-      for (const auto& c : counter_cols) {
-        auto it = row.counters.find(c);
-        cells.push_back(
-            it == row.counters.end() ? "0" : std::to_string(it->second));
-      }
-      for (const auto& h : hist_cols) {
-        auto it = row.hists.find(h);
-        if (it == row.hists.end()) {
-          cells.push_back("0");
-          cells.push_back("");
-          cells.push_back("");
-          cells.push_back("");
-        } else {
-          cells.push_back(std::to_string(it->second.count()));
-          cells.push_back(FormatDouble(it->second.Quantile(0.50)));
-          cells.push_back(FormatDouble(it->second.Quantile(0.95)));
-          cells.push_back(FormatDouble(it->second.Quantile(0.99)));
-        }
-      }
-      csv.AddRow(cells);
-    }
-    const fs::path rounds_path = run_dir / "rounds.csv";
-    std::ofstream f(rounds_path);
-    if (!f.good()) throw Error("cannot open " + rounds_path.string());
-    f << csv.ToString();
-    if (!f.good()) throw Error("failed writing " + rounds_path.string());
-  }
+  if (registry != nullptr) WriteRoundsCsv(run_dir.string(), *registry);
 
   if (registry != nullptr && !registry->client_rows().empty()) {
     CsvWriter csv({"run", "round", "client", "drop_reason", "sim_compute_s",
@@ -221,11 +235,7 @@ std::string WriteRunManifest(const std::string& dir, const RunManifest& m,
                   std::to_string(row.bytes_down),
                   std::to_string(row.train_mflops)});
     }
-    const fs::path clients_path = run_dir / "clients.csv";
-    std::ofstream f(clients_path);
-    if (!f.good()) throw Error("cannot open " + clients_path.string());
-    f << csv.ToString();
-    if (!f.good()) throw Error("failed writing " + clients_path.string());
+    WriteFileAtomic(run_dir / "clients.csv", csv.ToString());
   }
 
   if (profiler != nullptr) {

@@ -52,8 +52,18 @@ std::string SanitizeRunId(const std::string& id);
 // non-null and collected rows, + profile.json when `profiler` is non-null)
 // under `<dir>/<sanitized run_id>/`; creates directories as needed.
 // Returns the run directory.  Throws mhbench::Error on I/O errors.
+// Every file lands via a temp file + rename, so a killed run never leaves
+// a torn manifest.
 std::string WriteRunManifest(const std::string& dir, const RunManifest& m,
                              const Registry* registry,
                              const Profiler* profiler = nullptr);
+
+// Writes `<run_dir>/rounds.csv` from the registry's round rows (atomic
+// rewrite: temp file + rename).  No-op while no rounds completed.  Called
+// by WriteRunManifest at end of run and, via Registry::SetRoundSink, after
+// every round barrier so killed runs keep partial per-round artifacts —
+// the column header is the union over all rows, so the file is rewritten
+// whole each time rather than appended.  Serial phases only.
+void WriteRoundsCsv(const std::string& run_dir, const Registry& registry);
 
 }  // namespace mhbench::obs

@@ -8,6 +8,7 @@ namespace mhbench::obs {
 class Tracer;
 class Registry;
 class Profiler;
+class LiveExporter;
 
 struct ObsConfig {
   // Wall-clock span tracing (round / dispatch / per-client / merge / eval).
@@ -21,9 +22,15 @@ struct ObsConfig {
   // Also emit simulated-clock spans (one lane per client) on the tracer's
   // sim track.  Requires `tracer`.
   bool sim_spans = false;
+  // Live telemetry (obs/live.h): the engine notifies it at every round
+  // barrier (NotifyProgress) and after every checkpoint write
+  // (NotifyCheckpoint).  The exporter itself only *reads* registry state,
+  // so attaching it cannot change results (DESIGN.md §5h).
+  LiveExporter* live = nullptr;
 
   bool enabled() const {
-    return tracer != nullptr || registry != nullptr || profiler != nullptr;
+    return tracer != nullptr || registry != nullptr || profiler != nullptr ||
+           live != nullptr;
   }
 };
 

@@ -203,28 +203,69 @@ void Registry::FlushThreadSinks() {
 }
 
 void Registry::EndRound(const std::string& run, int round) {
-  core::MutexLock lock(mu_);
-  FlushLocked();
-  RoundRow row;
-  row.run = run;
-  row.round = round;
-  for (std::size_t id = 0; id < totals_.size(); ++id) {
-    const std::int64_t delta = totals_[id] - round_base_[id];
-    if (delta != 0) row.counters[names_[id]] = delta;
-    round_base_[id] = totals_[id];
-  }
-  // Histogram deltas can't be derived by subtraction (min/max aren't
-  // invertible), so a per-round accumulator is kept alongside the totals
-  // and reset here.
-  for (std::size_t id = 0; id < hist_round_.size(); ++id) {
-    if (!hist_round_[id].empty()) {
-      row.hists[hist_names_[id]] = hist_round_[id];
+  std::function<void(const RoundRow&)> sink;
+  RoundRow published;
+  {
+    core::MutexLock lock(mu_);
+    FlushLocked();
+    RoundRow row;
+    row.run = run;
+    row.round = round;
+    for (std::size_t id = 0; id < totals_.size(); ++id) {
+      const std::int64_t delta = totals_[id] - round_base_[id];
+      if (delta != 0) row.counters[names_[id]] = delta;
+      round_base_[id] = totals_[id];
     }
-    hist_round_[id] = HistogramData{};
+    // Histogram deltas can't be derived by subtraction (min/max aren't
+    // invertible), so a per-round accumulator is kept alongside the totals
+    // and reset here.
+    for (std::size_t id = 0; id < hist_round_.size(); ++id) {
+      if (!hist_round_[id].empty()) {
+        row.hists[hist_names_[id]] = hist_round_[id];
+      }
+      hist_round_[id] = HistogramData{};
+    }
+    row.gauges = std::move(gauges_);
+    gauges_.clear();
+    sink = round_sink_;
+    if (sink) published = row;  // copy: the sink runs outside the lock
+    rounds_.push_back(std::move(row));
   }
-  row.gauges = std::move(gauges_);
-  gauges_.clear();
-  rounds_.push_back(std::move(row));
+  if (sink) sink(published);
+}
+
+void Registry::SetRoundSink(std::function<void(const RoundRow&)> sink) {
+  core::MutexLock lock(mu_);
+  round_sink_ = std::move(sink);
+}
+
+Registry::LiveSnapshot Registry::SnapshotTotals() const {
+  LiveSnapshot snap;
+  core::MutexLock lock(mu_);
+  for (std::size_t id = 0; id < names_.size(); ++id) {
+    snap.counters[names_[id]] = totals_[id];
+  }
+  for (std::size_t id = 0; id < hist_names_.size(); ++id) {
+    if (!hist_totals_[id].empty()) {
+      snap.hists[hist_names_[id]] = hist_totals_[id];
+    }
+  }
+  snap.rounds_completed = rounds_.size();
+  for (const auto& row : rounds_) {
+    auto it = row.gauges.find("global_acc");
+    if (it != row.gauges.end()) {
+      snap.accuracy.emplace_back(row.round, it->second);
+    }
+  }
+  if (!rounds_.empty()) {
+    const RoundRow& last = rounds_.back();
+    snap.last_round = last.round;
+    snap.last_run = last.run;
+    snap.last_gauges = last.gauges;
+    auto it = last.gauges.find("sim_time_s");
+    if (it != last.gauges.end()) snap.sim_time_s = it->second;
+  }
+  return snap;
 }
 
 std::int64_t Registry::Total(const std::string& name) const {

@@ -26,10 +26,12 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/mutex.h"
@@ -142,6 +144,36 @@ class Registry {
     return rounds_;
   }
 
+  // Installs a callback invoked after every EndRound with the row just
+  // published (outside the registry lock, on the barrier thread, so the
+  // sink may call back into registry accessors).  The CLI uses it to
+  // stream rounds.csv incrementally.  Serial phases only; pass an empty
+  // function to uninstall.
+  void SetRoundSink(std::function<void(const RoundRow&)> sink)
+      MHB_EXCLUDES(mu_);
+
+  // Lock-bounded cross-thread view of the *published* state: flushed
+  // counter/histogram totals plus the last completed round's label, gauges
+  // and the accuracy-curve points gathered from the round rows.  Reads only
+  // mutex-guarded merged state — never the per-thread sinks — so it is safe
+  // to call from a background exporter thread while client work is running;
+  // it simply cannot observe anything that has not crossed a round barrier
+  // yet.  Strictly read-only: the live exporter's determinism contract
+  // (DESIGN.md §5h) depends on this being the only registry surface it
+  // touches.
+  struct LiveSnapshot {
+    std::map<std::string, std::int64_t> counters;    // flushed totals
+    std::map<std::string, HistogramData> hists;      // flushed, non-empty
+    int last_round = -1;                   // -1 before the first EndRound
+    std::string last_run;                  // last round row's run label
+    std::map<std::string, double> last_gauges;  // last round row's gauges
+    std::size_t rounds_completed = 0;      // number of EndRound rows
+    double sim_time_s = 0.0;               // last row's sim_time_s gauge
+    // (round, global_acc) for every row that carried an evaluation.
+    std::vector<std::pair<int, double>> accuracy;
+  };
+  LiveSnapshot SnapshotTotals() const MHB_EXCLUDES(mu_);
+
   // One sampled client in one round: the cost model's simulated clock
   // joined with the measured wall time and the round's drop decision.
   struct ClientRow {
@@ -197,6 +229,7 @@ class Registry {
   std::vector<std::unique_ptr<Sink>> sinks_ MHB_GUARDED_BY(mu_);
   std::vector<RoundRow> rounds_ MHB_GUARDED_BY(mu_);
   std::vector<ClientRow> client_rows_ MHB_GUARDED_BY(mu_);
+  std::function<void(const RoundRow&)> round_sink_ MHB_GUARDED_BY(mu_);
 };
 
 }  // namespace mhbench::obs

@@ -22,6 +22,7 @@
 #include "fl/checkpoint.h"
 #include "fl/engine.h"
 #include "models/zoo.h"
+#include "obs/live.h"
 #include "obs/registry.h"
 #include "support/temp_dir.h"
 
@@ -98,8 +99,26 @@ RunResult RunCase(const Case& c, const data::Task& task, const RunSpec& spec) {
   cfg.resume_path = spec.resume_path;
   cfg.obs.registry = spec.registry;
 
+  // Live telemetry rides along on every run (HTTP + heartbeat + armed
+  // watchdog): the bit-identity and totals assertions below then also
+  // prove the exporter cannot perturb checkpoint/resume at any thread
+  // count (obs/live.h).
+  const auto live_dir = testsupport::MakeTempDir();
+  obs::LiveConfig lcfg;
+  lcfg.http_port = 0;  // ephemeral
+  lcfg.heartbeat_every_s = 0.05;
+  lcfg.heartbeat_path = live_dir.File("heartbeat.jsonl");
+  lcfg.watchdog_stall_s = 120.0;  // armed; must never fire on a live run
+  lcfg.run_id = c.algorithm + "-resume-determinism";
+  lcfg.rounds_total = cfg.rounds;
+  obs::LiveExporter live(lcfg, spec.registry);
+  cfg.obs.live = &live;
+
   FlEngine engine(task, cfg, HeterogeneousAssignments(6), *alg);
-  return engine.Run();
+  RunResult result = engine.Run();
+  live.Stop();
+  EXPECT_EQ(live.stall_count(), 0) << "watchdog fired on a healthy run";
+  return result;
 }
 
 // Bit-identical comparison: exact double equality, field by field.
@@ -126,12 +145,18 @@ void ExpectIdentical(const RunResult& want, const RunResult& got,
   }
 }
 
-// Counter totals with the one thread-count-dependent entry removed
-// (pool_tasks counts helper tasks, a function of the worker count).
+// Counter totals with the run-shape-dependent entries removed: pool_tasks
+// counts helper tasks (a function of the worker count), and the
+// checkpoint_* instrumentation differs between runs that snapshot/resume
+// and the uninterrupted reference (asserted separately below).
 std::map<std::string, std::int64_t> DeterministicTotals(
     const obs::Registry& reg) {
   auto totals = reg.Totals();
   totals.erase("pool_tasks");
+  for (auto it = totals.begin(); it != totals.end();) {
+    it = it->first.rfind("checkpoint_", 0) == 0 ? totals.erase(it)
+                                                : std::next(it);
+  }
   return totals;
 }
 
@@ -166,6 +191,14 @@ TEST_P(ResumeDeterminismTest, ResumeIsBitIdentical) {
   ExpectIdentical(full, ckpt, "checkpointing run");
   EXPECT_EQ(DeterministicTotals(reg_ckpt), full_totals);
 
+  // The snapshot writes themselves are instrumented (fl/checkpoint.cc):
+  // two snapshots with a positive byte count and wall write time, and the
+  // uninterrupted reference never registered any checkpoint counter.
+  EXPECT_EQ(reg_full.Total("checkpoint_writes"), 0);
+  EXPECT_EQ(reg_ckpt.Total("checkpoint_writes"), 2);
+  EXPECT_GT(reg_ckpt.Total("checkpoint_bytes"), 0);
+  EXPECT_GT(reg_ckpt.Total("checkpoint_write_us"), 0);
+
   const std::string mid = ckpt_spec.checkpoint_dir + "/round_000002.mhbsnap";
   const std::string end = ckpt_spec.checkpoint_dir + "/round_000004.mhbsnap";
   ASSERT_TRUE(std::filesystem::exists(mid));
@@ -173,6 +206,7 @@ TEST_P(ResumeDeterminismTest, ResumeIsBitIdentical) {
   const SnapshotReader end_snap = SnapshotReader::FromFile(end);
 
   // C: resume the second half from the mid-run snapshot at 1/2/4 threads.
+  std::int64_t resumed_ckpt_bytes = 0;
   for (const int threads : {1, 2, 4}) {
     obs::Registry reg_resumed;
     RunSpec resume_spec;
@@ -188,6 +222,22 @@ TEST_P(ResumeDeterminismTest, ResumeIsBitIdentical) {
     // Counter totals restore + replay to exactly the uninterrupted totals.
     EXPECT_EQ(DeterministicTotals(reg_resumed), full_totals)
         << "counter totals diverged at num_threads=" << threads;
+
+    // Checkpoint instrumentation: one snapshot written by the resumed half
+    // (round 4), the restore read counted, and the written byte count —
+    // unlike the wall-clock write time — identical at every thread count
+    // (the snapshot obs section includes zero deltas precisely so its size
+    // cannot depend on which counters a given pool shape touched).
+    EXPECT_EQ(reg_resumed.Total("checkpoint_writes"), 1);
+    EXPECT_GT(reg_resumed.Total("checkpoint_read_bytes"), 0);
+    EXPECT_GT(reg_resumed.Total("checkpoint_write_us"), 0);
+    if (threads == 1) {
+      resumed_ckpt_bytes = reg_resumed.Total("checkpoint_bytes");
+      EXPECT_GT(resumed_ckpt_bytes, 0);
+    } else {
+      EXPECT_EQ(reg_resumed.Total("checkpoint_bytes"), resumed_ckpt_bytes)
+          << "checkpoint size diverged at num_threads=" << threads;
+    }
 
     // Deterministic histograms too (client_wall_us is wall-clock noise and
     // is deliberately excluded from the contract).

@@ -1,7 +1,7 @@
-// mhb-lint: path(src/obs/fixture_time_obs.cc)
-// Fixture: the same wall-clock reads as banned_time.cc, but under src/obs —
-// the one place wall-clock timestamps are the point (run manifests).  The
-// rule's exempt list must make this file clean.
+// mhb-lint: path(src/obs/manifest.cc)
+// Fixture: the same wall-clock reads as banned_time.cc, but claiming the
+// manifest writer — the one file where wall-clock timestamps are the point
+// (run manifests).  The rules' exempt lists must make this file clean.
 #include <chrono>
 #include <ctime>
 

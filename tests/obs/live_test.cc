@@ -1,0 +1,493 @@
+// Live telemetry exporter (obs/live.h, DESIGN.md §5h): rendering goldens,
+// HTTP endpoint behavior, heartbeat JSONL, the stall watchdog, and — the
+// part that matters most — proof that polling the exporter from a
+// background thread during a real engine run perturbs neither results nor
+// counter totals at any thread count.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algorithms/registry.h"
+#include "data/tasks.h"
+#include "fl/engine.h"
+#include "models/zoo.h"
+#include "obs/live.h"
+#include "obs/manifest.h"
+#include "obs/registry.h"
+#include "support/temp_dir.h"
+
+namespace mhbench::obs {
+namespace {
+
+// Polls `pred` until true or the deadline passes.  Telemetry timing tests
+// use generous deadlines with tiny configured intervals, so they pass fast
+// on a healthy machine and stay robust on a loaded CI box.
+bool WaitFor(const std::function<bool()>& pred, double timeout_s = 10.0) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return pred();
+}
+
+// Minimal blocking HTTP client for the loopback server under test: sends
+// the raw request bytes, reads to EOF (the server always closes).
+std::string RawRequest(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    ADD_FAILURE() << "connect to 127.0.0.1:" << port << " failed";
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string HttpGet(int port, const std::string& path) {
+  return RawRequest(port, "GET " + path +
+                              " HTTP/1.1\r\nHost: t\r\nConnection: "
+                              "close\r\n\r\n");
+}
+
+// A registry carrying one flushed round with known counters, a histogram
+// and gauges — the fixture behind the rendering goldens.
+void FillRegistry(Registry* reg) {
+  reg->AddNamed("bytes_up", 1500);
+  reg->AddNamed("clients_trained", 3);
+  for (int i = 0; i < 3; ++i) reg->ObserveNamed("lat_us", 100);
+  reg->SetGauge("global_acc", 0.5);
+  reg->SetGauge("sim_time_s", 12.5);
+  reg->EndRound("fedavg", 0);
+}
+
+TEST(RegistrySnapshotTest, SeesOnlyFlushedState) {
+  Registry reg;
+  const Registry::CounterId id = reg.Counter("bytes_up");
+  reg.Add(id, 999);
+
+  // Nothing has crossed a barrier: the snapshot must not see the sink.
+  Registry::LiveSnapshot snap = reg.SnapshotTotals();
+  EXPECT_EQ(snap.counters.at("bytes_up"), 0);
+  EXPECT_EQ(snap.last_round, -1);
+  EXPECT_EQ(snap.rounds_completed, 0u);
+  EXPECT_TRUE(snap.accuracy.empty());
+
+  reg.SetGauge("global_acc", 0.25);
+  reg.SetGauge("sim_time_s", 3.5);
+  reg.EndRound("fedavg", 0);
+  snap = reg.SnapshotTotals();
+  EXPECT_EQ(snap.counters.at("bytes_up"), 999);
+  EXPECT_EQ(snap.last_round, 0);
+  EXPECT_EQ(snap.last_run, "fedavg");
+  EXPECT_EQ(snap.rounds_completed, 1u);
+  EXPECT_DOUBLE_EQ(snap.sim_time_s, 3.5);
+  ASSERT_EQ(snap.accuracy.size(), 1u);
+  EXPECT_EQ(snap.accuracy[0].first, 0);
+  EXPECT_DOUBLE_EQ(snap.accuracy[0].second, 0.25);
+
+  // Rounds without an evaluation add no accuracy point.
+  reg.Add(id, 1);
+  reg.EndRound("fedavg", 1);
+  snap = reg.SnapshotTotals();
+  EXPECT_EQ(snap.counters.at("bytes_up"), 1000);
+  EXPECT_EQ(snap.last_round, 1);
+  EXPECT_EQ(snap.rounds_completed, 2u);
+  EXPECT_EQ(snap.accuracy.size(), 1u);
+}
+
+TEST(RegistrySnapshotTest, RoundSinkStreamsPublishedRows) {
+  Registry reg;
+  std::vector<Registry::RoundRow> seen;
+  std::vector<std::size_t> rounds_visible_in_sink;
+  reg.SetRoundSink([&](const Registry::RoundRow& row) {
+    seen.push_back(row);
+    // The sink runs outside the registry lock, so it may call back into
+    // serial-phase accessors — exactly what the rounds.csv streamer does.
+    rounds_visible_in_sink.push_back(reg.rounds().size());
+  });
+
+  reg.AddNamed("bytes_up", 10);
+  reg.EndRound("fedavg", 0);
+  reg.AddNamed("bytes_up", 5);
+  reg.EndRound("fedavg", 1);
+  reg.SetRoundSink(nullptr);
+  reg.EndRound("fedavg", 2);  // uninstalled: not streamed
+
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].round, 0);
+  EXPECT_EQ(seen[0].counters.at("bytes_up"), 10);
+  EXPECT_EQ(seen[1].round, 1);
+  EXPECT_EQ(seen[1].counters.at("bytes_up"), 5);
+  EXPECT_EQ(rounds_visible_in_sink, (std::vector<std::size_t>{1u, 2u}));
+}
+
+TEST(RegistrySnapshotTest, StreamedRoundsCsvMatchesFinalRewrite) {
+  const testsupport::TempDir dir = testsupport::MakeTempDir();
+  Registry reg;
+  reg.SetRoundSink([&](const Registry::RoundRow&) {
+    WriteRoundsCsv(dir.path, reg);
+  });
+  reg.AddNamed("bytes_up", 10);
+  reg.SetGauge("global_acc", 0.5);
+  reg.EndRound("fedavg", 0);
+  reg.AddNamed("bytes_up", 7);
+  reg.EndRound("fedavg", 1);
+  reg.SetRoundSink(nullptr);
+
+  std::ifstream streamed_f(dir.File("rounds.csv"));
+  std::stringstream streamed;
+  streamed << streamed_f.rdbuf();
+  ASSERT_FALSE(streamed.str().empty());
+
+  // The end-of-run rewrite must be byte-identical to the last streamed
+  // state: streaming only changes when the file appears, not what it says.
+  const testsupport::TempDir dir2 = testsupport::MakeTempDir();
+  WriteRoundsCsv(dir2.path, reg);
+  std::ifstream final_f(dir2.File("rounds.csv"));
+  std::stringstream final_s;
+  final_s << final_f.rdbuf();
+  EXPECT_EQ(streamed.str(), final_s.str());
+}
+
+TEST(LiveExporterTest, MetricsTextGolden) {
+  Registry reg;
+  FillRegistry(&reg);
+  LiveConfig cfg;  // no HTTP, no heartbeat, no watchdog: render only
+  LiveExporter live(cfg, &reg);
+  live.NotifyProgress(0, 12.5);
+
+  const std::string want =
+      "# mhbench live telemetry (Prometheus text exposition 0.0.4)\n"
+      "# TYPE mhb_up gauge\nmhb_up 1\n"
+      "# TYPE mhb_rounds_completed counter\nmhb_rounds_completed 1\n"
+      "# TYPE mhb_last_round gauge\nmhb_last_round 0\n"
+      "# TYPE mhb_sim_time_seconds gauge\nmhb_sim_time_seconds 12.5\n"
+      "# TYPE mhb_global_accuracy gauge\nmhb_global_accuracy 0.5\n"
+      "# TYPE mhb_heartbeats counter\nmhb_heartbeats 0\n"
+      "# TYPE mhb_watchdog_stalls counter\nmhb_watchdog_stalls 0\n"
+      "# TYPE mhb_stalled gauge\nmhb_stalled 0\n"
+      "# TYPE mhb_checkpoints_written counter\nmhb_checkpoints_written 0\n"
+      "# TYPE mhb_counter_bytes_up counter\nmhb_counter_bytes_up 1500\n"
+      "# TYPE mhb_counter_clients_trained counter\n"
+      "mhb_counter_clients_trained 3\n"
+      "# TYPE mhb_hist_lat_us summary\n"
+      "mhb_hist_lat_us{quantile=\"0.5\"} 100\n"
+      "mhb_hist_lat_us{quantile=\"0.95\"} 100\n"
+      "mhb_hist_lat_us{quantile=\"0.99\"} 100\n"
+      "mhb_hist_lat_us_sum 300\n"
+      "mhb_hist_lat_us_count 3\n";
+  EXPECT_EQ(live.MetricsText(), want);
+}
+
+TEST(LiveExporterTest, StatusJsonCarriesTheSchema) {
+  Registry reg;
+  FillRegistry(&reg);
+  LiveConfig cfg;
+  cfg.run_id = "cifar100-none-fedavg-seed7";
+  cfg.rounds_total = 8;
+  LiveExporter live(cfg, &reg);
+  live.NotifyProgress(0, 12.5);
+  live.NotifyCheckpoint(1, "checkpoints/round1.mhbsnap");
+
+  const std::string json = live.StatusJson();
+  EXPECT_NE(json.find("\"run_id\": \"cifar100-none-fedavg-seed7\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"run\": \"fedavg\""), std::string::npos);
+  EXPECT_NE(json.find("\"rounds_completed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"last_round\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"rounds_total\": 8"), std::string::npos);
+  EXPECT_NE(json.find("\"sim_time_s\": 12.5"), std::string::npos);
+  EXPECT_NE(json.find("\"stalled\": false"), std::string::npos);
+  EXPECT_NE(json.find("\"watchdog_stalls\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"accuracy\": [[0, 0.5]]"), std::string::npos);
+  EXPECT_NE(json.find("\"bytes_up\": 1500"), std::string::npos);
+  EXPECT_NE(json.find("\"lat_us\": {\"count\":3,\"sum\":300"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"global_acc\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"checkpoint\": {\"written\": 1, \"next_round\": 1, "
+                      "\"path\": \"checkpoints/round1.mhbsnap\"}"),
+            std::string::npos);
+}
+
+TEST(LiveExporterTest, NullRegistryServesExporterLocalState) {
+  LiveConfig cfg;
+  cfg.run_id = "bare";
+  LiveExporter live(cfg, nullptr);
+  live.NotifyProgress(2, 7.0);
+  EXPECT_NE(live.MetricsText().find("mhb_last_round 2"), std::string::npos);
+  EXPECT_NE(live.StatusJson().find("\"run_id\": \"bare\""),
+            std::string::npos);
+}
+
+TEST(LiveExporterTest, HttpEndpointsServeTelemetry) {
+  Registry reg;
+  FillRegistry(&reg);
+  LiveConfig cfg;
+  cfg.http_port = 0;  // ephemeral
+  LiveExporter live(cfg, &reg);
+  ASSERT_GT(live.http_port(), 0);
+  const int port = live.http_port();
+
+  const std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("mhb_counter_bytes_up 1500"), std::string::npos);
+
+  const std::string status = HttpGet(port, "/status.json");
+  EXPECT_NE(status.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(status.find("application/json"), std::string::npos);
+  EXPECT_NE(status.find("\"rounds_completed\": 1"), std::string::npos);
+
+  const std::string health = HttpGet(port, "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  EXPECT_NE(HttpGet(port, "/nope").find("HTTP/1.1 404"), std::string::npos);
+  EXPECT_NE(RawRequest(port, "POST /metrics HTTP/1.1\r\n\r\n")
+                .find("HTTP/1.1 405"),
+            std::string::npos);
+  EXPECT_NE(RawRequest(port, "complete garbage\r\n\r\n")
+                .find("HTTP/1.1 400"),
+            std::string::npos);
+
+  // HEAD: headers only, no body payload after the blank line.
+  const std::string head =
+      RawRequest(port, "HEAD /healthz HTTP/1.1\r\n\r\n");
+  EXPECT_NE(head.find("HTTP/1.1 200 OK"), std::string::npos);
+  const std::size_t blank = head.find("\r\n\r\n");
+  ASSERT_NE(blank, std::string::npos);
+  EXPECT_EQ(head.substr(blank + 4), "");
+
+  live.Stop();
+  live.Stop();  // idempotent
+}
+
+TEST(LiveExporterTest, HeartbeatAppendsParseableJsonl) {
+  const testsupport::TempDir dir = testsupport::MakeTempDir();
+  Registry reg;
+  FillRegistry(&reg);
+  LiveConfig cfg;
+  cfg.heartbeat_every_s = 0.02;
+  cfg.heartbeat_path = dir.File("heartbeat.jsonl");
+  cfg.run_id = "hb-run";
+  cfg.rounds_total = 4;
+  LiveExporter live(cfg, &reg);
+  live.NotifyProgress(0, 12.5);
+  ASSERT_TRUE(WaitFor([&] { return live.heartbeat_count() >= 2; }))
+      << "no heartbeats after 10 s";
+  live.Stop();
+  const std::int64_t written = live.heartbeat_count();
+
+  std::ifstream f(cfg.heartbeat_path);
+  ASSERT_TRUE(f.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(f, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(written));
+  ASSERT_GE(lines.size(), 3u);  // >= 2 periodic + the final line at Stop
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    // Shape: one JSON object per line, monotone seq, the agreed keys.
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_NE(line.find("\"seq\":" + std::to_string(i)), std::string::npos)
+        << line;
+    for (const char* key :
+         {"\"utc\":", "\"unix_s\":", "\"uptime_s\":", "\"run_id\":\"hb-run\"",
+          "\"round\":", "\"rounds_completed\":", "\"rounds_total\":4",
+          "\"sim_time_s\":", "\"clients_trained\":", "\"bytes_up\":",
+          "\"checkpoints_written\":", "\"stalled\":false",
+          "\"watchdog_stalls\":0"}) {
+      EXPECT_NE(line.find(key), std::string::npos)
+          << "missing " << key << " in: " << line;
+    }
+  }
+}
+
+TEST(LiveWatchdogTest, FiresOnStallAndRecoversOnProgress) {
+  LiveConfig cfg;
+  cfg.watchdog_stall_s = 0.05;
+  LiveExporter live(cfg, nullptr);
+  ASSERT_TRUE(WaitFor([&] { return live.stalled(); }))
+      << "watchdog never fired on an artificial stall";
+  EXPECT_EQ(live.stall_count(), 1);
+  EXPECT_NE(live.MetricsText().find("mhb_stalled 1"), std::string::npos);
+  EXPECT_NE(live.StatusJson().find("\"stalled\": true"), std::string::npos);
+
+  live.NotifyProgress(0, 1.0);
+  EXPECT_FALSE(live.stalled());
+  // A second stall after recovery counts again.
+  ASSERT_TRUE(WaitFor([&] { return live.stall_count() >= 2; }));
+  live.Stop();
+}
+
+TEST(LiveWatchdogTest, HealthzReports503WhileStalled) {
+  LiveConfig cfg;
+  cfg.watchdog_stall_s = 0.05;
+  cfg.http_port = 0;
+  LiveExporter live(cfg, nullptr);
+  ASSERT_GT(live.http_port(), 0);
+  ASSERT_TRUE(WaitFor([&] { return live.stalled(); }));
+  const std::string health = HttpGet(live.http_port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 503"), std::string::npos) << health;
+  EXPECT_NE(health.find("stalled"), std::string::npos);
+}
+
+TEST(LiveWatchdogTest, SilentOnHealthyRun) {
+  LiveConfig cfg;
+  cfg.watchdog_stall_s = 0.2;
+  LiveExporter live(cfg, nullptr);
+  for (int i = 0; i < 10; ++i) {
+    live.NotifyProgress(i, i * 1.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_FALSE(live.stalled());
+  EXPECT_EQ(live.stall_count(), 0);
+}
+
+TEST(LiveWatchdogTest, AbortSeamRunsInsteadOfProcessExit) {
+  std::atomic<int> aborts{0};
+  LiveConfig cfg;
+  cfg.watchdog_stall_s = 0.05;
+  cfg.watchdog_abort = true;
+  cfg.on_watchdog_abort = [&aborts] { ++aborts; };
+  LiveExporter live(cfg, nullptr);
+  ASSERT_TRUE(WaitFor([&] { return aborts.load() >= 1; }))
+      << "abort hook never invoked";
+  live.Stop();
+  EXPECT_GE(live.stall_count(), 1);
+}
+
+// The contract the whole subsystem exists to honor: a real engine run with
+// the exporter attached — HTTP server up, heartbeats on, watchdog armed,
+// and a poller thread hammering every surface concurrently with training —
+// produces results and counter totals bit-identical to the bare run, at
+// every thread count.  Under TSan this also proves the snapshot path is
+// race-free against the engine's barrier flushes.
+TEST(LiveDeterminismTest, PollingExporterDoesNotPerturbEngineRuns) {
+  data::TaskConfig tcfg;
+  tcfg.train_samples = 120;
+  tcfg.test_samples = 60;
+  tcfg.num_clients = 4;
+  const data::Task task = data::MakeTask("cifar10", tcfg);
+
+  auto run = [&task](int threads, const obs::ObsConfig& obs) {
+    const auto tm = models::MakeTaskModels("cifar10");
+    auto alg = algorithms::MakeAlgorithm("fedavg", tm);
+    fl::FlConfig cfg;
+    cfg.rounds = 2;
+    cfg.sample_fraction = 1.0;
+    cfg.eval_every = 1;
+    cfg.eval_max_samples = 48;
+    cfg.stability_max_samples = 24;
+    cfg.num_threads = threads;
+    cfg.obs = obs;
+    fl::FlEngine engine(task, cfg,
+                        fl::UniformCapacityAssignments(4, {0.5, 1.0}), *alg);
+    return engine.Run();
+  };
+
+  const fl::RunResult bare = run(1, {});
+
+  std::map<std::string, std::int64_t> reference_totals;
+  for (const int threads : {1, 2, 4}) {
+    const testsupport::TempDir dir = testsupport::MakeTempDir();
+    Registry registry;
+    LiveConfig lcfg;
+    lcfg.http_port = 0;
+    lcfg.heartbeat_every_s = 0.01;
+    lcfg.heartbeat_path = dir.File("heartbeat.jsonl");
+    lcfg.watchdog_stall_s = 60.0;  // armed but must stay silent
+    lcfg.run_id = "live-determinism";
+    lcfg.rounds_total = 2;
+    LiveExporter live(lcfg, &registry);
+    ASSERT_GT(live.http_port(), 0);
+
+    obs::ObsConfig obs;
+    obs.registry = &registry;
+    obs.live = &live;
+
+    std::atomic<bool> done{false};
+    std::atomic<int> polls{0};
+    std::thread poller([&] {
+      while (!done.load()) {
+        live.MetricsText();
+        live.StatusJson();
+        HttpGet(live.http_port(), "/metrics");
+        HttpGet(live.http_port(), "/status.json");
+        registry.SnapshotTotals();
+        ++polls;
+      }
+    });
+
+    const fl::RunResult result = run(threads, obs);
+    done.store(true);
+    poller.join();
+    live.Stop();
+
+    EXPECT_GT(polls.load(), 0);
+    EXPECT_EQ(live.stall_count(), 0);
+    EXPECT_GE(live.heartbeat_count(), 1);  // final heartbeat at minimum
+
+    // Bit-identical results...
+    EXPECT_EQ(bare.final_accuracy, result.final_accuracy);
+    EXPECT_EQ(bare.total_sim_time_s, result.total_sim_time_s);
+    EXPECT_EQ(bare.total_participations, result.total_participations);
+    ASSERT_EQ(bare.curve.size(), result.curve.size());
+    for (std::size_t i = 0; i < bare.curve.size(); ++i) {
+      EXPECT_EQ(bare.curve[i].global_acc, result.curve[i].global_acc);
+      EXPECT_EQ(bare.curve[i].sim_time_s, result.curve[i].sim_time_s);
+    }
+    // ...and thread-count-independent totals with the exporter attached.
+    auto totals = registry.Totals();
+    totals.erase("pool_tasks");  // helper-task count tracks the pool size
+    EXPECT_GT(totals.at("clients_trained"), 0);
+    if (threads == 1) {
+      reference_totals = totals;
+    } else {
+      EXPECT_EQ(totals, reference_totals)
+          << "exporter perturbed totals at num_threads=" << threads;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mhbench::obs

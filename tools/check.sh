@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # Full verification: static analysis (mhb_lint + its fixture suite), then
 # build + ctest in the plain configuration (plus an observability smoke run
-# that emits and schema-checks a trace + manifest, and a checkpoint/resume
-# smoke that mhb_diffs a resumed run against an uninterrupted one), then
+# that emits and schema-checks a trace + manifest, a checkpoint/resume
+# smoke that mhb_diffs a resumed run against an uninterrupted one, and a
+# live telemetry smoke that polls /metrics + /status.json + /healthz while
+# a run trains and then mhb_diffs exporter-on against exporter-off), then
 # again under ThreadSanitizer (MHBENCH_SANITIZE=thread) to race-check the
-# parallel round executor.  Run from anywhere; builds live in build*/
-# siblings.
+# parallel round executor and the exporter.  Run from anywhere; builds live
+# in build*/ siblings.
 #
 #   tools/check.sh           # lint + plain + tsan
 #   tools/check.sh --lint    # mhb_lint fixtures + clean tree scan (no build)
@@ -192,6 +194,136 @@ JSON
   echo "check.sh: resume smoke passed"
 }
 
+# Live telemetry smoke: the CLI surface of the exporter (obs/live.h).  Two
+# identical runs — exporter off, then exporter on (--live-port 0 with
+# heartbeat + watchdog) — where a poller fetches /metrics, /healthz and
+# /status.json WHILE the second run trains, schema-checks the captured
+# documents plus the heartbeat.jsonl stream afterwards, and finally
+# mhb_diffs the two manifests expecting zero metric differences: serving
+# telemetry mid-run must not change a single counter, histogram bucket or
+# metric.  Only the client_wall_us quantiles are relaxed (real-clock noise,
+# same carve-out as the resume smoke).
+smoke_live() {
+  local build_dir="$1"
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "check.sh: python3 not found, skipping live telemetry smoke"
+    return 0
+  fi
+  local out
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' RETURN
+  local cli=("$build_dir/tools/mhbench")
+  local common=(run --task cifar10 --algorithm sheterofl --rounds 4 \
+    --clients 4 --threads 2 --profile 0)
+  MHB_TRAIN=160 MHB_TEST=80 "${cli[@]}" "${common[@]}" \
+    --manifest-dir "$out/off" >/dev/null
+  MHB_TRAIN=160 MHB_TEST=80 "${cli[@]}" "${common[@]}" \
+    --manifest-dir "$out/on" --live-port 0 --heartbeat-every 0.05 \
+    --watchdog-sec 60 > "$out/on.log" &
+  local run_pid=$!
+  # Poll the announced ephemeral port for as long as the run is alive; every
+  # endpoint must answer at least once mid-run.
+  if ! python3 - "$out" "$run_pid" <<'PY'
+import json, os, re, sys, time, urllib.request
+
+out, pid = sys.argv[1], int(sys.argv[2])
+log = os.path.join(out, "on.log")
+
+
+def alive():
+    try:
+        os.kill(pid, 0)
+        return True
+    except OSError:
+        return False
+
+
+port = None
+deadline = time.time() + 30
+while time.time() < deadline:
+    m = re.search(r"live telemetry on http://127\.0\.0\.1:(\d+)",
+                  open(log).read())
+    if m:
+        port = int(m.group(1))
+        break
+    if not alive():
+        sys.exit("mhbench exited before announcing the live port")
+    time.sleep(0.02)
+assert port is not None, "no live port announced within 30 s"
+
+hits = {"/metrics": 0, "/healthz": 0, "/status.json": 0}
+status_body = metrics_body = health_body = None
+while alive():
+    for path in hits:
+        try:
+            body = urllib.request.urlopen(
+                f"http://127.0.0.1:{port}{path}", timeout=2).read().decode()
+        except Exception:
+            continue
+        hits[path] += 1
+        if path == "/status.json":
+            status_body = body
+        elif path == "/metrics":
+            metrics_body = body
+        else:
+            health_body = body
+    time.sleep(0.02)
+
+for path, n in hits.items():
+    assert n > 0, f"never reached {path} mid-run"
+assert health_body.strip() == "ok", f"healthz said {health_body!r}"
+status = json.loads(status_body)  # must be valid JSON mid-run
+for key in ("run_id", "rounds_completed", "last_round", "sim_time_s",
+            "stalled", "watchdog_stalls", "accuracy", "counters",
+            "histograms", "checkpoint"):
+    assert key in status, f"status.json: missing {key!r}"
+assert status["watchdog_stalls"] == 0
+assert "mhb_up 1" in metrics_body
+assert "# TYPE mhb_rounds_completed counter" in metrics_body
+print("check.sh: live endpoints served mid-run (metrics="
+      f"{hits['/metrics']}, status={hits['/status.json']}, "
+      f"healthz={hits['/healthz']})")
+PY
+  then
+    kill "$run_pid" 2>/dev/null || true
+    wait "$run_pid" 2>/dev/null || true
+    return 1
+  fi
+  wait "$run_pid"
+  # The heartbeat stream next to the manifest: one JSON object per line,
+  # monotone seq, silent watchdog.
+  python3 - "$out/on" <<'PY'
+import glob, json, sys
+
+paths = glob.glob(sys.argv[1] + "/*/heartbeat.jsonl")
+assert len(paths) == 1, f"expected one heartbeat.jsonl, got {paths}"
+lines = open(paths[0]).read().splitlines()
+assert lines, "heartbeat.jsonl is empty"
+for i, line in enumerate(lines):
+    rec = json.loads(line)
+    assert rec["seq"] == i, f"line {i}: seq {rec['seq']}"
+    for key in ("utc", "unix_s", "uptime_s", "run_id", "round",
+                "rounds_completed", "rounds_total", "sim_time_s",
+                "clients_trained", "bytes_up", "checkpoints_written",
+                "stalled", "watchdog_stalls"):
+        assert key in rec, f"line {i}: missing {key!r}"
+final = json.loads(lines[-1])
+assert final["watchdog_stalls"] == 0, "watchdog fired on a healthy run"
+assert final["stalled"] is False
+print(f"check.sh: heartbeat stream valid ({len(lines)} lines)")
+PY
+  cat > "$out/thresholds.json" <<'JSON'
+{
+  "client_wall_us.p50": {"ratio": 1000},
+  "client_wall_us.p95": {"ratio": 1000},
+  "client_wall_us.p99": {"ratio": 1000}
+}
+JSON
+  python3 "$repo/tools/mhb_diff.py" --thresholds "$out/thresholds.json" \
+    "$out/off" "$out/on" >/dev/null
+  echo "check.sh: live telemetry smoke passed"
+}
+
 # Kernel benchmark smoke: builds Release, runs the GEMM/conv micro-benchmarks
 # through both backends, and distills the raw google-benchmark output into
 # BENCH_kernels.json (p50/p95 wall time per shape plus fast/naive speedup
@@ -235,15 +367,21 @@ case "$mode" in
     run_suite "$repo/build"
     smoke_obs "$repo/build"
     smoke_resume "$repo/build"
+    smoke_live "$repo/build"
     run_suite "$repo/build-tsan" -DMHBENCH_SANITIZE=thread
+    smoke_live "$repo/build-tsan"
     ;;
   --lint) run_lint ;;
   --plain)
     run_suite "$repo/build"
     smoke_obs "$repo/build"
     smoke_resume "$repo/build"
+    smoke_live "$repo/build"
     ;;
-  --tsan)  run_suite "$repo/build-tsan" -DMHBENCH_SANITIZE=thread ;;
+  --tsan)
+    run_suite "$repo/build-tsan" -DMHBENCH_SANITIZE=thread
+    smoke_live "$repo/build-tsan"
+    ;;
   --asan)  run_suite "$repo/build-asan" -DMHBENCH_SANITIZE=address ;;
   --ubsan)
     UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}" \

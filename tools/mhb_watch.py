@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Terminal progress view for a live mhbench run.
+
+Usage: mhb_watch.py [--port P | --url URL] [--interval SEC] [--once]
+
+Polls the run's /status.json (served by `mhbench run --live-port P`,
+obs/live.h) and renders a one-screen progress report: round progress bar,
+simulated clock, the accuracy-curve tail, stall state, and the headline
+counters.  Strictly an observer — it only issues GETs against the
+exporter's read-only endpoints, so watching a run can never perturb it.
+
+  mhb_watch.py --port 8787                # watch http://127.0.0.1:8787
+  mhb_watch.py --url http://host:8787     # watch a remote run
+  mhb_watch.py --port 8787 --once         # print one snapshot and exit
+
+Connection refused is treated as "run not up yet / already finished": the
+watcher keeps retrying until interrupted (or exits 1 under --once).
+
+Exit status: 0 on a clean snapshot (or Ctrl-C), 1 when --once cannot reach
+the exporter or the payload is malformed.
+"""
+
+import argparse
+import json
+import sys
+import time
+import urllib.error
+import urllib.request
+
+
+def fetch_status(url, timeout=2.0):
+    """Returns the parsed /status.json object, or None when unreachable."""
+    try:
+        with urllib.request.urlopen(url + "/status.json", timeout=timeout) as r:
+            return json.loads(r.read().decode("utf-8"))
+    except (urllib.error.URLError, OSError, ValueError):
+        return None
+
+
+def progress_bar(done, total, width=30):
+    if total <= 0:
+        return "[" + "?" * width + "]"
+    filled = min(width, int(width * done / total))
+    return "[" + "#" * filled + "-" * (width - filled) + "]"
+
+
+def render(status):
+    lines = []
+    done = status.get("rounds_completed", 0)
+    total = status.get("rounds_total", 0)
+    run_id = status.get("run_id") or status.get("run") or "?"
+    pct = f" {100.0 * done / total:5.1f}%" if total > 0 else ""
+    lines.append(f"run      {run_id}")
+    lines.append(
+        f"rounds   {progress_bar(done, total)} {done}"
+        + (f"/{total}{pct}" if total > 0 else " completed")
+    )
+    lines.append(
+        f"clock    sim {status.get('sim_time_s', 0):.1f} s"
+        f"   up {status.get('uptime_s', 0):.1f} s"
+        f"   last progress {status.get('progress_age_s', 0):.1f} s ago"
+    )
+    if status.get("stalled"):
+        lines.append("state    STALLED (watchdog fired "
+                     f"{status.get('watchdog_stalls', 0)}x)")
+    else:
+        lines.append("state    healthy"
+                     + (f", {status['watchdog_stalls']} past stall(s)"
+                        if status.get("watchdog_stalls") else ""))
+
+    acc = status.get("accuracy") or []
+    if acc:
+        tail = ", ".join(f"r{r}={a:.4f}" for r, a in acc[-5:])
+        lines.append(f"accuracy {tail}")
+
+    counters = status.get("counters") or {}
+    headline = [
+        (name, counters[name])
+        for name in ("clients_trained", "clients_dropped", "bytes_up",
+                     "bytes_down", "gemm_flops")
+        if name in counters
+    ]
+    if headline:
+        lines.append("counters " +
+                     "  ".join(f"{n}={v:,}" for n, v in headline))
+
+    ckpt = status.get("checkpoint") or {}
+    if ckpt.get("written"):
+        lines.append(f"ckpt     {ckpt['written']} written, resume round "
+                     f"{ckpt.get('next_round')} -> {ckpt.get('path')}")
+    return "\n".join(lines)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="watch a live mhbench run via its /status.json")
+    group = ap.add_mutually_exclusive_group()
+    group.add_argument("--port", type=int,
+                       help="poll http://127.0.0.1:PORT (the --live-port "
+                            "of the run)")
+    group.add_argument("--url", help="full base URL of the exporter")
+    ap.add_argument("--interval", type=float, default=1.0,
+                    help="poll interval in seconds (default 1)")
+    ap.add_argument("--once", action="store_true",
+                    help="print a single snapshot and exit")
+    args = ap.parse_args()
+
+    if args.url:
+        url = args.url.rstrip("/")
+    else:
+        url = f"http://127.0.0.1:{args.port if args.port else 8787}"
+
+    try:
+        while True:
+            status = fetch_status(url)
+            if args.once:
+                if status is None:
+                    print(f"mhb_watch: no exporter at {url}", file=sys.stderr)
+                    return 1
+                print(render(status))
+                return 0
+            # Clear-screen redraw keeps the view stable without curses.
+            sys.stdout.write("\x1b[2J\x1b[H")
+            if status is None:
+                print(f"mhb_watch: waiting for {url} ...")
+            else:
+                print(render(status))
+            sys.stdout.flush()
+            time.sleep(max(0.05, args.interval))
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

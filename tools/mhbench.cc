@@ -15,6 +15,8 @@
 //               [--manifest-dir results] [--profile 0|1]
 //               [--checkpoint-every N] [--checkpoint-dir checkpoints]
 //               [--resume checkpoints/round_000002.mhbsnap]
+//               [--live-port P] [--heartbeat-every SEC]
+//               [--watchdog-sec SEC] [--watchdog-abort 0|1]
 //       Run one federated experiment and print the metric panel.
 //       --threads parallelizes client training and stability evaluation;
 //       results are bit-identical for any thread count.
@@ -32,12 +34,23 @@
 //       restores one snapshot and continues — with the same config the
 //       resumed run is bit-identical to the uninterrupted one (see
 //       DESIGN.md §5g).
+//       --live-port P serves live telemetry on http://127.0.0.1:P
+//       (/metrics in Prometheus text format, /status.json, /healthz;
+//       P=0 picks an ephemeral port, printed before the run starts).
+//       --heartbeat-every S appends a heartbeat.jsonl line to the run's
+//       manifest dir every S wall seconds (requires --manifest-dir);
+//       --watchdog-sec S logs a stall when no round completes for S wall
+//       seconds, and --watchdog-abort 1 turns that into a hard exit.
+//       None of these can perturb results: the exporter only reads
+//       round-barrier totals (DESIGN.md §5h); `tools/mhb_watch.py` polls
+//       /status.json into a terminal progress view.
 //
 // Every command also accepts --log-level <silent|error|warn|info|debug|
 // trace|0-5>, mirroring the MHB_LOG_LEVEL environment variable (the flag
 // wins when both are given).
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -54,6 +67,7 @@
 #include "device/ima_fleet.h"
 #include "metrics/report.h"
 #include "models/zoo.h"
+#include "obs/live.h"
 #include "obs/manifest.h"
 #include "obs/profile.h"
 #include "obs/registry.h"
@@ -208,18 +222,34 @@ int CmdRun(const Args& args) {
   options.checkpoint_dir = args.Get("checkpoint-dir", "checkpoints");
   options.resume_path = args.Get("resume", "");
 
+  const std::string algorithm = args.Get("algorithm", "sheterofl");
   const std::string trace_path = args.Get("trace", "");
   const std::string manifest_dir = args.Get("manifest-dir", "");
   const bool profile = args.GetI("profile", manifest_dir.empty() ? 0 : 1) != 0;
+
+  // Live telemetry (obs/live.h, DESIGN.md §5h).
+  const int live_port = args.GetI("live-port", -1);
+  double heartbeat_every = args.GetD("heartbeat-every", 0.0);
+  const double watchdog_sec = args.GetD("watchdog-sec", 0.0);
+  const bool watchdog_abort = args.GetI("watchdog-abort", 0) != 0;
+  const bool live_enabled =
+      live_port >= 0 || heartbeat_every > 0 || watchdog_sec > 0;
+  if (heartbeat_every > 0 && manifest_dir.empty()) {
+    MHB_LOG_WARN << "--heartbeat-every needs --manifest-dir for the "
+                    "heartbeat.jsonl destination; disabling heartbeat";
+    heartbeat_every = 0.0;
+  }
+
   std::unique_ptr<obs::Tracer> tracer;
   std::unique_ptr<obs::Registry> registry;
   std::unique_ptr<obs::Profiler> profiler;
   if (!trace_path.empty()) tracer = std::make_unique<obs::Tracer>();
   if (!trace_path.empty() || !manifest_dir.empty() ||
-      options.checkpoint_every > 0) {
+      options.checkpoint_every > 0 || live_enabled) {
     // Checkpointing keeps a registry even without --manifest-dir so
     // snapshots carry the obs section (resumed manifests then report
-    // whole-campaign totals).
+    // whole-campaign totals); live telemetry needs one as the snapshot
+    // source for /metrics and /status.json.
     registry = std::make_unique<obs::Registry>();
   }
   if (profile) profiler = std::make_unique<obs::Profiler>();
@@ -232,16 +262,73 @@ int CmdRun(const Args& args) {
                << " manifest_dir="
                << (manifest_dir.empty() ? "off" : manifest_dir)
                << " profiler=" << (profile ? "on" : "off")
-               << " sim_spans=" << (options.obs.sim_spans ? "on" : "off");
+               << " sim_spans=" << (options.obs.sim_spans ? "on" : "off")
+               << " live=" << (live_enabled ? "on" : "off");
 
-  const std::string algorithm = args.Get("algorithm", "sheterofl");
+  // The run directory is created up front (not only at exit) so the
+  // heartbeat stream and the incrementally-rewritten rounds.csv land in
+  // the same place WriteRunManifest finalizes at the end.
+  const std::string run_id = options.task + "-" + options.constraint + "-" +
+                             algorithm + "-seed" +
+                             std::to_string(options.preset.seed);
+  std::string run_dir;
+  if (!manifest_dir.empty()) {
+    run_dir = (std::filesystem::path(manifest_dir) /
+               obs::SanitizeRunId(run_id))
+                  .string();
+    std::error_code ec;
+    std::filesystem::create_directories(run_dir, ec);
+    MHB_CHECK(!ec) << "cannot create run dir" << run_dir;
+    if (registry != nullptr) {
+      // Stream rounds.csv per completed round: killed runs keep partial
+      // per-round artifacts.  The end-of-run manifest rewrite produces a
+      // byte-identical final file.
+      obs::Registry* reg = registry.get();
+      registry->SetRoundSink(
+          [reg, run_dir](const obs::Registry::RoundRow& /*row*/) {
+            obs::WriteRoundsCsv(run_dir, *reg);
+          });
+    }
+  }
+
+  std::unique_ptr<obs::LiveExporter> live;
+  if (live_enabled) {
+    obs::LiveConfig lcfg;
+    lcfg.http_port = live_port;
+    lcfg.heartbeat_every_s = heartbeat_every;
+    if (heartbeat_every > 0) {
+      lcfg.heartbeat_path = run_dir + "/heartbeat.jsonl";
+    }
+    lcfg.watchdog_stall_s = watchdog_sec;
+    lcfg.watchdog_abort = watchdog_abort;
+    lcfg.run_id = run_id;
+    lcfg.rounds_total = options.preset.rounds;
+    live = std::make_unique<obs::LiveExporter>(lcfg, registry.get());
+    options.obs.live = live.get();
+    if (live->http_port() >= 0) {
+      // Printed (and flushed) before the run starts so pollers reading a
+      // redirected log can discover an ephemeral port.
+      std::printf("[live telemetry on http://127.0.0.1:%d]\n",
+                  live->http_port());
+      std::fflush(stdout);
+    }
+  }
+
   std::printf("running %s on %s under %s-limited MHFL (%d rounds, %d "
               "clients)...\n",
               algorithm.c_str(), options.task.c_str(),
               options.constraint.c_str(), options.preset.rounds,
               options.preset.clients);
+  std::fflush(stdout);
 
   const auto bundles = bench_support::RunSuite({algorithm}, options);
+  if (live != nullptr) {
+    // Stop watchdog/heartbeat/HTTP before finalizing artifacts: the final
+    // heartbeat line is written here, and nothing may poll half-written
+    // files while the manifest lands.
+    live->Stop();
+  }
+  if (registry != nullptr) registry->SetRoundSink(nullptr);
   std::fputs(metrics::RenderMetricPanel(
                  options.constraint + " / " + options.task, bundles)
                  .c_str(),
@@ -267,8 +354,7 @@ int CmdRun(const Args& args) {
   }
   if (!manifest_dir.empty()) {
     obs::RunManifest m;
-    m.run_id = options.task + "-" + options.constraint + "-" + algorithm +
-               "-seed" + std::to_string(options.preset.seed);
+    m.run_id = run_id;
     m.tool = "mhbench run";
     m.git_describe = obs::GitDescribe();
     m.created_utc = obs::IsoTimestampUtc();
