@@ -3,7 +3,10 @@
 // masked aggregation, and the cost model.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "device/cost_model.h"
 #include "device/device_profile.h"
 #include "fl/aggregator.h"
@@ -54,6 +57,64 @@ void BM_MatmulNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_MatmulNaive)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
 
+// Threaded macro-tile GEMM at a given logical thread count T: a pool of
+// T-1 workers plus the caller, mirroring the engine's ThreadPool sizing.
+// T=1 installs no pool (serial fast path), so the /1 entry doubles as a
+// no-overhead check against BM_Matmul.  bench_report.py pairs each
+// /n/T entry against BM_Matmul/n and gates the speedup per thread count
+// (entries where T exceeds the machine's CPUs are annotated and exempt).
+void BM_MatmulThreaded(benchmark::State& state) {
+  BackendGuard guard(kernels::Backend::kFast);
+  const int n = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  std::unique_ptr<core::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<core::ThreadPool>(threads - 1);
+  core::ThreadPool* prev = kernels::SetGemmThreadPool(pool.get());
+  Rng rng(1);
+  const Tensor a = Tensor::Randn({n, n}, rng);
+  const Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Matmul(a, b));
+  }
+  kernels::SetGemmThreadPool(prev);
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatmulThreaded)->Args({256, 1})->Args({256, 2})->Args({256, 4});
+
+// Reduced-precision eval kernels (gemm.h), routed exactly the way the
+// engine routes them: through an EvalPrecisionGuard around a regular
+// kernels::Gemm call.  Paired against BM_Matmul (the f32 fast kernel) in
+// bench_report.py.
+void MatmulPrecisionBody(benchmark::State& state,
+                         kernels::EvalPrecision precision) {
+  BackendGuard guard(kernels::Backend::kFast);
+  kernels::EvalPrecisionGuard precision_guard(precision);
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  const Tensor a = Tensor::Randn({n, n}, rng);
+  const Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops::Matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+
+void BM_MatmulBf16(benchmark::State& state) {
+  MatmulPrecisionBody(state, kernels::EvalPrecision::kBf16);
+}
+BENCHMARK(BM_MatmulBf16)->Arg(256);
+
+void BM_MatmulInt8(benchmark::State& state) {
+  MatmulPrecisionBody(state, kernels::EvalPrecision::kInt8);
+}
+BENCHMARK(BM_MatmulInt8)->Arg(256);
+
+// Conv workload: N=8, Cin=8, Cout=16, 8x8 spatial, 3x3 stride-1 pad-1
+// (output spatial = input).  Forward MACs = N*Cout*H*W*Cin*3*3; FLOPs =
+// 2x that.  Items-processed carries the FLOP count so bench_report.py
+// reports real GFLOP/s for the conv entries too.
+constexpr long long kConvForwardFlops = 2LL * 8 * 16 * 8 * 8 * 8 * 3 * 3;
+
 void Conv2dForwardBody(benchmark::State& state, kernels::Backend backend) {
   BackendGuard guard(backend);
   Rng rng(2);
@@ -63,6 +124,7 @@ void Conv2dForwardBody(benchmark::State& state, kernels::Backend backend) {
     benchmark::DoNotOptimize(conv.Forward(x, true));
     kernels::ResetThreadScratch();
   }
+  state.SetItemsProcessed(state.iterations() * kConvForwardFlops);
 }
 
 void BM_Conv2dForward(benchmark::State& state) {
@@ -87,6 +149,8 @@ void Conv2dBackwardBody(benchmark::State& state, kernels::Backend backend) {
     benchmark::DoNotOptimize(conv.Backward(g));
     kernels::ResetThreadScratch();
   }
+  // Backward runs two GEMMs of the forward's shape (dW and dX).
+  state.SetItemsProcessed(state.iterations() * 2 * kConvForwardFlops);
 }
 
 void BM_Conv2dBackward(benchmark::State& state) {
@@ -170,4 +234,24 @@ BENCHMARK(BM_CostModel);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN() expanded so the run's JSON context records which
+// micro-kernel ISA the runtime dispatch picked (bench_report.py copies it
+// into BENCH_kernels.json; mhb_diff.py refuses cross-backend comparisons)
+// and whether THIS binary was an optimized build.  The latter is the
+// signal bench_report.py's debug refusal keys on: google-benchmark's own
+// library_build_type describes the system libbenchmark, which can be a
+// debug build even when the kernels under test are -O3.
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("mhb_kernel_backend",
+                              kernels::KernelBackendName());
+#ifdef NDEBUG
+  benchmark::AddCustomContext("mhb_build_type", "release");
+#else
+  benchmark::AddCustomContext("mhb_build_type", "debug");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

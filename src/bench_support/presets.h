@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 namespace mhbench::bench_support {
 
@@ -20,10 +21,16 @@ struct BenchPreset {
   // Threads for client dispatch / stability evaluation (1 = serial; any
   // value yields bit-identical results — see fl::FlConfig::num_threads).
   int threads;
+  // Non-zero routes kernel macro-tile parallelism to the engine pool in
+  // serial phases (fl::FlConfig::threaded_gemm; bit-identical either way).
+  int threaded_gemm;
+  // Eval-side matmul precision: "f32", "bf16" or "int8"
+  // (fl::FlConfig::eval_precision).
+  std::string eval_precision;
 
   // Reads MHB_ROUNDS, MHB_CLIENTS, MHB_TRAIN, MHB_TEST,
-  // MHB_SAMPLE_FRACTION, MHB_EVAL_EVERY, MHB_SEED, MHB_THREADS over the
-  // fast defaults.
+  // MHB_SAMPLE_FRACTION, MHB_EVAL_EVERY, MHB_SEED, MHB_THREADS,
+  // MHB_THREADED_GEMM, MHB_EVAL_PRECISION over the fast defaults.
   static BenchPreset FromEnv();
 };
 

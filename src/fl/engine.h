@@ -14,6 +14,7 @@
 #include "fl/client.h"
 #include "obs/obs_config.h"
 #include "obs/registry.h"
+#include "tensor/gemm.h"
 
 namespace mhbench::fl {
 
@@ -58,6 +59,19 @@ struct FlConfig {
   // bit-identical RunResults: all order-sensitive randomness is drawn
   // serially before dispatch and updates are merged in dispatch order.
   int num_threads = 1;
+  // Routes kernel-layer macro-tile parallelism (tensor/gemm.h) to the
+  // engine's worker pool for the run's serial phases — aggregation, global
+  // eval — where the single-threaded GEMM otherwise leaves workers idle.
+  // Bit-identical on or off and at any thread count: the threaded GEMM's
+  // tile ownership map never splits or reorders an accumulation.  No-op
+  // when num_threads <= 1 (no pool exists).
+  bool threaded_gemm = false;
+  // Numeric precision for evaluation-side matmuls (global accuracy +
+  // stability eval), installed thread-locally around the eval calls only —
+  // training always runs f32.  Reduced precision changes eval *results*
+  // (deterministically), so resumed runs must keep the setting; it does
+  // not enter the snapshot format.
+  kernels::EvalPrecision eval_precision = kernels::EvalPrecision::kF32;
   // Observability hooks (tracer / counter registry); all-null by default,
   // in which case instrumentation reduces to untaken branches.  Collection
   // never feeds back into execution, so enabling it cannot change results.

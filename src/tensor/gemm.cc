@@ -6,21 +6,140 @@
 #include <cstring>
 
 #include "core/error.h"
+#include "core/logging.h"
+#include "core/thread_pool.h"
+#include "tensor/gemm_kernels.h"
 #include "tensor/scratch.h"
 
 namespace mhbench::kernels {
 namespace {
 
 std::atomic<std::uint64_t> g_flops{0};
+std::atomic<std::uint64_t> g_flops_bf16{0};
+std::atomic<std::uint64_t> g_flops_int8{0};
 thread_local std::uint64_t tl_flops = 0;
 
-Backend InitialBackend() {
-  const char* env = std::getenv("MHB_KERNELS");
-  if (env != nullptr && std::strcmp(env, "naive") == 0) return Backend::kNaive;
-  return Backend::kFast;
+thread_local EvalPrecision tl_eval_precision = EvalPrecision::kF32;
+
+std::atomic<core::ThreadPool*> g_gemm_pool{nullptr};
+
+// Threaded macro-tile path engages only at or above this many flops
+// (2*m*n*k ≈ a 128^3 matmul): below it, ParallelFor dispatch overhead beats
+// the parallel win.  Engagement never changes results (gemm.h), only wall
+// time, so the threshold needs no cross-machine tuning.
+constexpr std::uint64_t kThreadedMinFlops = 4ull << 20;
+
+// __builtin_cpu_supports requires a literal argument, hence one wrapper
+// per feature rather than a CpuHas(const char*) helper.
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+bool CpuHasAvx2() { return __builtin_cpu_supports("avx2"); }
+bool CpuHasFma() { return __builtin_cpu_supports("fma"); }
+bool CpuHasAvx512f() { return __builtin_cpu_supports("avx512f"); }
+#else
+bool CpuHasAvx2() { return false; }
+bool CpuHasFma() { return false; }
+bool CpuHasAvx512f() { return false; }
+#endif
+
+bool TileAvailable(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+      // The TU is compiled -mavx2 -mfma as a unit (src/CMakeLists.txt), so
+      // runtime eligibility requires both features.
+      return detail::Avx2TileCompiled() && CpuHasAvx2() && CpuHasFma();
+    case Isa::kAvx512:
+      return detail::Avx512TileCompiled() && CpuHasAvx512f();
+  }
+  return false;
 }
 
-std::atomic<Backend> g_backend{InitialBackend()};
+Isa BestIsa() {
+  if (TileAvailable(Isa::kAvx512)) return Isa::kAvx512;
+  if (TileAvailable(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+detail::MicroKernelFn TileFor(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx512:
+      return detail::MicroKernelAvx512;
+    case Isa::kAvx2:
+      return detail::MicroKernelAvx2;
+    case Isa::kScalar:
+      break;
+  }
+  return detail::MicroKernelScalar;
+}
+
+bool ParseIsaName(const char* text, Isa* out) {
+  if (std::strcmp(text, "scalar") == 0) {
+    *out = Isa::kScalar;
+  } else if (std::strcmp(text, "avx2") == 0) {
+    *out = Isa::kAvx2;
+  } else if (std::strcmp(text, "avx512") == 0) {
+    *out = Isa::kAvx512;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+struct KernelChoice {
+  Backend backend;
+  Isa isa;
+};
+
+// Resolves MHB_KERNELS once at startup (cold path — a process makes this
+// decision exactly once, before any kernel runs).
+KernelChoice InitialChoice() {
+  KernelChoice choice{Backend::kFast, BestIsa()};
+  const char* env = std::getenv("MHB_KERNELS");
+  if (env == nullptr || *env == '\0' || std::strcmp(env, "fast") == 0) {
+    return choice;
+  }
+  if (std::strcmp(env, "naive") == 0) {
+    choice.backend = Backend::kNaive;
+    return choice;
+  }
+  Isa want;
+  if (!ParseIsaName(env, &want)) {
+    MHB_LOG_WARN << "MHB_KERNELS=" << env
+                 << " not recognized (naive|scalar|avx2|avx512|fast); "
+                    "using fast/"
+                 << IsaName(choice.isa);
+    return choice;
+  }
+  if (!TileAvailable(want)) {
+    MHB_LOG_WARN << "MHB_KERNELS=" << env
+                 << " unavailable on this host/build; using "
+                 << IsaName(choice.isa);
+    return choice;
+  }
+  choice.isa = want;
+  return choice;
+}
+
+// Function-local statics, not namespace-scope globals: InitialChoice()
+// logs when MHB_KERNELS is invalid, and a namespace-scope initializer
+// could run before the logger's own cross-TU static state (the warning
+// would be silently dropped).  First touch is the first kernel/query
+// call, which is always after main() has started.
+const KernelChoice& ResolvedChoice() {
+  static const KernelChoice choice = InitialChoice();
+  return choice;
+}
+
+std::atomic<Backend>& BackendAtomic() {
+  static std::atomic<Backend> backend{ResolvedChoice().backend};
+  return backend;
+}
+
+std::atomic<Isa>& IsaAtomic() {
+  static std::atomic<Isa> isa{ResolvedChoice().isa};
+  return isa;
+}
 
 // op(A)(i, p) for a row-major buffer with leading dimension lda.
 inline float At(const float* a, int lda, bool trans, int i, int p) {
@@ -30,7 +149,10 @@ inline float At(const float* a, int lda, bool trans, int i, int p) {
 
 // Packs the mc x kc block of op(A) at (ic, pc) into row panels of kMR:
 // panel r holds, for each p in [0, kc), kMR consecutive elements of column
-// p (zero-padded past mc) so the microkernel streams it linearly.
+// p (zero-padded past mc) so the microkernel streams it linearly.  Because
+// kMC is a multiple of kMR, packing the whole m range at once (threaded
+// path) produces byte-identical panels to packing each MC block separately
+// (serial path).
 void PackA(bool trans, const float* a, int lda, int ic, int pc, int mc,
            int kc, float* ap) {
   for (int i0 = 0; i0 < mc; i0 += kMR) {
@@ -71,117 +193,64 @@ void PackB(bool trans, const float* b, int ldb, int pc, int jc, int kc,
   }
 }
 
-// kMR x kNR register tile over one packed A panel and one packed B panel.
-//
-// The accumulators must live in vector registers across the whole p loop —
-// left as a plain float array, GCC keeps them in memory and the kernel runs
-// at scalar speed.  With vector-extension types the 6 x 16 tile is exactly
-// 6 zmm (or 12 ymm) registers.  `c += a * b` is written so the compiler may
-// contract it into a fused multiply-add when the TU is built with -mfma:
-// rounding then differs from the naive reference, but the contraction order
-// is fixed, so results stay bit-identical across runs and thread counts for
-// a given build (the determinism contract in gemm.h).
-#if defined(__AVX512F__) && defined(__GNUC__)
-
-using V16 = float __attribute__((vector_size(64)));
-
-inline V16 LoadV16(const float* p) {
-  V16 v;
-  std::memcpy(&v, p, sizeof(v));
-  return v;
-}
-
-// Splat via an explicit all-lanes initializer: compiles to one
-// vbroadcastss.  (`V16{} + x` would emit an extra dependent vaddss — GCC
-// cannot fold 0.0f + x without fast-math because of signed zeros.)
-inline V16 Splat16(float x) {
-  return V16{x, x, x, x, x, x, x, x, x, x, x, x, x, x, x, x};
-}
-
-inline void MicroKernel(int kc, const float* ap, const float* bp,
-                        float* acc) {
-  static_assert(kMR == 6 && kNR == 16, "tile hard-wired to 6x16");
-  V16 c0{}, c1{}, c2{}, c3{}, c4{}, c5{};
-  for (int p = 0; p < kc; ++p) {
-    const float* arow = ap + static_cast<std::size_t>(p) * kMR;
-    const V16 b = LoadV16(bp + static_cast<std::size_t>(p) * kNR);
-    c0 += Splat16(arow[0]) * b;
-    c1 += Splat16(arow[1]) * b;
-    c2 += Splat16(arow[2]) * b;
-    c3 += Splat16(arow[3]) * b;
-    c4 += Splat16(arow[4]) * b;
-    c5 += Splat16(arow[5]) * b;
+// One register tile's writeback.  The first/beta/bias decisions are
+// tile-constant, so each branch body is a plain vectorizable loop; the
+// arithmetic order per element matches the fused form: (acc [+ C]) first,
+// bias last.
+inline void StoreTile(const float* acc, float* cd, int ldc, int mr, int nr,
+                      bool first, bool last, float beta,
+                      const float* bias_j) {
+  for (int r = 0; r < mr; ++r) {
+    float* crow = cd + static_cast<std::size_t>(r) * ldc;
+    const float* accrow = acc + r * kNR;
+    if (!first) {
+      for (int q = 0; q < nr; ++q) crow[q] = accrow[q] + crow[q];
+    } else if (beta != 0.0f) {
+      for (int q = 0; q < nr; ++q) crow[q] = accrow[q] + beta * crow[q];
+    } else {
+      for (int q = 0; q < nr; ++q) crow[q] = accrow[q];
+    }
   }
-  const V16 rows[kMR] = {c0, c1, c2, c3, c4, c5};
-  for (int i = 0; i < kMR; ++i) {
-    std::memcpy(acc + i * kNR, &rows[i], sizeof(V16));
-  }
-}
-
-#elif defined(__AVX2__) && defined(__GNUC__)
-
-using V8 = float __attribute__((vector_size(32)));
-
-inline V8 LoadV8(const float* p) {
-  V8 v;
-  std::memcpy(&v, p, sizeof(v));
-  return v;
-}
-
-// One vbroadcastss; see Splat16.
-inline V8 Splat8(float x) { return V8{x, x, x, x, x, x, x, x}; }
-
-inline void MicroKernel(int kc, const float* ap, const float* bp,
-                        float* acc) {
-  static_assert(kMR == 6 && kNR == 16, "tile hard-wired to 6x16");
-  V8 c00{}, c01{}, c10{}, c11{}, c20{}, c21{};
-  V8 c30{}, c31{}, c40{}, c41{}, c50{}, c51{};
-  for (int p = 0; p < kc; ++p) {
-    const float* arow = ap + static_cast<std::size_t>(p) * kMR;
-    const float* brow = bp + static_cast<std::size_t>(p) * kNR;
-    const V8 b0 = LoadV8(brow);
-    const V8 b1 = LoadV8(brow + 8);
-    V8 a;
-    a = Splat8(arow[0]); c00 += a * b0; c01 += a * b1;
-    a = Splat8(arow[1]); c10 += a * b0; c11 += a * b1;
-    a = Splat8(arow[2]); c20 += a * b0; c21 += a * b1;
-    a = Splat8(arow[3]); c30 += a * b0; c31 += a * b1;
-    a = Splat8(arow[4]); c40 += a * b0; c41 += a * b1;
-    a = Splat8(arow[5]); c50 += a * b0; c51 += a * b1;
-  }
-  const V8 rows[kMR][2] = {{c00, c01}, {c10, c11}, {c20, c21},
-                           {c30, c31}, {c40, c41}, {c50, c51}};
-  for (int i = 0; i < kMR; ++i) {
-    std::memcpy(acc + i * kNR, &rows[i][0], sizeof(V8));
-    std::memcpy(acc + i * kNR + 8, &rows[i][1], sizeof(V8));
-  }
-}
-
-#else  // scalar fallback, same arithmetic order per element
-
-inline void MicroKernel(int kc, const float* ap, const float* bp,
-                        float* acc) {
-  std::memset(acc, 0, sizeof(float) * kMR * kNR);
-  for (int p = 0; p < kc; ++p) {
-    const float* arow = ap + static_cast<std::size_t>(p) * kMR;
-    const float* brow = bp + static_cast<std::size_t>(p) * kNR;
-    for (int i = 0; i < kMR; ++i) {
-      const float ai = arow[i];
-      float* accrow = acc + i * kNR;
-      for (int j = 0; j < kNR; ++j) accrow[j] += ai * brow[j];
+  if (last && bias_j != nullptr) {
+    for (int r = 0; r < mr; ++r) {
+      float* crow = cd + static_cast<std::size_t>(r) * ldc;
+      for (int q = 0; q < nr; ++q) crow[q] += bias_j[q];
     }
   }
 }
 
-#endif
+// Computes the output tiles of one packed row-block against the column
+// stripe [jr0, jr1) of the current macro-slab.  `ap` points at the kMR row
+// panels for rows [ic, ic+mc); `bp` at the kNR column panels for columns
+// [jc, jc+nc).  Shared verbatim by the serial path (jr0 = 0, jr1 = nc) and
+// each threaded task, so both produce byte-identical tiles.
+void ComputeTiles(detail::MicroKernelFn tile, const float* ap,
+                  const float* bp, int kc, int ic, int mc, int jc, int jr0,
+                  int jr1, bool first, bool last, float beta,
+                  const float* bias, float* c, int ldc) {
+  alignas(64) float acc[kMR * kNR];
+  for (int jr = jr0; jr < jr1; jr += kNR) {
+    const int nr = std::min(kNR, jr1 - jr);
+    const float* bpanel = bp + static_cast<std::size_t>(jr / kNR) * kc * kNR;
+    for (int ir = 0; ir < mc; ir += kMR) {
+      const int mr = std::min(kMR, mc - ir);
+      const float* apanel =
+          ap + static_cast<std::size_t>(ir / kMR) * kc * kMR;
+      tile(kc, apanel, bpanel, acc);
+      float* cd = c + static_cast<std::size_t>(ic + ir) * ldc + jc + jr;
+      StoreTile(acc, cd, ldc, mr, nr, first, last, beta,
+                bias != nullptr ? bias + jc + jr : nullptr);
+    }
+  }
+}
 
-void FastGemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
-              int lda, const float* b, int ldb, float beta, float* c, int ldc,
-              const float* bias) {
+void FastGemmSerial(bool trans_a, bool trans_b, int m, int n, int k,
+                    const float* a, int lda, const float* b, int ldb,
+                    float beta, float* c, int ldc, const float* bias) {
+  const detail::MicroKernelFn tile = TileFor(CurrentIsa());
   ScratchScope scratch;
   float* const ap = scratch.Alloc(static_cast<std::size_t>(kMC) * kKC);
   float* const bp = scratch.Alloc(static_cast<std::size_t>(kKC) * kNC);
-  alignas(64) float acc[kMR * kNR];
 
   for (int jc = 0; jc < n; jc += kNC) {
     const int nc = std::min(kNC, n - jc);
@@ -193,82 +262,188 @@ void FastGemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
       for (int ic = 0; ic < m; ic += kMC) {
         const int mc = std::min(kMC, m - ic);
         PackA(trans_a, a, lda, ic, pc, mc, kc, ap);
-        for (int jr = 0; jr < nc; jr += kNR) {
-          const int nr = std::min(kNR, nc - jr);
-          const float* bpanel =
-              bp + static_cast<std::size_t>(jr / kNR) * kc * kNR;
-          for (int ir = 0; ir < mc; ir += kMR) {
-            const int mr = std::min(kMR, mc - ir);
-            const float* apanel =
-                ap + static_cast<std::size_t>(ir / kMR) * kc * kMR;
-            MicroKernel(kc, apanel, bpanel, acc);
-
-            // Tile writeback.  The first/beta/bias decisions are
-            // tile-constant, so each branch body is a plain vectorizable
-            // loop; the arithmetic order per element matches the fused
-            // form: (acc [+ C]) first, bias last.
-            float* cd = c + static_cast<std::size_t>(ic + ir) * ldc + jc + jr;
-            for (int r = 0; r < mr; ++r) {
-              float* crow = cd + static_cast<std::size_t>(r) * ldc;
-              const float* accrow = acc + r * kNR;
-              if (!first) {
-                for (int q = 0; q < nr; ++q) crow[q] = accrow[q] + crow[q];
-              } else if (beta != 0.0f) {
-                for (int q = 0; q < nr; ++q) {
-                  crow[q] = accrow[q] + beta * crow[q];
-                }
-              } else {
-                for (int q = 0; q < nr; ++q) crow[q] = accrow[q];
-              }
-            }
-            if (last && bias != nullptr) {
-              const float* bias_j = bias + jc + jr;
-              for (int r = 0; r < mr; ++r) {
-                float* crow = cd + static_cast<std::size_t>(r) * ldc;
-                for (int q = 0; q < nr; ++q) crow[q] += bias_j[q];
-              }
-            }
-          }
-        }
+        ComputeTiles(tile, ap, bp, kc, ic, mc, jc, 0, nc, first, last, beta,
+                     bias, c, ldc);
       }
     }
   }
 }
 
-void CountFlops(int m, int n, int k) {
+// Fixed tile→task ownership map: within each (jc, pc) macro-slab the
+// calling thread packs A (all row panels) and B (the whole column slab)
+// once, then the ceil(m/kMC) x ceil(nc/kJRB) grid of output tiles is
+// distributed over the pool.  Each tile is computed whole by exactly one
+// task from the same packed panels with the same k-ascending contraction
+// the serial path uses, and no two tasks write the same output element —
+// so which worker runs which task (ParallelFor hands out indices
+// dynamically) cannot affect any value, only wall time.
+void FastGemmThreaded(core::ThreadPool* pool, bool trans_a, bool trans_b,
+                      int m, int n, int k, const float* a, int lda,
+                      const float* b, int ldb, float beta, float* c, int ldc,
+                      const float* bias) {
+  const detail::MicroKernelFn tile = TileFor(CurrentIsa());
+  ScratchScope scratch;
+  const std::size_t num_panels =
+      static_cast<std::size_t>((m + kMR - 1) / kMR);
+  float* const ap = scratch.Alloc(num_panels * kMR * kKC);
+  float* const bp = scratch.Alloc(static_cast<std::size_t>(kKC) * kNC);
+
+  for (int jc = 0; jc < n; jc += kNC) {
+    const int nc = std::min(kNC, n - jc);
+    for (int pc = 0; pc < k; pc += kKC) {
+      const int kc = std::min(kKC, k - pc);
+      const bool first = pc == 0;
+      const bool last = pc + kc == k;
+      PackB(trans_b, b, ldb, pc, jc, kc, nc, bp);
+      PackA(trans_a, a, lda, 0, pc, m, kc, ap);
+      const int n_ic = (m + kMC - 1) / kMC;
+      const int n_stripes = (nc + kJRB - 1) / kJRB;
+      core::ParallelFor(
+          pool, static_cast<std::size_t>(n_ic) * n_stripes,
+          [&](std::size_t t) {
+            const int ic = static_cast<int>(t / n_stripes) * kMC;
+            const int mc = std::min(kMC, m - ic);
+            const int jr0 = static_cast<int>(t % n_stripes) * kJRB;
+            const int jr1 = std::min(jr0 + kJRB, nc);
+            ComputeTiles(tile,
+                         ap + static_cast<std::size_t>(ic / kMR) * kc * kMR,
+                         bp, kc, ic, mc, jc, jr0, jr1, first, last, beta,
+                         bias, c, ldc);
+          });
+    }
+  }
+}
+
+void FastGemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
+              int lda, const float* b, int ldb, float beta, float* c, int ldc,
+              const float* bias) {
+  core::ThreadPool* const pool = g_gemm_pool.load(std::memory_order_relaxed);
   const std::uint64_t flops = 2ull * static_cast<std::uint64_t>(m) *
                               static_cast<std::uint64_t>(n) *
                               static_cast<std::uint64_t>(k);
-  g_flops.fetch_add(flops, std::memory_order_relaxed);
-  tl_flops += flops;
+  // More than one tile task must exist for threading to buy anything.
+  const bool multi_tile = m > kMC || std::min(n, kNC) > kJRB;
+  if (pool != nullptr && pool->num_workers() > 0 &&
+      !core::ThreadPool::InWorker() && flops >= kThreadedMinFlops &&
+      multi_tile) {
+    FastGemmThreaded(pool, trans_a, trans_b, m, n, k, a, lda, b, ldb, beta,
+                     c, ldc, bias);
+  } else {
+    FastGemmSerial(trans_a, trans_b, m, n, k, a, lda, b, ldb, beta, c, ldc,
+                   bias);
+  }
 }
 
 }  // namespace
 
-void SetBackend(Backend b) { g_backend.store(b, std::memory_order_relaxed); }
+void SetBackend(Backend b) { BackendAtomic().store(b, std::memory_order_relaxed); }
 
-Backend CurrentBackend() { return g_backend.load(std::memory_order_relaxed); }
+Backend CurrentBackend() { return BackendAtomic().load(std::memory_order_relaxed); }
+
+bool IsaAvailable(Isa isa) { return TileAvailable(isa); }
+
+bool SetIsa(Isa isa) {
+  if (!TileAvailable(isa)) return false;
+  IsaAtomic().store(isa, std::memory_order_relaxed);
+  return true;
+}
+
+Isa CurrentIsa() { return IsaAtomic().load(std::memory_order_relaxed); }
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+const char* KernelBackendName() {
+  return CurrentBackend() == Backend::kNaive ? "naive" : IsaName(CurrentIsa());
+}
+
+core::ThreadPool* SetGemmThreadPool(core::ThreadPool* pool) {
+  return g_gemm_pool.exchange(pool, std::memory_order_relaxed);
+}
+
+core::ThreadPool* GemmThreadPool() {
+  return g_gemm_pool.load(std::memory_order_relaxed);
+}
+
+const char* EvalPrecisionName(EvalPrecision p) {
+  switch (p) {
+    case EvalPrecision::kBf16:
+      return "bf16";
+    case EvalPrecision::kInt8:
+      return "int8";
+    case EvalPrecision::kF32:
+      break;
+  }
+  return "f32";
+}
+
+bool ParseEvalPrecision(const char* text, EvalPrecision* out) {
+  if (std::strcmp(text, "f32") == 0 || std::strcmp(text, "fp32") == 0) {
+    *out = EvalPrecision::kF32;
+  } else if (std::strcmp(text, "bf16") == 0) {
+    *out = EvalPrecision::kBf16;
+  } else if (std::strcmp(text, "int8") == 0) {
+    *out = EvalPrecision::kInt8;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+EvalPrecision ActiveEvalPrecision() { return tl_eval_precision; }
+
+EvalPrecisionGuard::EvalPrecisionGuard(EvalPrecision p)
+    : prev_(tl_eval_precision) {
+  tl_eval_precision = p;
+}
+
+EvalPrecisionGuard::~EvalPrecisionGuard() { tl_eval_precision = prev_; }
 
 void Gemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
           int lda, const float* b, int ldb, float beta, float* c, int ldc,
           const float* bias) {
-  MHB_CHECK(m > 0 && n > 0 && k > 0)
-      << "gemm dims" << m << n << k << "must be positive";
-  CountFlops(m, n, k);
-  if (CurrentBackend() == Backend::kNaive) {
-    internal::NaiveGemmImpl(trans_a, trans_b, m, n, k, a, lda, b, ldb, beta,
-                            c, ldc, bias);
-  } else {
-    FastGemm(trans_a, trans_b, m, n, k, a, lda, b, ldb, beta, c, ldc, bias);
+  MHB_CHECK(m >= 0 && n >= 0 && k >= 0)
+      << "gemm dims" << m << n << k << "must be non-negative";
+  if (m == 0 || n == 0) return;
+  switch (tl_eval_precision) {
+    case EvalPrecision::kBf16:
+      GemmBf16(trans_a, trans_b, m, n, k, a, lda, b, ldb, beta, c, ldc, bias);
+      return;
+    case EvalPrecision::kInt8:
+      GemmInt8(trans_a, trans_b, m, n, k, a, lda, b, ldb, beta, c, ldc, bias);
+      return;
+    case EvalPrecision::kF32:
+      break;
   }
+  if (k == 0) {
+    internal::ScaleBiasEpilogue(m, n, beta, c, ldc, bias);
+    return;
+  }
+  internal::CountGemmFlops(m, n, k, EvalPrecision::kF32);
+  internal::GemmRaw(trans_a, trans_b, m, n, k, a, lda, b, ldb, beta, c, ldc,
+                    bias);
 }
 
 void NaiveGemm(bool trans_a, bool trans_b, int m, int n, int k,
                const float* a, int lda, const float* b, int ldb, float beta,
                float* c, int ldc, const float* bias) {
-  MHB_CHECK(m > 0 && n > 0 && k > 0)
-      << "gemm dims" << m << n << k << "must be positive";
-  CountFlops(m, n, k);
+  MHB_CHECK(m >= 0 && n >= 0 && k >= 0)
+      << "gemm dims" << m << n << k << "must be non-negative";
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    internal::ScaleBiasEpilogue(m, n, beta, c, ldc, bias);
+    return;
+  }
+  internal::CountGemmFlops(m, n, k, EvalPrecision::kF32);
   internal::NaiveGemmImpl(trans_a, trans_b, m, n, k, a, lda, b, ldb, beta, c,
                           ldc, bias);
 }
@@ -284,6 +459,62 @@ std::uint64_t TotalGemmFlops() {
   return g_flops.load(std::memory_order_relaxed);
 }
 
+std::uint64_t TotalGemmFlopsBf16() {
+  return g_flops_bf16.load(std::memory_order_relaxed);
+}
+
+std::uint64_t TotalGemmFlopsInt8() {
+  return g_flops_int8.load(std::memory_order_relaxed);
+}
+
 std::uint64_t ThreadGemmFlops() { return tl_flops; }
+
+namespace internal {
+
+void GemmRaw(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
+             int lda, const float* b, int ldb, float beta, float* c, int ldc,
+             const float* bias) {
+  if (CurrentBackend() == Backend::kNaive) {
+    NaiveGemmImpl(trans_a, trans_b, m, n, k, a, lda, b, ldb, beta, c, ldc,
+                  bias);
+  } else {
+    FastGemm(trans_a, trans_b, m, n, k, a, lda, b, ldb, beta, c, ldc, bias);
+  }
+}
+
+void ScaleBiasEpilogue(int m, int n, float beta, float* c, int ldc,
+                       const float* bias) {
+  for (int i = 0; i < m; ++i) {
+    float* crow = c + static_cast<std::size_t>(i) * ldc;
+    if (beta == 0.0f) {
+      for (int j = 0; j < n; ++j) crow[j] = 0.0f;
+    } else {
+      for (int j = 0; j < n; ++j) crow[j] = beta * crow[j];
+    }
+    if (bias != nullptr) {
+      for (int j = 0; j < n; ++j) crow[j] += bias[j];
+    }
+  }
+}
+
+void CountGemmFlops(int m, int n, int k, EvalPrecision p) {
+  const std::uint64_t flops = 2ull * static_cast<std::uint64_t>(m) *
+                              static_cast<std::uint64_t>(n) *
+                              static_cast<std::uint64_t>(k);
+  switch (p) {
+    case EvalPrecision::kBf16:
+      g_flops_bf16.fetch_add(flops, std::memory_order_relaxed);
+      break;
+    case EvalPrecision::kInt8:
+      g_flops_int8.fetch_add(flops, std::memory_order_relaxed);
+      break;
+    case EvalPrecision::kF32:
+      g_flops.fetch_add(flops, std::memory_order_relaxed);
+      break;
+  }
+  tl_flops += flops;
+}
+
+}  // namespace internal
 
 }  // namespace mhbench::kernels

@@ -5,24 +5,49 @@
 // gradient, bias broadcast), over strided row-major operands so callers
 // never materialize transposes or reshapes.  The fast path is a classic
 // cache-blocked, panel-packed, register-tiled design (fixed MC/KC/NC
-// blocking with an MR x NR microkernel the compiler auto-vectorizes).  It is
-// deliberately single-threaded: per-client work stays on one thread, so
-// results are bit-identical for every --threads setting.
+// blocking with an MR x NR microkernel), with two orthogonal runtime axes:
 //
-// Determinism: for a fixed build, every code path accumulates the k
-// dimension in ascending order with no data-dependent branching, so repeated
-// calls are bit-identical — and because the kernel never splits one output
-// across threads, metrics are bit-identical for every --threads setting.
+//   ISA dispatch — the microkernel variant (avx512 / avx2 / scalar) is
+//   picked once at startup from CPU features, overridable via MHB_KERNELS
+//   or SetIsa().  Every variant the compiler could build is present in the
+//   binary; dispatch never selects one the running CPU lacks.
+//
+//   Threading — when a pool is installed via SetGemmThreadPool(), calls
+//   large enough to amortize dispatch fan the (jc, pc) macro-slab's output
+//   tiles across workers.  Ownership is by output tile: packing is done
+//   once by the calling thread, each (MC row-block x NR-column stripe) tile
+//   is computed whole by exactly one task with the same packed panels and
+//   the same k-ascending contraction the serial path uses, and no two tasks
+//   share an output element.  There is no cross-thread reduction, so the
+//   threaded result is bit-identical to the serial fast result at any
+//   worker count — including zero (pool absent).
+//
+// Determinism: for a fixed build and chosen ISA variant, every code path
+// accumulates the k dimension in ascending order with no data-dependent
+// branching, so repeated calls are bit-identical regardless of --threads.
 // The fast kernel is NOT bit-equal to the naive reference: it blocks the k
 // dimension (partial sums associate as sum_block0 + sum_block1 instead of
-// one running sum) and its build may fuse multiply-adds (-mfma), which
-// rounds differently from the separately-rounded mul-then-add the default
-// flags produce.  Tests therefore compare backends with a tight relative
-// tolerance and reserve exact equality for run-to-run / cross-thread-count
-// checks within one backend.
+// one running sum) and its vector variants fuse multiply-adds, which rounds
+// differently from the separately-rounded mul-then-add the default flags
+// produce.  Different ISA variants likewise agree only to rounding.  Tests
+// therefore compare variants with a tight relative tolerance and reserve
+// exact equality for run-to-run / cross-thread-count checks within one
+// variant.
+//
+// Reduced precision (eval paths): GemmBf16 rounds both operands to bf16
+// (round-to-nearest-even) and accumulates in f32 through the same dispatched
+// fast kernel; GemmInt8 quantizes per-tensor symmetric int8 with
+// deterministic index-seeded stochastic rounding and accumulates in int32.
+// An EvalPrecisionGuard reroutes every Gemm() on the current thread for its
+// scope — the seam the FL engine uses to run evaluation (accuracy-tolerant
+// by design) at reduced precision without touching training.
 #pragma once
 
 #include <cstdint>
+
+namespace mhbench::core {
+class ThreadPool;
+}  // namespace mhbench::core
 
 namespace mhbench::kernels {
 
@@ -31,14 +56,67 @@ namespace mhbench::kernels {
 inline constexpr int kMR = 6;
 inline constexpr int kNR = 16;
 inline constexpr int kMC = 96;    // multiple of kMR
-inline constexpr int kKC = 256;
+inline constexpr int kKC = 256;   // k slab; also the threaded packing depth
 inline constexpr int kNC = 1024;  // multiple of kNR
+// Column stripe one threaded task owns (multiple of kNR); with the kMC
+// row-blocks this yields ceil(m/kMC) * ceil(nc/kJRB) tasks per macro-slab.
+inline constexpr int kJRB = 4 * kNR;
 
 // Runtime backend switch so benchmarks (and debugging) can route every
 // consumer — conv, linear, attention — through the retained naive kernels.
 enum class Backend { kFast, kNaive };
 void SetBackend(Backend b);
 Backend CurrentBackend();
+
+// Micro-kernel ISA variants for the fast path, selected at startup from CPU
+// features (best available wins) and overridable via MHB_KERNELS=
+// naive|scalar|avx2|avx512|fast ("fast" = auto, "naive" flips the Backend
+// instead).  An unavailable override falls back to the best available
+// variant with a warning rather than crashing.
+enum class Isa { kScalar = 0, kAvx2 = 1, kAvx512 = 2 };
+
+// Compiled into this binary AND supported by the running CPU.
+bool IsaAvailable(Isa isa);
+// Selects `isa` for subsequent fast-path calls; false (no change) when
+// unavailable.  For tests and benchmarks; not thread-safe against in-flight
+// Gemm calls.
+bool SetIsa(Isa isa);
+Isa CurrentIsa();
+const char* IsaName(Isa isa);
+// "naive" when the naive backend is selected, else the current ISA name —
+// what manifests and bench reports record so diffs refuse to compare
+// apples to oranges.
+const char* KernelBackendName();
+
+// Installs the pool used for macro-tile parallelism (null restores serial
+// execution); returns the previous pool.  Results are bit-identical with or
+// without a pool and at any worker count, so this only trades wall time.
+// Calls from inside a pool worker always run serially (nested-submit
+// guard), keeping per-client training single-threaded under the FL
+// engine's client dispatch.
+core::ThreadPool* SetGemmThreadPool(core::ThreadPool* pool);
+core::ThreadPool* GemmThreadPool();
+
+// Per-thread evaluation precision, installed scope-wise by
+// EvalPrecisionGuard.  kF32 (the default) leaves Gemm untouched; kBf16 /
+// kInt8 reroute it to the reduced-precision variants below.
+enum class EvalPrecision { kF32 = 0, kBf16 = 1, kInt8 = 2 };
+const char* EvalPrecisionName(EvalPrecision p);
+// Parses "f32" / "bf16" / "int8"; false leaves *out untouched.
+bool ParseEvalPrecision(const char* text, EvalPrecision* out);
+EvalPrecision ActiveEvalPrecision();
+
+class EvalPrecisionGuard {
+ public:
+  explicit EvalPrecisionGuard(EvalPrecision p);
+  ~EvalPrecisionGuard();
+
+  EvalPrecisionGuard(const EvalPrecisionGuard&) = delete;
+  EvalPrecisionGuard& operator=(const EvalPrecisionGuard&) = delete;
+
+ private:
+  EvalPrecision prev_;
+};
 
 // C[m,n] = op(A)·op(B) + beta·C + bias.
 //
@@ -49,15 +127,37 @@ Backend CurrentBackend();
 //   uninitialized).  `bias`, when non-null, points at n floats broadcast
 //   over rows — the fused replacement for the layers' per-element bias
 //   loops.
+//
+// Degenerate dimensions are accepted: m == 0 or n == 0 is a no-op, k == 0
+// computes the pure epilogue C = beta·C + bias (the empty contraction).
 void Gemm(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
           int lda, const float* b, int ldb, float beta, float* c, int ldc,
           const float* bias = nullptr);
+
+// Same contract as Gemm, with both operands rounded to bf16
+// (round-to-nearest-even on the stored f32 bits) before the f32-accumulate
+// fast kernel runs.  Deterministic: the rounding is a pure function of each
+// element.  Eval-only precision — training gradients stay f32.
+void GemmBf16(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
+              int lda, const float* b, int ldb, float beta, float* c, int ldc,
+              const float* bias = nullptr);
+
+// Same contract as Gemm over per-tensor symmetric int8 quantized operands
+// (scale = max|x| / 127, fixed-order scan) with int32 accumulation and a
+// deterministic index-seeded stochastic rounding of each quantized value —
+// seeded rounding keeps the coarse int8 grid unbiased while staying a pure
+// function of (value, element index).  k is capped so the int32 accumulator
+// cannot overflow.
+void GemmInt8(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
+              int lda, const float* b, int ldb, float beta, float* c, int ldc,
+              const float* bias = nullptr);
 
 // The naive reference (triple loop, no packing, no blocking — and no
 // data-dependent zero-skip branches: the old `if (a == 0) continue` made
 // timing input-dependent and blocked vectorization, and no caller relied on
 // its 0*inf/NaN masking).  Same contraction order as the fast path; retained
-// for tests and for the --naive benchmark baseline.
+// for tests and for the --naive benchmark baseline.  Never rerouted by
+// EvalPrecisionGuard.
 void NaiveGemm(bool trans_a, bool trans_b, int m, int n, int k,
                const float* a, int lda, const float* b, int ldb, float beta,
                float* c, int ldc, const float* bias = nullptr);
@@ -66,14 +166,19 @@ void NaiveGemm(bool trans_a, bool trans_b, int m, int n, int k,
 // gradient (one pass, row-major streaming, auto-vectorizable).
 void ColSumAcc(const float* rows, int nrows, int ncols, int ld, float* out);
 
-// Process-wide count of multiply-add FLOPs executed by Gemm (2*m*n*k per
-// call, both backends).  Monotone; the engine publishes round deltas as the
-// `gemm_flops` counter.
+// Process-wide count of multiply-add FLOPs executed by the f32 Gemm paths
+// (2*m*n*k per call, both backends).  Monotone; the engine publishes round
+// deltas as the `gemm_flops` counter.  The reduced-precision variants count
+// into their own totals below, so per-precision work is separable in the
+// obs registry.
 std::uint64_t TotalGemmFlops();
+std::uint64_t TotalGemmFlopsBf16();
+std::uint64_t TotalGemmFlopsInt8();
 
-// Calling thread's share of TotalGemmFlops (monotone, no synchronization).
-// The per-op profiler differences it around a scope; using the global total
-// there would attribute other threads' concurrent GEMMs to this scope.
+// Calling thread's share of all GEMM FLOPs, every precision (monotone, no
+// synchronization).  The per-op profiler differences it around a scope;
+// using the global total there would attribute other threads' concurrent
+// GEMMs to this scope.
 std::uint64_t ThreadGemmFlops();
 
 namespace internal {
@@ -83,6 +188,22 @@ namespace internal {
 void NaiveGemmImpl(bool trans_a, bool trans_b, int m, int n, int k,
                    const float* a, int lda, const float* b, int ldb,
                    float beta, float* c, int ldc, const float* bias);
+
+// Uncounted backend-routed f32 implementation (fast dispatch or naive),
+// with no precision rerouting and no degenerate-dim handling: m, n, k must
+// be positive.  The reduced-precision TU calls this on its rounded
+// operands so bf16 rides the same dispatched/threaded kernel as f32.
+void GemmRaw(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
+             int lda, const float* b, int ldb, float beta, float* c, int ldc,
+             const float* bias);
+
+// The k == 0 epilogue shared by every entry point: C = beta·C + bias.
+void ScaleBiasEpilogue(int m, int n, float beta, float* c, int ldc,
+                       const float* bias);
+
+// Counts 2*m*n*k into the per-precision global total and the calling
+// thread's total.
+void CountGemmFlops(int m, int n, int k, EvalPrecision p);
 }  // namespace internal
 
 }  // namespace mhbench::kernels

@@ -1,0 +1,54 @@
+// Micro-kernel surface for the runtime-dispatched GEMM (tensor/gemm.h).
+//
+// Each ISA variant lives in its own TU (gemm_kernels_{scalar,avx2,avx512}.cc)
+// compiled with that ISA's -m flags; gemm.cc selects one function pointer at
+// startup from CPU features (or the MHB_KERNELS override) and never calls a
+// variant the running CPU cannot execute.  The *TileCompiled() predicates
+// report whether a TU actually got its ISA at build time — under sanitizers
+// (uniform flags) or on non-x86 targets every variant compiles as the scalar
+// fallback and reports false, so dispatch degrades to scalar honestly.
+//
+// Contract shared by every variant: compute the kMR x kNR register tile
+// acc = sum_{p<kc} apanel[p] (x) bpanel[p], accumulating p in ascending
+// order with a fixed contraction shape, so one chosen variant is
+// bit-deterministic across runs and thread counts (gemm.h).
+#pragma once
+
+#include <cstring>
+
+#include "tensor/gemm.h"
+
+namespace mhbench::kernels::detail {
+
+// One packed register tile: ap holds kc rows of kMR A-values, bp holds kc
+// rows of kNR B-values, acc receives the kMR x kNR products (overwritten).
+using MicroKernelFn = void (*)(int kc, const float* ap, const float* bp,
+                               float* acc);
+
+void MicroKernelScalar(int kc, const float* ap, const float* bp, float* acc);
+void MicroKernelAvx2(int kc, const float* ap, const float* bp, float* acc);
+void MicroKernelAvx512(int kc, const float* ap, const float* bp, float* acc);
+
+// Whether the TU was built with the ISA it is named after (false means it
+// fell back to the scalar body and must not be selected).
+bool Avx2TileCompiled();
+bool Avx512TileCompiled();
+
+// Reference tile body, inlined so each TU's fallback compiles with that
+// TU's own flags.  Same per-element arithmetic order as the vector
+// variants (p ascending, separate mul/add unless the build contracts).
+inline void MicroKernelScalarImpl(int kc, const float* ap, const float* bp,
+                                  float* acc) {
+  std::memset(acc, 0, sizeof(float) * kMR * kNR);
+  for (int p = 0; p < kc; ++p) {
+    const float* arow = ap + static_cast<std::size_t>(p) * kMR;
+    const float* brow = bp + static_cast<std::size_t>(p) * kNR;
+    for (int i = 0; i < kMR; ++i) {
+      const float ai = arow[i];
+      float* accrow = acc + i * kNR;
+      for (int j = 0; j < kNR; ++j) accrow[j] += ai * brow[j];
+    }
+  }
+}
+
+}  // namespace mhbench::kernels::detail

@@ -1,0 +1,70 @@
+// AVX2+FMA micro-kernel TU.  Built with -mavx2 -mfma when the compiler
+// supports them; runtime dispatch (gemm.cc) only selects this variant when
+// __builtin_cpu_supports confirms both features, so the binary stays safe on
+// older hosts.  Under sanitizers (uniform flags) the TU compiles the scalar
+// fallback and Avx2TileCompiled() reports false.
+#include "tensor/gemm_kernels.h"
+
+namespace mhbench::kernels::detail {
+
+#if defined(__AVX2__) && defined(__FMA__) && defined(__GNUC__)
+
+namespace {
+
+using V8 = float __attribute__((vector_size(32)));
+
+inline V8 LoadV8(const float* p) {
+  V8 v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// Splat via an explicit all-lanes initializer: compiles to one
+// vbroadcastss.  (`V8{} + x` would emit an extra dependent vaddss — GCC
+// cannot fold 0.0f + x without fast-math because of signed zeros.)
+inline V8 Splat8(float x) { return V8{x, x, x, x, x, x, x, x}; }
+
+}  // namespace
+
+// The 6 x 16 tile as 12 ymm accumulators.  `c += a * b` is written so the
+// compiler contracts it into vfmadd (-mfma): rounding differs from the
+// naive reference, but the contraction order is fixed, so results are
+// bit-identical across runs and thread counts for this variant.
+void MicroKernelAvx2(int kc, const float* ap, const float* bp, float* acc) {
+  static_assert(kMR == 6 && kNR == 16, "tile hard-wired to 6x16");
+  V8 c00{}, c01{}, c10{}, c11{}, c20{}, c21{};
+  V8 c30{}, c31{}, c40{}, c41{}, c50{}, c51{};
+  for (int p = 0; p < kc; ++p) {
+    const float* arow = ap + static_cast<std::size_t>(p) * kMR;
+    const float* brow = bp + static_cast<std::size_t>(p) * kNR;
+    const V8 b0 = LoadV8(brow);
+    const V8 b1 = LoadV8(brow + 8);
+    V8 a;
+    a = Splat8(arow[0]); c00 += a * b0; c01 += a * b1;
+    a = Splat8(arow[1]); c10 += a * b0; c11 += a * b1;
+    a = Splat8(arow[2]); c20 += a * b0; c21 += a * b1;
+    a = Splat8(arow[3]); c30 += a * b0; c31 += a * b1;
+    a = Splat8(arow[4]); c40 += a * b0; c41 += a * b1;
+    a = Splat8(arow[5]); c50 += a * b0; c51 += a * b1;
+  }
+  const V8 rows[kMR][2] = {{c00, c01}, {c10, c11}, {c20, c21},
+                           {c30, c31}, {c40, c41}, {c50, c51}};
+  for (int i = 0; i < kMR; ++i) {
+    std::memcpy(acc + i * kNR, &rows[i][0], sizeof(V8));
+    std::memcpy(acc + i * kNR + 8, &rows[i][1], sizeof(V8));
+  }
+}
+
+bool Avx2TileCompiled() { return true; }
+
+#else  // built without -mavx2/-mfma: unreachable via dispatch
+
+void MicroKernelAvx2(int kc, const float* ap, const float* bp, float* acc) {
+  MicroKernelScalarImpl(kc, ap, bp, acc);
+}
+
+bool Avx2TileCompiled() { return false; }
+
+#endif
+
+}  // namespace mhbench::kernels::detail

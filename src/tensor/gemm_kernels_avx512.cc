@@ -1,0 +1,66 @@
+// AVX-512F micro-kernel TU.  Built with -mavx512f when the compiler supports
+// it; runtime dispatch (gemm.cc) only selects this variant when
+// __builtin_cpu_supports("avx512f") confirms the feature.  FMA on zmm
+// registers is part of AVX-512F itself, so the compiler may contract
+// `c += a * b` without a separate -mfma.  Under sanitizers (uniform flags)
+// the TU compiles the scalar fallback and Avx512TileCompiled() reports
+// false.
+#include "tensor/gemm_kernels.h"
+
+namespace mhbench::kernels::detail {
+
+#if defined(__AVX512F__) && defined(__GNUC__)
+
+namespace {
+
+using V16 = float __attribute__((vector_size(64)));
+
+inline V16 LoadV16(const float* p) {
+  V16 v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+// Splat via an explicit all-lanes initializer: compiles to one
+// vbroadcastss (see gemm_kernels_avx2.cc for why not `V16{} + x`).
+inline V16 Splat16(float x) {
+  return V16{x, x, x, x, x, x, x, x, x, x, x, x, x, x, x, x};
+}
+
+}  // namespace
+
+// The 6 x 16 tile as exactly 6 zmm accumulators.  Contraction order is
+// fixed (p ascending), so results are bit-identical across runs and thread
+// counts for this variant.
+void MicroKernelAvx512(int kc, const float* ap, const float* bp, float* acc) {
+  static_assert(kMR == 6 && kNR == 16, "tile hard-wired to 6x16");
+  V16 c0{}, c1{}, c2{}, c3{}, c4{}, c5{};
+  for (int p = 0; p < kc; ++p) {
+    const float* arow = ap + static_cast<std::size_t>(p) * kMR;
+    const V16 b = LoadV16(bp + static_cast<std::size_t>(p) * kNR);
+    c0 += Splat16(arow[0]) * b;
+    c1 += Splat16(arow[1]) * b;
+    c2 += Splat16(arow[2]) * b;
+    c3 += Splat16(arow[3]) * b;
+    c4 += Splat16(arow[4]) * b;
+    c5 += Splat16(arow[5]) * b;
+  }
+  const V16 rows[kMR] = {c0, c1, c2, c3, c4, c5};
+  for (int i = 0; i < kMR; ++i) {
+    std::memcpy(acc + i * kNR, &rows[i], sizeof(V16));
+  }
+}
+
+bool Avx512TileCompiled() { return true; }
+
+#else  // built without -mavx512f: unreachable via dispatch
+
+void MicroKernelAvx512(int kc, const float* ap, const float* bp, float* acc) {
+  MicroKernelScalarImpl(kc, ap, bp, acc);
+}
+
+bool Avx512TileCompiled() { return false; }
+
+#endif
+
+}  // namespace mhbench::kernels::detail

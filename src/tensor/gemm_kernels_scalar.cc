@@ -1,0 +1,13 @@
+// Scalar micro-kernel TU: the portable baseline every build has.  Compiled
+// -O3 with the project's default ISA, so the compiler may auto-vectorize it
+// for the baseline target, but the per-element contraction order is fixed
+// (gemm_kernels.h) and results stay bit-deterministic per build.
+#include "tensor/gemm_kernels.h"
+
+namespace mhbench::kernels::detail {
+
+void MicroKernelScalar(int kc, const float* ap, const float* bp, float* acc) {
+  MicroKernelScalarImpl(kc, ap, bp, acc);
+}
+
+}  // namespace mhbench::kernels::detail

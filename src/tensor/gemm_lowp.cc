@@ -1,0 +1,176 @@
+// Reduced-precision GEMM variants for the evaluation paths (gemm.h).
+//
+// bf16: both operands are rounded to bf16 (round-to-nearest-even on the
+// stored f32 bits) into scratch copies, then the regular dispatched fast
+// kernel accumulates in f32 — so the bf16 path inherits the ISA dispatch,
+// the threaded macro-tile map, and their determinism contract for free.
+//
+// int8: per-tensor symmetric quantization (scale = max|x| / 127, fixed-order
+// scan) with deterministic index-seeded stochastic rounding, int32
+// accumulation over k ascending, and a single dequantize in the f32
+// epilogue.  Stochastic rounding keeps the coarse int8 grid unbiased (plain
+// nearest rounding biases activation statistics); seeding it by (fixed
+// constant, element index) keeps it a pure function of the input, so
+// repeated calls and any thread count are bit-identical.
+//
+// Both variants are eval-only: training gradients always run the f32 paths.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "core/error.h"
+#include "tensor/gemm.h"
+#include "tensor/scratch.h"
+
+namespace mhbench::kernels {
+namespace {
+
+// Round-to-nearest-even truncation of an f32 to the nearest bf16 value,
+// returned widened back to f32.  (NaN payloads are not preserved exactly;
+// kernel inputs are finite by contract.)
+inline float RoundToBf16(float x) {
+  std::uint32_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  const std::uint32_t lsb = (u >> 16) & 1u;
+  u += 0x7fffu + lsb;
+  u &= 0xffff0000u;
+  float r;
+  std::memcpy(&r, &u, sizeof(r));
+  return r;
+}
+
+// SplitMix64 — the project's seeded hash (core::Rng uses the same mixer);
+// here it turns (seed, element index) into the rounding draw for int8
+// quantization.
+inline std::uint64_t SplitMix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t kQuantSeedA = 0xA11CE5EEDull;
+constexpr std::uint64_t kQuantSeedB = 0xB0B5EEDull;
+
+// op(X)(i, p) for a row-major buffer with leading dimension ld.
+inline float At(const float* x, int ld, bool trans, int i, int p) {
+  return trans ? x[static_cast<std::size_t>(p) * ld + i]
+               : x[static_cast<std::size_t>(i) * ld + p];
+}
+
+// Quantizes the rows x cols logical matrix op(X) into `q` (row-major,
+// k-contiguous) with per-tensor symmetric scale; returns the scale.  The
+// max-abs scan and the per-element rounding both run in a fixed row-major
+// order over logical indices, so the result is independent of callers'
+// threading.
+float QuantizeInt8(const float* x, int ld, bool trans, int rows, int cols,
+                   std::uint64_t seed, std::int8_t* q) {
+  float amax = 0.0f;
+  for (int i = 0; i < rows; ++i) {
+    for (int p = 0; p < cols; ++p) {
+      amax = std::max(amax, std::fabs(At(x, ld, trans, i, p)));
+    }
+  }
+  const float scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+  const float inv = 1.0f / scale;
+  for (int i = 0; i < rows; ++i) {
+    for (int p = 0; p < cols; ++p) {
+      const std::uint64_t idx =
+          static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(cols) +
+          static_cast<std::uint64_t>(p);
+      const float r = At(x, ld, trans, i, p) * inv;
+      const float f = std::floor(r);
+      // 24-bit uniform draw in [0, 1): round up iff the fractional part
+      // exceeds it (deterministic stochastic rounding).
+      const float u = static_cast<float>(SplitMix64(seed ^ idx) >> 40) *
+                      0x1p-24f;
+      int v = static_cast<int>(f) + (r - f > u ? 1 : 0);
+      v = std::min(127, std::max(-127, v));
+      q[static_cast<std::size_t>(i) * cols + p] =
+          static_cast<std::int8_t>(v);
+    }
+  }
+  return scale;
+}
+
+}  // namespace
+
+void GemmBf16(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
+              int lda, const float* b, int ldb, float beta, float* c, int ldc,
+              const float* bias) {
+  MHB_CHECK(m >= 0 && n >= 0 && k >= 0)
+      << "gemm dims" << m << n << k << "must be non-negative";
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    internal::ScaleBiasEpilogue(m, n, beta, c, ldc, bias);
+    return;
+  }
+  internal::CountGemmFlops(m, n, k, EvalPrecision::kBf16);
+  ScratchScope scratch;
+  const int arows = trans_a ? k : m;
+  const int acols = trans_a ? m : k;
+  const int brows = trans_b ? n : k;
+  const int bcols = trans_b ? k : n;
+  // Rounded copies of the stored buffer extents (leading dimensions kept,
+  // inter-row gaps rounded harmlessly) so GemmRaw sees the same layout.
+  const std::size_t ea =
+      static_cast<std::size_t>(arows - 1) * lda + static_cast<std::size_t>(acols);
+  const std::size_t eb =
+      static_cast<std::size_t>(brows - 1) * ldb + static_cast<std::size_t>(bcols);
+  float* const ar = scratch.Alloc(ea);
+  float* const br = scratch.Alloc(eb);
+  for (std::size_t i = 0; i < ea; ++i) ar[i] = RoundToBf16(a[i]);
+  for (std::size_t i = 0; i < eb; ++i) br[i] = RoundToBf16(b[i]);
+  internal::GemmRaw(trans_a, trans_b, m, n, k, ar, lda, br, ldb, beta, c,
+                    ldc, bias);
+}
+
+void GemmInt8(bool trans_a, bool trans_b, int m, int n, int k, const float* a,
+              int lda, const float* b, int ldb, float beta, float* c, int ldc,
+              const float* bias) {
+  MHB_CHECK(m >= 0 && n >= 0 && k >= 0)
+      << "gemm dims" << m << n << k << "must be non-negative";
+  // 127*127*k must stay well inside int32; generous for every eval shape.
+  MHB_CHECK_LE(k, 1 << 17) << "int8 gemm k too large for int32 accumulation";
+  if (m == 0 || n == 0) return;
+  if (k == 0) {
+    internal::ScaleBiasEpilogue(m, n, beta, c, ldc, bias);
+    return;
+  }
+  internal::CountGemmFlops(m, n, k, EvalPrecision::kInt8);
+  ScratchScope scratch;
+  // int8 matrices live in the float arena: 4 lanes per float slot.  op(A)
+  // is materialized m x k and op(B) transposed to n x k, so the inner dot
+  // product streams both operands k-contiguously.
+  const std::size_t na = static_cast<std::size_t>(m) * k;
+  const std::size_t nb = static_cast<std::size_t>(n) * k;
+  std::int8_t* const qa =
+      reinterpret_cast<std::int8_t*>(scratch.Alloc((na + 3) / 4));
+  std::int8_t* const qb =
+      reinterpret_cast<std::int8_t*>(scratch.Alloc((nb + 3) / 4));
+  const float sa = QuantizeInt8(a, lda, trans_a, m, k, kQuantSeedA, qa);
+  // op(B) is k x n; op(B)^T is n x k, i.e. op(B)(p, j) read with roles of
+  // (row, col) swapped — exactly At(b, ldb, !trans_b, j, p).
+  const float sb = QuantizeInt8(b, ldb, !trans_b, n, k, kQuantSeedB, qb);
+  const float scale = sa * sb;
+  for (int i = 0; i < m; ++i) {
+    const std::int8_t* arow = qa + static_cast<std::size_t>(i) * k;
+    float* crow = c + static_cast<std::size_t>(i) * ldc;
+    for (int j = 0; j < n; ++j) {
+      const std::int8_t* brow = qb + static_cast<std::size_t>(j) * k;
+      std::int32_t acc = 0;
+      for (int p = 0; p < k; ++p) {
+        acc += static_cast<std::int32_t>(arow[p]) *
+               static_cast<std::int32_t>(brow[p]);
+      }
+      // Same epilogue order as the fast path: (acc [+ beta*C]) then bias.
+      float v = static_cast<float>(acc) * scale;
+      if (beta != 0.0f) v += beta * crow[j];
+      if (bias != nullptr) v += bias[j];
+      crow[j] = v;
+    }
+  }
+}
+
+}  // namespace mhbench::kernels

@@ -5,11 +5,14 @@
 #include "tensor/gemm.h"
 
 #include <cmath>
+#include <future>
+#include <memory>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/rng.h"
+#include "core/thread_pool.h"
 #include "nn/conv.h"
 #include "tensor/scratch.h"
 #include "tensor/tensor.h"
@@ -193,6 +196,252 @@ TEST(GemmTest, FlopCounterAdvancesByTwoMnk) {
   std::vector<float> a(12, 1.0f), b(12, 1.0f), c(9, 0.0f);
   Gemm(false, false, 3, 3, 4, a.data(), 4, b.data(), 3, 0.0f, c.data(), 3);
   EXPECT_EQ(kernels::TotalGemmFlops() - before, 2ull * 3 * 3 * 4);
+}
+
+TEST(GemmTest, ZeroSizedDimsFollowTheDegenerateContract) {
+  // m == 0 / n == 0: no-op (C untouched).  k == 0: the empty contraction,
+  // C = beta*C + bias, on every entry point.
+  std::vector<float> c = {1.0f, 2.0f, 3.0f, 4.0f};
+  const std::vector<float> before = c;
+  Gemm(false, false, 0, 2, 3, nullptr, 3, nullptr, 2, 0.5f, c.data(), 2);
+  Gemm(false, false, 2, 0, 3, nullptr, 3, nullptr, 0, 0.5f, c.data(), 2);
+  NaiveGemm(false, false, 0, 2, 3, nullptr, 3, nullptr, 2, 0.5f, c.data(), 2);
+  EXPECT_EQ(c, before);
+
+  const std::vector<float> bias = {10.0f, 20.0f};
+  Gemm(false, false, 2, 2, 0, nullptr, 1, nullptr, 2, 0.5f, c.data(), 2,
+       bias.data());
+  EXPECT_EQ(c, (std::vector<float>{10.5f, 21.0f, 11.5f, 22.0f}));
+
+  std::vector<float> c2 = before;
+  NaiveGemm(false, false, 2, 2, 0, nullptr, 1, nullptr, 2, 0.5f, c2.data(), 2,
+            bias.data());
+  EXPECT_EQ(c2, c);
+
+  // beta == 0, k == 0 must fully define (zero + bias) an uninitialized C.
+  std::vector<float> c3 = {-7.0f, -7.0f, -7.0f, -7.0f};
+  Gemm(false, false, 2, 2, 0, nullptr, 1, nullptr, 2, 0.0f, c3.data(), 2,
+       bias.data());
+  EXPECT_EQ(c3, (std::vector<float>{10.0f, 20.0f, 10.0f, 20.0f}));
+
+  std::vector<float> c4 = {5.0f, 5.0f};
+  kernels::GemmBf16(false, false, 1, 2, 0, nullptr, 1, nullptr, 2, 1.0f,
+                    c4.data(), 2, bias.data());
+  EXPECT_EQ(c4, (std::vector<float>{15.0f, 25.0f}));
+  std::vector<float> c5 = {5.0f, 5.0f};
+  kernels::GemmInt8(false, false, 1, 2, 0, nullptr, 1, nullptr, 2, 1.0f,
+                    c5.data(), 2, bias.data());
+  EXPECT_EQ(c5, (std::vector<float>{15.0f, 25.0f}));
+}
+
+// Runs one shape serially and through pools of several worker counts; the
+// threaded macro-tile path must be bit-identical to the serial fast path
+// (gemm.h's ownership-map contract), not merely close.
+void CheckThreadedBitExact(int m, int n, int k) {
+  Rng rng(static_cast<std::uint64_t>(m) * 31 + n * 7 + k);
+  const std::vector<float> a = RandVec(static_cast<std::size_t>(m) * k, rng);
+  const std::vector<float> b = RandVec(static_cast<std::size_t>(k) * n, rng);
+  const std::vector<float> bias = RandVec(static_cast<std::size_t>(n), rng);
+  std::vector<float> serial(static_cast<std::size_t>(m) * n, 0.25f);
+  Gemm(false, false, m, n, k, a.data(), k, b.data(), n, 0.5f, serial.data(),
+       n, bias.data());
+  for (const int workers : {1, 2, 4, 8}) {
+    core::ThreadPool pool(workers);
+    core::ThreadPool* prev = kernels::SetGemmThreadPool(&pool);
+    std::vector<float> threaded(static_cast<std::size_t>(m) * n, 0.25f);
+    Gemm(false, false, m, n, k, a.data(), k, b.data(), n, 0.5f,
+         threaded.data(), n, bias.data());
+    kernels::SetGemmThreadPool(prev);
+    ASSERT_EQ(serial, threaded)
+        << "m=" << m << " n=" << n << " k=" << k << " workers=" << workers;
+  }
+}
+
+TEST(GemmTest, ThreadedMatchesSerialBitExactAtAnyWorkerCount) {
+  // All shapes exceed the engagement threshold; they straddle the threaded
+  // tiling in different ways (square multi-block, ragged tail panels in all
+  // three dimensions, single row-block with many column stripes).
+  CheckThreadedBitExact(256, 256, 256);
+  CheckThreadedBitExact(301, 97, 530);
+  CheckThreadedBitExact(6, 2048, 600);
+}
+
+TEST(GemmTest, ThreadedBelowThresholdAndNestedStaysSerial) {
+  // Small calls under a pool take the serial path (engagement is a pure
+  // wall-time decision), and a *large* Gemm issued from inside a pool
+  // worker never re-submits (nested guard — the FL engine's per-client
+  // training must stay single-threaded under client dispatch); either way
+  // the result must be the bit-exact serial one.
+  Rng rng(21);
+  const int m = 256, n = 256, k = 256;  // over the engagement threshold
+  const std::vector<float> a = RandVec(static_cast<std::size_t>(m) * k, rng);
+  const std::vector<float> b = RandVec(static_cast<std::size_t>(k) * n, rng);
+  std::vector<float> serial(static_cast<std::size_t>(m) * n);
+  Gemm(false, false, m, n, k, a.data(), k, b.data(), n, 0.0f, serial.data(),
+       n);
+  const int ms = 24, ns = 32, ks = 17;
+  std::vector<float> serial_small(static_cast<std::size_t>(ms) * ns);
+  Gemm(false, false, ms, ns, ks, a.data(), ks, b.data(), ns, 0.0f,
+       serial_small.data(), ns);
+
+  core::ThreadPool pool(3);
+  core::ThreadPool* prev = kernels::SetGemmThreadPool(&pool);
+  std::vector<float> small(static_cast<std::size_t>(ms) * ns);
+  Gemm(false, false, ms, ns, ks, a.data(), ks, b.data(), ns, 0.0f,
+       small.data(), ns);
+  std::vector<float> nested(static_cast<std::size_t>(m) * n);
+  bool ran_in_worker = false;
+  std::promise<void> done;
+  pool.Submit([&] {
+    ran_in_worker = core::ThreadPool::InWorker();
+    Gemm(false, false, m, n, k, a.data(), k, b.data(), n, 0.0f, nested.data(),
+         n);
+    done.set_value();
+  });
+  done.get_future().wait();
+  kernels::SetGemmThreadPool(prev);
+  EXPECT_TRUE(ran_in_worker);
+  EXPECT_EQ(serial_small, small);
+  EXPECT_EQ(serial, nested);
+}
+
+TEST(GemmTest, Bf16AgreesWithReferenceToReducedPrecision) {
+  Rng rng(22);
+  for (const int k : {8, 96, 520}) {
+    const int m = 33, n = 47;
+    const std::vector<float> a = RandVec(static_cast<std::size_t>(m) * k, rng);
+    const std::vector<float> b = RandVec(static_cast<std::size_t>(k) * n, rng);
+    std::vector<float> got(static_cast<std::size_t>(m) * n);
+    std::vector<float> want(static_cast<std::size_t>(m) * n);
+    kernels::GemmBf16(false, false, m, n, k, a.data(), k, b.data(), n, 0.0f,
+                      got.data(), n);
+    RefGemm(false, false, m, n, k, a.data(), k, b.data(), n, 0.0f,
+            want.data(), n, nullptr);
+    // bf16 keeps 8 mantissa bits per operand: per-product relative error
+    // ~2^-8, accumulating like a random walk over k unit-variance products.
+    const float tol = 0.03f * std::sqrt(static_cast<float>(k));
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i], tol) << "k=" << k << " at " << i;
+    }
+  }
+}
+
+TEST(GemmTest, Int8AgreesWithReferenceToQuantizationTolerance) {
+  Rng rng(23);
+  for (const int k : {8, 96, 520}) {
+    const int m = 33, n = 47;
+    const std::vector<float> a = RandVec(static_cast<std::size_t>(m) * k, rng);
+    const std::vector<float> b = RandVec(static_cast<std::size_t>(k) * n, rng);
+    std::vector<float> got(static_cast<std::size_t>(m) * n);
+    std::vector<float> want(static_cast<std::size_t>(m) * n);
+    kernels::GemmInt8(false, false, m, n, k, a.data(), k, b.data(), n, 0.0f,
+                      got.data(), n);
+    RefGemm(false, false, m, n, k, a.data(), k, b.data(), n, 0.0f,
+            want.data(), n, nullptr);
+    // Per-tensor symmetric quantization of N(0,1) data: each operand's
+    // rounding error is bounded by one step (~max|x|/127), accumulating
+    // like a random walk over k — loose but shape-scaled.
+    const float tol = 0.25f * std::sqrt(static_cast<float>(k));
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i], tol) << "k=" << k << " at " << i;
+    }
+  }
+}
+
+TEST(GemmTest, ReducedPrecisionIsBitDeterministicIncludingThreaded) {
+  Rng rng(24);
+  const int m = 96, n = 128, k = 256;
+  const std::vector<float> a = RandVec(static_cast<std::size_t>(m) * k, rng);
+  const std::vector<float> b = RandVec(static_cast<std::size_t>(k) * n, rng);
+  for (const bool bf16 : {true, false}) {
+    std::vector<float> first(static_cast<std::size_t>(m) * n);
+    const auto run = [&](float* c) {
+      if (bf16) {
+        kernels::GemmBf16(false, false, m, n, k, a.data(), k, b.data(), n,
+                          0.0f, c, n);
+      } else {
+        kernels::GemmInt8(false, false, m, n, k, a.data(), k, b.data(), n,
+                          0.0f, c, n);
+      }
+    };
+    run(first.data());
+    std::vector<float> again(static_cast<std::size_t>(m) * n, -1.0f);
+    run(again.data());
+    ASSERT_EQ(first, again) << "bf16=" << bf16;
+    core::ThreadPool pool(4);
+    core::ThreadPool* prev = kernels::SetGemmThreadPool(&pool);
+    std::vector<float> threaded(static_cast<std::size_t>(m) * n, -1.0f);
+    run(threaded.data());
+    kernels::SetGemmThreadPool(prev);
+    ASSERT_EQ(first, threaded) << "bf16=" << bf16;
+  }
+}
+
+TEST(GemmTest, EvalPrecisionGuardReroutesGemmAndCountsSeparately) {
+  Rng rng(25);
+  const int m = 8, n = 8, k = 8;
+  const std::vector<float> a = RandVec(64, rng);
+  const std::vector<float> b = RandVec(64, rng);
+  std::vector<float> direct(64), routed(64);
+  kernels::GemmBf16(false, false, m, n, k, a.data(), k, b.data(), n, 0.0f,
+                    direct.data(), n);
+  EXPECT_EQ(kernels::ActiveEvalPrecision(), kernels::EvalPrecision::kF32);
+  const std::uint64_t f32_before = kernels::TotalGemmFlops();
+  const std::uint64_t bf16_before = kernels::TotalGemmFlopsBf16();
+  const std::uint64_t int8_before = kernels::TotalGemmFlopsInt8();
+  {
+    kernels::EvalPrecisionGuard guard(kernels::EvalPrecision::kBf16);
+    EXPECT_EQ(kernels::ActiveEvalPrecision(), kernels::EvalPrecision::kBf16);
+    Gemm(false, false, m, n, k, a.data(), k, b.data(), n, 0.0f, routed.data(),
+         n);
+  }
+  EXPECT_EQ(kernels::ActiveEvalPrecision(), kernels::EvalPrecision::kF32);
+  EXPECT_EQ(routed, direct);
+  // Rerouted work lands on the bf16 counter only.
+  EXPECT_EQ(kernels::TotalGemmFlops(), f32_before);
+  EXPECT_EQ(kernels::TotalGemmFlopsBf16() - bf16_before, 2ull * m * n * k);
+  {
+    kernels::EvalPrecisionGuard guard(kernels::EvalPrecision::kInt8);
+    Gemm(false, false, m, n, k, a.data(), k, b.data(), n, 0.0f, routed.data(),
+         n);
+  }
+  EXPECT_EQ(kernels::TotalGemmFlopsInt8() - int8_before, 2ull * m * n * k);
+  // NaiveGemm is never rerouted: it must keep counting as f32.
+  {
+    kernels::EvalPrecisionGuard guard(kernels::EvalPrecision::kBf16);
+    NaiveGemm(false, false, m, n, k, a.data(), k, b.data(), n, 0.0f,
+              routed.data(), n);
+  }
+  EXPECT_EQ(kernels::TotalGemmFlops() - f32_before, 2ull * m * n * k);
+}
+
+TEST(GemmTest, EveryAvailableIsaMatchesReferenceAndRepeats) {
+  const kernels::Isa saved = kernels::CurrentIsa();
+  for (const kernels::Isa isa :
+       {kernels::Isa::kScalar, kernels::Isa::kAvx2, kernels::Isa::kAvx512}) {
+    if (!kernels::IsaAvailable(isa)) continue;
+    ASSERT_TRUE(kernels::SetIsa(isa)) << kernels::IsaName(isa);
+    ASSERT_EQ(kernels::CurrentIsa(), isa);
+    CheckShape(kernels::kMC + 5, 19, kernels::kKC + 7, 1e-3f);
+    // Within one variant, repeats stay bit-identical.
+    Rng rng(26);
+    const int m = 50, n = 70, k = 300;
+    const std::vector<float> a =
+        RandVec(static_cast<std::size_t>(m) * k, rng);
+    const std::vector<float> b =
+        RandVec(static_cast<std::size_t>(k) * n, rng);
+    std::vector<float> first(static_cast<std::size_t>(m) * n);
+    std::vector<float> again(static_cast<std::size_t>(m) * n, -1.0f);
+    Gemm(false, false, m, n, k, a.data(), k, b.data(), n, 0.0f, first.data(),
+         n);
+    Gemm(false, false, m, n, k, a.data(), k, b.data(), n, 0.0f, again.data(),
+         n);
+    ASSERT_EQ(first, again) << kernels::IsaName(isa);
+  }
+  ASSERT_TRUE(kernels::SetIsa(saved));
+  // Scalar is always compiled in; the backend name must reflect dispatch.
+  EXPECT_TRUE(kernels::IsaAvailable(kernels::Isa::kScalar));
+  EXPECT_STREQ(kernels::KernelBackendName(), kernels::IsaName(saved));
 }
 
 TEST(GemmTest, ColSumAccReducesColumnsAndAccumulates) {

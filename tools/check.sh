@@ -325,12 +325,20 @@ JSON
 }
 
 # Kernel benchmark smoke: builds Release, runs the GEMM/conv micro-benchmarks
-# through both backends, and distills the raw google-benchmark output into
-# BENCH_kernels.json (p50/p95 wall time per shape plus fast/naive speedup
-# ratios).  Per-repetition rows (no aggregates-only) feed real quantiles.
-# The fresh report is gated against the committed baseline with mhb_diff at
-# a 1.3x threshold on the machine-normalized speedup ratios — absolute times
-# are too host-dependent to assert — then replaces the committed file.
+# through every variant (fast vs naive, threaded at 1/2/4 workers, bf16/int8
+# vs f32), and distills the raw google-benchmark output into
+# BENCH_kernels.json (p50/p95 wall time per shape plus machine-normalized
+# speedup ratios; threaded entries where the thread count exceeds the host's
+# CPUs are annotated rather than gated).  Per-repetition rows (no
+# aggregates-only) feed real quantiles.  The fresh report is gated against
+# the committed baseline with mhb_diff at a 1.3x threshold on the speedup
+# ratios — absolute times are too host-dependent to assert — and the diff
+# refuses cross-backend comparisons (the report records the
+# runtime-dispatched kernel backend).  On pass the committed file is
+# replaced.  bench_report.py exits 3 when bench_micro itself was a debug
+# build (the binary stamps its NDEBUG state into the context), which aborts
+# this function under `set -e` — a miswired non-Release build cannot
+# publish numbers.
 smoke_bench() {
   local build_dir="$1"
   if ! command -v python3 >/dev/null 2>&1; then

@@ -11,6 +11,7 @@
 //   mhbench run --task cifar10 --algorithm sheterofl
 //               [--constraint computation] [--rounds 20] [--clients 10]
 //               [--alpha 0.5] [--deadline 0] [--seed 1] [--threads 1]
+//               [--threaded-gemm 0|1] [--eval-precision f32|bf16|int8]
 //               [--trace out.json] [--trace-sim-clock 1]
 //               [--manifest-dir results] [--profile 0|1]
 //               [--checkpoint-every N] [--checkpoint-dir checkpoints]
@@ -20,6 +21,11 @@
 //       Run one federated experiment and print the metric panel.
 //       --threads parallelizes client training and stability evaluation;
 //       results are bit-identical for any thread count.
+//       --threaded-gemm 1 additionally routes kernel macro-tile
+//       parallelism to the same pool during serial phases (bit-identical
+//       either way; no-op with --threads 1).  --eval-precision selects
+//       the eval-side matmul precision (training always runs f32); the
+//       kernel ISA itself follows MHB_KERNELS (see README).
 //       --trace writes a Chrome-tracing JSON (open in chrome://tracing or
 //       https://ui.perfetto.dev) plus a .jsonl event log next to it;
 //       --trace-sim-clock 1 adds simulated-clock lanes per client.
@@ -72,6 +78,7 @@
 #include "obs/profile.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "tensor/gemm.h"
 
 namespace {
 
@@ -217,6 +224,10 @@ int CmdRun(const Args& args) {
   options.preset.seed =
       static_cast<std::uint64_t>(args.GetI("seed", 1));
   options.preset.threads = args.GetI("threads", options.preset.threads);
+  options.preset.threaded_gemm =
+      args.GetI("threaded-gemm", options.preset.threaded_gemm);
+  options.preset.eval_precision =
+      args.Get("eval-precision", options.preset.eval_precision);
 
   options.checkpoint_every = args.GetI("checkpoint-every", 0);
   options.checkpoint_dir = args.Get("checkpoint-dir", "checkpoints");
@@ -368,6 +379,12 @@ int CmdRun(const Args& args) {
         {"clients", std::to_string(options.preset.clients)},
         {"dirichlet_alpha", std::to_string(options.dirichlet_alpha)},
         {"round_deadline_s", std::to_string(options.round_deadline_s)},
+        // Kernel provenance: which micro-kernel ISA dispatch picked at
+        // startup and how eval-side matmuls were run (DESIGN.md §5i).
+        {"kernel_backend", kernels::KernelBackendName()},
+        {"eval_precision", options.preset.eval_precision},
+        {"threaded_gemm",
+         std::to_string(options.preset.threaded_gemm != 0 ? 1 : 0)},
     };
     for (const auto& b : bundles) {
       m.metrics.emplace_back(b.algorithm + ".global_accuracy",
