@@ -13,6 +13,7 @@
 #include "data/tasks.h"
 #include "device/calibration.h"
 #include "device/cost_model.h"
+#include "device/tier.h"
 #include "fl/engine.h"
 #include "models/zoo.h"
 
@@ -63,6 +64,8 @@ constraints::BuiltAssignments ProportionalAssignments(
       a.system.comm_mb = cost.comm_mb;
       a.system.train_gflops = cost.gflops_fwd;
     }
+    a.system.device_tier =
+        device::DeviceTierName(fleet[i].memory_mb, fleet[i].has_gpu);
     out.assignments.push_back(a);
   }
   return out;

@@ -4,6 +4,7 @@
 
 #include "core/error.h"
 #include "device/calibration.h"
+#include "device/tier.h"
 
 namespace mhbench::constraints {
 namespace {
@@ -128,6 +129,7 @@ BuiltAssignments BuildConstrained(const std::string& algorithm,
     a.system.comm_mb = chosen_cost.comm_mb;
     a.system.train_gflops = chosen_cost.gflops_fwd;
     a.system.availability = dev.availability;
+    a.system.device_tier = device::DeviceTierName(dev.memory_mb, dev.has_gpu);
     out.assignments.push_back(a);
   }
   return out;

@@ -1,0 +1,14 @@
+#include "device/tier.h"
+
+namespace mhbench::device {
+
+std::string DeviceTierName(double memory_mb, bool has_gpu) {
+  if (!has_gpu) return "cpu";
+  // The ima_fleet sampler models the 16 GB tier as 8192 MB usable and the
+  // 4 GB tier as 1792 MB usable; split at 4096 MB so either side of the
+  // sampler's constants classifies correctly.
+  if (memory_mb >= 4096.0) return "mem16g";
+  return "mem4g";
+}
+
+}  // namespace mhbench::device

@@ -2,6 +2,7 @@
 // and the shared local-training routine.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "core/rng.h"
@@ -25,6 +26,12 @@ struct ClientSystemProfile {
   double train_gflops = 0.0;
   // Probability of being online when sampled (1 = always available).
   double availability = 1.0;
+  // Device-tier label for cohort observability (device::DeviceTierName —
+  // "cpu" / "mem4g" / "mem16g").  Telemetry-only: consumed by the obs
+  // layer's tier-keyed rollups, never by the simulated clock.  Empty means
+  // untiered (synthetic/test assignments); the engine reports those under
+  // the "untiered" cohort.
+  std::string device_tier;
 };
 
 // What model a client runs and what it costs.

@@ -170,6 +170,22 @@ RunResult FlEngine::Run() {
     obs::Registry::HistogramId client_wall_us{}, client_bytes_up{},
         client_train_mflops{};
   } hids;
+  // Tier-keyed rollups (DESIGN.md §5j): every client-scoped counter and
+  // histogram also accumulates into a `<base>@<tier>` twin keyed by the
+  // client's device tier.  Tiers and ids are fixed serially here from the
+  // assignment table, so the dispatch phase only ever touches pre-registered
+  // ids; per-thread sinks + barrier merge keep the per-tier totals exactly
+  // as thread-count independent as the untiered ones.
+  struct TierIds {
+    std::string name;
+    obs::Registry::CounterId selected{}, offline{}, dropped{}, trained{},
+        bytes_up{}, bytes_down{}, train_mflops{};
+    obs::Registry::HistogramId client_wall_us{}, client_bytes_up{},
+        client_train_mflops{};
+  };
+  std::vector<TierIds> tiers;
+  // Per client: index into `tiers`, and the tier's name for ClientRow.
+  std::vector<std::size_t> client_tier;
   if (reg != nullptr) {
     ids.selected = reg->Counter("clients_selected");
     ids.offline = reg->Counter("clients_offline");
@@ -189,6 +205,32 @@ RunResult FlEngine::Run() {
     hids.client_wall_us = reg->Histogram("client_wall_us");
     hids.client_bytes_up = reg->Histogram("client_bytes_up");
     hids.client_train_mflops = reg->Histogram("client_train_mflops");
+    client_tier.reserve(ctx_.assignments.size());
+    for (const auto& a : ctx_.assignments) {
+      const std::string tier =
+          a.system.device_tier.empty() ? "untiered" : a.system.device_tier;
+      std::size_t t = 0;
+      for (; t < tiers.size(); ++t) {
+        if (tiers[t].name == tier) break;
+      }
+      if (t == tiers.size()) {
+        TierIds ti;
+        ti.name = tier;
+        ti.selected = reg->Counter("clients_selected@" + tier);
+        ti.offline = reg->Counter("clients_offline@" + tier);
+        ti.dropped = reg->Counter("clients_dropped@" + tier);
+        ti.trained = reg->Counter("clients_trained@" + tier);
+        ti.bytes_up = reg->Counter("bytes_up@" + tier);
+        ti.bytes_down = reg->Counter("bytes_down@" + tier);
+        ti.train_mflops = reg->Counter("train_mflops@" + tier);
+        ti.client_wall_us = reg->Histogram("client_wall_us@" + tier);
+        ti.client_bytes_up = reg->Histogram("client_bytes_up@" + tier);
+        ti.client_train_mflops =
+            reg->Histogram("client_train_mflops@" + tier);
+        tiers.push_back(std::move(ti));
+      }
+      client_tier.push_back(t);
+    }
   }
   core::ThreadPool::Stats pool_base =
       pool_ != nullptr ? pool_->stats() : core::ThreadPool::Stats{};
@@ -260,6 +302,14 @@ RunResult FlEngine::Run() {
     // wall time into its own slot without synchronization.
     std::vector<obs::Registry::ClientRow> client_rows;
     std::vector<std::size_t> participant_row;
+    // Per participant: index into `tiers`, for the dispatch lambda's
+    // tier-keyed increments (pre-registered ids, no locks on the hot path).
+    std::vector<std::size_t> participant_tier;
+    // Per-tier selected/offline/dropped tallies for this round, added once
+    // after the loop (serial, like the untiered bulk Adds below).
+    std::vector<std::int64_t> tier_selected(tiers.size(), 0);
+    std::vector<std::int64_t> tier_offline(tiers.size(), 0);
+    std::vector<std::int64_t> tier_dropped(tiers.size(), 0);
     double round_time = 0.0;
     int round_offline = 0;
     int round_dropped = 0;
@@ -268,12 +318,16 @@ RunResult FlEngine::Run() {
       const double client_time = sys.compute_time_s + sys.comm_time_s;
       ++result.total_participations;
       std::size_t row_idx = 0;
+      std::size_t tier_idx = 0;
       if (reg != nullptr) {
+        tier_idx = client_tier[static_cast<std::size_t>(c)];
+        ++tier_selected[tier_idx];
         row_idx = client_rows.size();
         obs::Registry::ClientRow row;
         row.run = algorithm_.name();
         row.round = round;
         row.client = c;
+        row.device_tier = tiers[tier_idx].name;
         row.sim_compute_s = sys.compute_time_s;
         row.sim_comm_s = sys.comm_time_s;
         row.memory_mb = sys.memory_mb;
@@ -284,7 +338,10 @@ RunResult FlEngine::Run() {
         // State heterogeneity: the device is offline this round.
         ++result.offline_skips;
         ++round_offline;
-        if (reg != nullptr) client_rows[row_idx].drop_reason = "offline";
+        if (reg != nullptr) {
+          client_rows[row_idx].drop_reason = "offline";
+          ++tier_offline[tier_idx];
+        }
         continue;
       }
       if (config_.round_deadline_s > 0 &&
@@ -292,7 +349,10 @@ RunResult FlEngine::Run() {
         // Straggler: the synchronous round closes without this client.
         ++result.straggler_drops;
         ++round_dropped;
-        if (reg != nullptr) client_rows[row_idx].drop_reason = "straggler";
+        if (reg != nullptr) {
+          client_rows[row_idx].drop_reason = "straggler";
+          ++tier_dropped[tier_idx];
+        }
         continue;
       }
       if (reg != nullptr) {
@@ -301,6 +361,7 @@ RunResult FlEngine::Run() {
         row.bytes_down = static_cast<std::int64_t>(sys.comm_mb * 5e5);
         row.train_mflops = static_cast<std::int64_t>(sys.train_gflops * 1e3);
         participant_row.push_back(row_idx);
+        participant_tier.push_back(tier_idx);
       }
       participants.push_back(
           {c, round_rng.Fork(static_cast<std::uint64_t>(c))});
@@ -315,6 +376,11 @@ RunResult FlEngine::Run() {
       reg->Add(ids.selected, static_cast<std::int64_t>(sampled.size()));
       reg->Add(ids.offline, round_offline);
       reg->Add(ids.dropped, round_dropped);
+      for (std::size_t t = 0; t < tiers.size(); ++t) {
+        if (tier_selected[t] != 0) reg->Add(tiers[t].selected, tier_selected[t]);
+        if (tier_offline[t] != 0) reg->Add(tiers[t].offline, tier_offline[t]);
+        if (tier_dropped[t] != 0) reg->Add(tiers[t].dropped, tier_dropped[t]);
+      }
     }
 
     std::vector<int> participant_ids;
@@ -355,14 +421,23 @@ RunResult FlEngine::Run() {
         const auto bytes = static_cast<std::int64_t>(sys.comm_mb * 5e5);
         const auto mflops =
             static_cast<std::int64_t>(sys.train_gflops * 1e3);
+        const auto wall_us =
+            static_cast<std::int64_t>(client_wall_ms * 1e3);
         reg->Add(ids.bytes_up, bytes);
         reg->Add(ids.bytes_down, bytes);
         reg->Add(ids.train_mflops, mflops);
         reg->Add(ids.trained, 1);
-        reg->Observe(hids.client_wall_us,
-                     static_cast<std::int64_t>(client_wall_ms * 1e3));
+        reg->Observe(hids.client_wall_us, wall_us);
         reg->Observe(hids.client_bytes_up, bytes);
         reg->Observe(hids.client_train_mflops, mflops);
+        const TierIds& tier = tiers[participant_tier[i]];
+        reg->Add(tier.bytes_up, bytes);
+        reg->Add(tier.bytes_down, bytes);
+        reg->Add(tier.train_mflops, mflops);
+        reg->Add(tier.trained, 1);
+        reg->Observe(tier.client_wall_us, wall_us);
+        reg->Observe(tier.client_bytes_up, bytes);
+        reg->Observe(tier.client_train_mflops, mflops);
         client_rows[participant_row[i]].wall_ms = client_wall_ms;
       }
     });

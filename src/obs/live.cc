@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <ctime>
 #include <fstream>
+#include <map>
+#include <set>
 #include <sstream>
 #include <utility>
 
@@ -169,6 +171,12 @@ void LiveExporter::CheckWatchdogLocked(Clock::time_point now) {
                << " s (budget " << config_.watchdog_stall_s
                << " s), last completed round " << last_round_;
   if (config_.watchdog_abort) {
+    // Terminal heartbeat before the abort: Stop() never runs on this path,
+    // so without it the stream's last line predates the stall — flush one
+    // carrying stalled=true so post-mortem tooling sees how the run ended.
+    if (config_.heartbeat_every_s > 0 && !config_.heartbeat_path.empty()) {
+      WriteHeartbeatLocked(now);
+    }
     if (config_.on_watchdog_abort) {
       config_.on_watchdog_abort();
     } else {
@@ -248,21 +256,55 @@ std::string LiveExporter::MetricsTextLocked() const {
       << "\n";
   out << "# TYPE mhb_checkpoints_written counter\nmhb_checkpoints_written "
       << checkpoints_written_ << "\n";
+  // Tier-keyed registry entries (`<base>@<tier>`, DESIGN.md §5j) render as
+  // the base metric with a Prometheus `tier` label; untiered entries render
+  // exactly as before.  The snapshot map is name-sorted, so a base and its
+  // tier variants are adjacent and the TYPE line dedup below emits one
+  // header per metric family.
+  std::string last_type;
+  auto type_line = [&](const std::string& metric, const char* kind) {
+    if (metric != last_type) {
+      out << "# TYPE " << metric << " " << kind << "\n";
+      last_type = metric;
+    }
+  };
   for (const auto& [name, value] : snap.counters) {
-    const std::string metric = "mhb_counter_" + MetricName(name);
-    out << "# TYPE " << metric << " counter\n"
-        << metric << " " << value << "\n";
+    const auto at = name.find('@');
+    if (at == std::string::npos) {
+      const std::string metric = "mhb_counter_" + MetricName(name);
+      type_line(metric, "counter");
+      out << metric << " " << value << "\n";
+    } else {
+      const std::string metric =
+          "mhb_counter_" + MetricName(name.substr(0, at));
+      type_line(metric, "counter");
+      out << metric << "{tier=\"" << JsonEscape(name.substr(at + 1))
+          << "\"} " << value << "\n";
+    }
   }
+  last_type.clear();
   for (const auto& [name, h] : snap.hists) {
-    const std::string metric = "mhb_hist_" + MetricName(name);
-    out << "# TYPE " << metric << " summary\n";
-    out << metric << "{quantile=\"0.5\"} " << FmtD(h.Quantile(0.50)) << "\n";
-    out << metric << "{quantile=\"0.95\"} " << FmtD(h.Quantile(0.95))
+    const auto at = name.find('@');
+    const std::string base = at == std::string::npos ? name : name.substr(0, at);
+    const std::string tier =
+        at == std::string::npos ? "" : JsonEscape(name.substr(at + 1));
+    const std::string metric = "mhb_hist_" + MetricName(base);
+    type_line(metric, "summary");
+    auto label = [&](const char* quantile) {
+      std::string l = "{";
+      if (!tier.empty()) l += "tier=\"" + tier + "\",";
+      l += "quantile=\"" + std::string(quantile) + "\"}";
+      return l;
+    };
+    const std::string suffix_labels =
+        tier.empty() ? "" : "{tier=\"" + tier + "\"}";
+    out << metric << label("0.5") << " " << FmtD(h.Quantile(0.50)) << "\n";
+    out << metric << label("0.95") << " " << FmtD(h.Quantile(0.95))
         << "\n";
-    out << metric << "{quantile=\"0.99\"} " << FmtD(h.Quantile(0.99))
+    out << metric << label("0.99") << " " << FmtD(h.Quantile(0.99))
         << "\n";
-    out << metric << "_sum " << h.sum << "\n";
-    out << metric << "_count " << h.count() << "\n";
+    out << metric << "_sum" << suffix_labels << " " << h.sum << "\n";
+    out << metric << "_count" << suffix_labels << " " << h.count() << "\n";
   }
   return out.str();
 }
@@ -302,10 +344,14 @@ std::string LiveExporter::StatusJsonLocked() const {
         << FmtD(snap.accuracy[i].second) << "]";
   }
   out << "],\n";
+  // Tier-keyed entries (`<base>@<tier>`) are regrouped under "tiers";
+  // the flat counters / histograms objects stay tier-free so their schema
+  // is unchanged for existing pollers.
   out << "  \"counters\": {";
   {
     std::size_t i = 0;
     for (const auto& [name, value] : snap.counters) {
+      if (name.find('@') != std::string::npos) continue;
       out << (i++ == 0 ? "\n" : ",\n") << "    \"" << JsonEscape(name)
           << "\": " << value;
     }
@@ -315,12 +361,52 @@ std::string LiveExporter::StatusJsonLocked() const {
   {
     std::size_t i = 0;
     for (const auto& [name, h] : snap.hists) {
+      if (name.find('@') != std::string::npos) continue;
       out << (i++ == 0 ? "\n" : ",\n") << "    \"" << JsonEscape(name)
           << "\": {\"count\":" << h.count() << ",\"sum\":" << h.sum
           << ",\"min\":" << h.min << ",\"max\":" << h.max
           << ",\"p50\":" << FmtD(h.Quantile(0.50))
           << ",\"p95\":" << FmtD(h.Quantile(0.95))
           << ",\"p99\":" << FmtD(h.Quantile(0.99)) << "}";
+    }
+  }
+  out << "\n  },\n";
+  out << "  \"tiers\": {";
+  {
+    std::map<std::string, std::map<std::string, std::int64_t>> tc;
+    for (const auto& [name, value] : snap.counters) {
+      const auto at = name.find('@');
+      if (at == std::string::npos) continue;
+      tc[name.substr(at + 1)][name.substr(0, at)] = value;
+    }
+    std::map<std::string, std::map<std::string, Registry::HistogramData>> th;
+    for (const auto& [name, h] : snap.hists) {
+      const auto at = name.find('@');
+      if (at == std::string::npos) continue;
+      th[name.substr(at + 1)][name.substr(0, at)] = h;
+    }
+    std::set<std::string> tiers;
+    for (const auto& [tier, unused] : tc) tiers.insert(tier);
+    for (const auto& [tier, unused] : th) tiers.insert(tier);
+    std::size_t i = 0;
+    for (const auto& tier : tiers) {
+      out << (i++ == 0 ? "\n" : ",\n") << "    \"" << JsonEscape(tier)
+          << "\": {\"counters\": {";
+      std::size_t j = 0;
+      for (const auto& [name, value] : tc[tier]) {
+        out << (j++ == 0 ? "" : ", ") << "\"" << JsonEscape(name)
+            << "\": " << value;
+      }
+      out << "}, \"histograms\": {";
+      j = 0;
+      for (const auto& [name, h] : th[tier]) {
+        out << (j++ == 0 ? "" : ", ") << "\"" << JsonEscape(name)
+            << "\": {\"count\":" << h.count()
+            << ",\"p50\":" << FmtD(h.Quantile(0.50))
+            << ",\"p95\":" << FmtD(h.Quantile(0.95))
+            << ",\"p99\":" << FmtD(h.Quantile(0.99)) << "}";
+      }
+      out << "}}";
     }
   }
   out << "\n  },\n";

@@ -1,9 +1,11 @@
 #include "obs/manifest.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <ctime>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 
@@ -154,6 +156,70 @@ void WriteRoundsCsv(const std::string& run_dir, const Registry& registry) {
                   csv.ToString());
 }
 
+void WriteTiersCsv(const std::string& run_dir, const Registry& registry) {
+  // Column set: the union of `<base>@<tier>` bases over all rows; a row is
+  // emitted per (run, round, tier) seen in that round's entries.
+  std::set<std::string> counter_cols;
+  std::set<std::string> hist_cols;
+  for (const auto& row : registry.rounds()) {
+    for (const auto& [k, v] : row.counters) {
+      const auto at = k.find('@');
+      if (at != std::string::npos) counter_cols.insert(k.substr(0, at));
+    }
+    for (const auto& [k, v] : row.hists) {
+      const auto at = k.find('@');
+      if (at != std::string::npos) hist_cols.insert(k.substr(0, at));
+    }
+  }
+  if (counter_cols.empty() && hist_cols.empty()) return;
+  std::vector<std::string> header = {"run", "round", "tier"};
+  header.insert(header.end(), counter_cols.begin(), counter_cols.end());
+  for (const auto& h : hist_cols) {
+    header.push_back(h + "_count");
+    header.push_back(h + "_p50");
+    header.push_back(h + "_p95");
+    header.push_back(h + "_p99");
+  }
+  CsvWriter csv(header);
+  for (const auto& row : registry.rounds()) {
+    std::set<std::string> row_tiers;
+    for (const auto& [k, v] : row.counters) {
+      const auto at = k.find('@');
+      if (at != std::string::npos) row_tiers.insert(k.substr(at + 1));
+    }
+    for (const auto& [k, v] : row.hists) {
+      const auto at = k.find('@');
+      if (at != std::string::npos) row_tiers.insert(k.substr(at + 1));
+    }
+    for (const auto& tier : row_tiers) {
+      std::vector<std::string> cells = {row.run, std::to_string(row.round),
+                                        tier};
+      for (const auto& c : counter_cols) {
+        auto it = row.counters.find(c + "@" + tier);
+        cells.push_back(
+            it == row.counters.end() ? "0" : std::to_string(it->second));
+      }
+      for (const auto& h : hist_cols) {
+        auto it = row.hists.find(h + "@" + tier);
+        if (it == row.hists.end()) {
+          cells.push_back("0");
+          cells.push_back("");
+          cells.push_back("");
+          cells.push_back("");
+        } else {
+          cells.push_back(std::to_string(it->second.count()));
+          cells.push_back(FormatDouble(it->second.Quantile(0.50)));
+          cells.push_back(FormatDouble(it->second.Quantile(0.95)));
+          cells.push_back(FormatDouble(it->second.Quantile(0.99)));
+        }
+      }
+      csv.AddRow(cells);
+    }
+  }
+  WriteFileAtomic(std::filesystem::path(run_dir) / "tiers.csv",
+                  csv.ToString());
+}
+
 std::string WriteRunManifest(const std::string& dir, const RunManifest& m,
                              const Registry* registry,
                              const Profiler* profiler) {
@@ -215,27 +281,60 @@ std::string WriteRunManifest(const std::string& dir, const RunManifest& m,
            << ",\"p99\":" << FormatDouble(h.Quantile(0.99)) << "}";
     }
   }
+  // Per-tier rollups: the `<base>@<tier>` totals regrouped by tier, so
+  // report tooling never has to re-split names.  The flat counters /
+  // histograms objects above still carry the raw `@` entries — that keeps
+  // mhb_diff's exact-counter gate covering the tier dimension for free.
+  json << "\n  },\n  \"tiers\": {";
+  if (registry != nullptr) {
+    std::map<std::string, std::map<std::string, std::int64_t>> tier_counters;
+    for (const auto& [name, value] : registry->Totals()) {
+      const auto at = name.find('@');
+      if (at == std::string::npos) continue;
+      tier_counters[name.substr(at + 1)][name.substr(0, at)] = value;
+    }
+    std::map<std::string, std::map<std::string, Registry::HistogramData>>
+        tier_hists;
+    for (const auto& [name, h] : registry->Histograms()) {
+      const auto at = name.find('@');
+      if (at == std::string::npos || h.empty()) continue;
+      tier_hists[name.substr(at + 1)][name.substr(0, at)] = h;
+    }
+    std::set<std::string> tier_names;
+    for (const auto& [tier, unused] : tier_counters) tier_names.insert(tier);
+    for (const auto& [tier, unused] : tier_hists) tier_names.insert(tier);
+    std::size_t i = 0;
+    for (const auto& tier : tier_names) {
+      json << (i++ == 0 ? "\n" : ",\n") << "    ";
+      AppendJsonString(json, tier);
+      json << ": {\"counters\": {";
+      std::size_t j = 0;
+      for (const auto& [name, value] : tier_counters[tier]) {
+        json << (j++ == 0 ? "" : ", ");
+        AppendJsonString(json, name);
+        json << ": " << value;
+      }
+      json << "}, \"histograms\": {";
+      j = 0;
+      for (const auto& [name, h] : tier_hists[tier]) {
+        json << (j++ == 0 ? "" : ", ");
+        AppendJsonString(json, name);
+        json << ": {\"count\":" << h.count() << ",\"sum\":" << h.sum
+             << ",\"p50\":" << FormatDouble(h.Quantile(0.50))
+             << ",\"p95\":" << FormatDouble(h.Quantile(0.95))
+             << ",\"p99\":" << FormatDouble(h.Quantile(0.99)) << "}";
+      }
+      json << "}}";
+    }
+  }
   json << "\n  },\n  \"rounds\": " << (registry ? registry->rounds().size() : 0)
        << "\n}\n";
 
   WriteFileAtomic(run_dir / "manifest.json", json.str());
 
-  if (registry != nullptr) WriteRoundsCsv(run_dir.string(), *registry);
-
-  if (registry != nullptr && !registry->client_rows().empty()) {
-    CsvWriter csv({"run", "round", "client", "drop_reason", "sim_compute_s",
-                   "sim_comm_s", "memory_mb", "wall_ms", "bytes_up",
-                   "bytes_down", "train_mflops"});
-    for (const auto& row : registry->client_rows()) {
-      csv.AddRow({row.run, std::to_string(row.round),
-                  std::to_string(row.client), row.drop_reason,
-                  FormatDouble(row.sim_compute_s),
-                  FormatDouble(row.sim_comm_s), FormatDouble(row.memory_mb),
-                  FormatDouble(row.wall_ms), std::to_string(row.bytes_up),
-                  std::to_string(row.bytes_down),
-                  std::to_string(row.train_mflops)});
-    }
-    WriteFileAtomic(run_dir / "clients.csv", csv.ToString());
+  if (registry != nullptr) {
+    WriteRoundsCsv(run_dir.string(), *registry);
+    WriteTiersCsv(run_dir.string(), *registry);
   }
 
   if (profiler != nullptr) {

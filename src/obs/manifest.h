@@ -3,14 +3,21 @@
 // WriteRunManifest creates `<dir>/<run_id>/` containing
 //   manifest.json — tool, git describe, seed, thread count, flattened
 //                   config, counter totals, histogram summaries
-//                   (count/sum/min/max/p50/p95/p99), and summary metrics
+//                   (count/sum/min/max/p50/p95/p99), per-tier rollups
+//                   (the `<base>@<tier>` entries regrouped by tier), and
+//                   summary metrics
 //   rounds.csv    — one row per (run, round) from the registry's round
 //                   snapshots (counter deltas + gauges + per-round
 //                   histogram quantiles)
-//   clients.csv   — per-client per-round timeline (drop reason, simulated
-//                   compute/comm seconds, memory, measured wall ms, bytes)
-//                   when the registry collected client rows
+//   tiers.csv     — one row per (run, round, device tier): the tier-keyed
+//                   counter deltas and histogram quantiles split out of
+//                   the round rows (DESIGN.md §5j)
 //   profile.json  — per-op attribution table when a profiler is supplied
+//
+// The per-client per-round timeline is no longer retained in memory or
+// written here: the registry drains it into the bounded client event
+// journal (obs/journal.h, clients.mhbj); `tools/mhb_journal.py csv`
+// reconstructs the legacy clients.csv from the journal.
 #pragma once
 
 #include <cstdint>
@@ -48,7 +55,7 @@ std::string IsoTimestampUtc();
 // name ("/", spaces, ".." and friends become "_").
 std::string SanitizeRunId(const std::string& id);
 
-// Writes manifest.json (+ rounds.csv / clients.csv when `registry` is
+// Writes manifest.json (+ rounds.csv / tiers.csv when `registry` is
 // non-null and collected rows, + profile.json when `profiler` is non-null)
 // under `<dir>/<sanitized run_id>/`; creates directories as needed.
 // Returns the run directory.  Throws mhbench::Error on I/O errors.
@@ -65,5 +72,11 @@ std::string WriteRunManifest(const std::string& dir, const RunManifest& m,
 // the column header is the union over all rows, so the file is rewritten
 // whole each time rather than appended.  Serial phases only.
 void WriteRoundsCsv(const std::string& run_dir, const Registry& registry);
+
+// Writes `<run_dir>/tiers.csv`: one row per (run, round, tier) built by
+// splitting the round rows' `<base>@<tier>` counter/histogram entries.
+// Same atomic-rewrite and serial-phase contract as WriteRoundsCsv; no-op
+// while no tier-keyed entries exist.
+void WriteTiersCsv(const std::string& run_dir, const Registry& registry);
 
 }  // namespace mhbench::obs

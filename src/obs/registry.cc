@@ -205,9 +205,16 @@ void Registry::FlushThreadSinks() {
 void Registry::EndRound(const std::string& run, int round) {
   std::function<void(const RoundRow&)> sink;
   RoundRow published;
+  std::function<void(std::vector<ClientRow>&&)> row_sink;
+  std::vector<ClientRow> drained;
   {
     core::MutexLock lock(mu_);
     FlushLocked();
+    // Drain the staged client rows unconditionally: with no sink installed
+    // they are simply discarded, so staging memory stays bounded by one
+    // round's cohort either way.
+    drained.swap(client_rows_);
+    row_sink = client_row_sink_;
     RoundRow row;
     row.run = run;
     row.round = round;
@@ -232,11 +239,18 @@ void Registry::EndRound(const std::string& run, int round) {
     rounds_.push_back(std::move(row));
   }
   if (sink) sink(published);
+  if (row_sink && !drained.empty()) row_sink(std::move(drained));
 }
 
 void Registry::SetRoundSink(std::function<void(const RoundRow&)> sink) {
   core::MutexLock lock(mu_);
   round_sink_ = std::move(sink);
+}
+
+void Registry::SetClientRowSink(
+    std::function<void(std::vector<ClientRow>&&)> sink) {
+  core::MutexLock lock(mu_);
+  client_row_sink_ = std::move(sink);
 }
 
 Registry::LiveSnapshot Registry::SnapshotTotals() const {

@@ -20,8 +20,17 @@
 //
 // EndRound snapshots the per-round counter deltas, histogram deltas and the
 // round's gauges into a row; the manifest writer turns the rows into
-// rounds.csv.  AddClientRow (serial phases only) accumulates the per-client
-// per-round timeline the manifest writer emits as clients.csv.
+// rounds.csv.  AddClientRow (serial phases only) stages the per-client
+// per-round timeline; EndRound drains the staged rows into the installed
+// client-row sink (obs/journal) — or discards them when no sink is
+// installed — so client-row memory is bounded by one round's cohort, never
+// O(fleet x rounds).
+//
+// Tier-keyed rollups (DESIGN.md §5j) are ordinary counters/histograms named
+// `<base>@<tier>` (e.g. "clients_trained@mem16g"); '@' never appears in
+// untiered names, so exporters can split on it to recover the (base, tier)
+// pair while every registry mechanism (sinks, barriers, round rows,
+// checkpoint import) applies unchanged.
 #pragma once
 
 #include <array>
@@ -180,6 +189,7 @@ class Registry {
     std::string run;
     int round = 0;
     int client = 0;
+    std::string device_tier;  // "" = untiered (DESIGN.md §5j taxonomy)
     std::string drop_reason;  // "" (trained), "offline", "straggler"
     double sim_compute_s = 0.0;
     double sim_comm_s = 0.0;
@@ -189,13 +199,18 @@ class Registry {
     std::int64_t bytes_down = 0;
     std::int64_t train_mflops = 0;
   };
-  // Serial phases only (the engine appends at the round barrier).
+  // Stages one client's row for the current round.  Serial phases only (the
+  // engine appends at the round barrier); EndRound drains the staged rows.
   void AddClientRow(ClientRow row) MHB_EXCLUDES(mu_);
-  // Serial-phase accessor; same safety argument as rounds().
-  const std::vector<ClientRow>& client_rows() const
-      MHB_NO_THREAD_SAFETY_ANALYSIS {
-    return client_rows_;
-  }
+
+  // Installs the per-round client-row drain, invoked by EndRound with the
+  // round's staged rows (outside the registry lock, on the barrier thread).
+  // Rows staged while no sink is installed are discarded at the barrier —
+  // staging memory is bounded by one round's cohort either way.  The CLI
+  // wires this to a ClientJournalWriter.  Serial phases only; pass an empty
+  // function to uninstall.
+  void SetClientRowSink(std::function<void(std::vector<ClientRow>&&)> sink)
+      MHB_EXCLUDES(mu_);
 
  private:
   struct Sink {
@@ -228,8 +243,12 @@ class Registry {
   std::map<std::string, double> gauges_ MHB_GUARDED_BY(mu_);
   std::vector<std::unique_ptr<Sink>> sinks_ MHB_GUARDED_BY(mu_);
   std::vector<RoundRow> rounds_ MHB_GUARDED_BY(mu_);
+  // Staged rows for the round in flight; drained (or discarded) by every
+  // EndRound, so this never grows past one round's cohort.
   std::vector<ClientRow> client_rows_ MHB_GUARDED_BY(mu_);
   std::function<void(const RoundRow&)> round_sink_ MHB_GUARDED_BY(mu_);
+  std::function<void(std::vector<ClientRow>&&)> client_row_sink_
+      MHB_GUARDED_BY(mu_);
 };
 
 }  // namespace mhbench::obs

@@ -68,6 +68,11 @@ std::vector<ClientAssignment> HeterogeneousAssignments(int n) {
     // give the counters something non-zero to aggregate.
     a.system.comm_mb = 4.0 + i;
     a.system.train_gflops = 1.0 + 0.5 * i;
+    // Device-tier taxonomy (DESIGN.md §5j): the tier-keyed `<base>@<tier>`
+    // rollups land in the same Totals() maps the instrumented sweep below
+    // compares, so per-tier determinism is enforced for every algorithm.
+    a.system.device_tier =
+        (i % 3 == 0) ? "cpu" : (i % 3 == 1) ? "mem4g" : "mem16g";
   }
   return assign;
 }
@@ -200,6 +205,13 @@ TEST(ParallelDeterminismTest, InstrumentedRunsStayBitIdentical) {
     EXPECT_GT(totals.at("bytes_up"), 0);
     EXPECT_GT(totals.at("clients_dropped"), 0);
     EXPECT_GT(totals.at("gemm_flops"), 0);
+    // The tier-keyed rollups are present and partition the untiered total
+    // (tier_rollup_test covers the full contract; this sweep proves it
+    // holds under every algorithm in the zoo).
+    EXPECT_EQ(totals.at("clients_trained@cpu") +
+                  totals.at("clients_trained@mem4g") +
+                  totals.at("clients_trained@mem16g"),
+              totals.at("clients_trained"));
     if (threads == 1) {
       reference_totals = totals;
     } else {

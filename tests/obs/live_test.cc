@@ -396,6 +396,84 @@ TEST(LiveWatchdogTest, AbortSeamRunsInsteadOfProcessExit) {
   EXPECT_GE(live.stall_count(), 1);
 }
 
+TEST(LiveWatchdogTest, AbortFlushesATerminalHeartbeatLine) {
+  const testsupport::TempDir dir = testsupport::MakeTempDir();
+  std::atomic<int> aborts{0};
+  LiveConfig cfg;
+  cfg.watchdog_stall_s = 0.05;
+  cfg.watchdog_abort = true;
+  cfg.on_watchdog_abort = [&aborts] { ++aborts; };
+  cfg.heartbeat_every_s = 1000.0;  // periodic beat never fires in-test
+  cfg.heartbeat_path = dir.File("heartbeat.jsonl");
+  cfg.run_id = "abort-run";
+  LiveExporter live(cfg, nullptr);
+  ASSERT_TRUE(WaitFor([&] { return aborts.load() >= 1; }))
+      << "abort hook never invoked";
+
+  // The dying breath: before the abort path hands over to the hook (in
+  // production: process exit), the watchdog flushes one heartbeat line
+  // already marked stalled, so a killed campaign's last on-disk record
+  // says why it died rather than just going silent.
+  std::ifstream f(cfg.heartbeat_path);
+  ASSERT_TRUE(f.good()) << "no heartbeat file after watchdog abort";
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(f, line);) lines.push_back(line);
+  ASSERT_GE(lines.size(), 1u);
+  EXPECT_NE(lines.front().find("\"stalled\":true"), std::string::npos)
+      << lines.front();
+  EXPECT_NE(lines.front().find("\"run_id\":\"abort-run\""), std::string::npos)
+      << lines.front();
+  live.Stop();
+}
+
+// Tier-keyed registry entries (`<base>@<tier>`, DESIGN.md §5j) and how the
+// two HTTP surfaces present them: /metrics folds the tier into a Prometheus
+// label on the base family (one TYPE header per family, untiered lines
+// byte-identical to the tier-free world — MetricsTextGolden above still
+// pins that); /status.json keeps its flat counters/histograms maps
+// tier-free and regroups the rollups under a "tiers" object.
+TEST(LiveExporterTest, TierKeyedEntriesRenderAsLabelsAndStatusTiers) {
+  Registry reg;
+  reg.AddNamed("bytes_up", 1500);
+  reg.AddNamed("bytes_up@cpu", 500);
+  reg.AddNamed("bytes_up@mem4g", 1000);
+  reg.ObserveNamed("lat_us@cpu", 100);
+  reg.EndRound("fedavg", 0);
+  LiveConfig cfg;
+  LiveExporter live(cfg, &reg);
+
+  const std::string metrics = live.MetricsText();
+  EXPECT_NE(metrics.find("# TYPE mhb_counter_bytes_up counter\n"
+                         "mhb_counter_bytes_up 1500\n"
+                         "mhb_counter_bytes_up{tier=\"cpu\"} 500\n"
+                         "mhb_counter_bytes_up{tier=\"mem4g\"} 1000\n"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("# TYPE mhb_hist_lat_us summary\n"
+                         "mhb_hist_lat_us{tier=\"cpu\",quantile=\"0.5\"} 100"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("mhb_hist_lat_us_sum{tier=\"cpu\"} 100"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("mhb_hist_lat_us_count{tier=\"cpu\"} 1"),
+            std::string::npos);
+  EXPECT_EQ(metrics.find('@'), std::string::npos)
+      << "raw @-names leaked into the Prometheus exposition";
+
+  const std::string status = live.StatusJson();
+  EXPECT_NE(status.find("\"bytes_up\": 1500"), std::string::npos) << status;
+  EXPECT_EQ(status.find('@'), std::string::npos)
+      << "flat /status.json maps must stay tier-free";
+  EXPECT_NE(status.find("\"tiers\": {"), std::string::npos);
+  EXPECT_NE(status.find("\"cpu\": {\"counters\": {\"bytes_up\": 500}, "
+                        "\"histograms\": {\"lat_us\": {\"count\":1"),
+            std::string::npos)
+      << status;
+  EXPECT_NE(status.find("\"mem4g\": {\"counters\": {\"bytes_up\": 1000}"),
+            std::string::npos)
+      << status;
+}
+
 // The contract the whole subsystem exists to honor: a real engine run with
 // the exporter attached — HTTP server up, heartbeats on, watchdog armed,
 // and a poller thread hammering every surface concurrently with training —

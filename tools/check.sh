@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Full verification: static analysis (mhb_lint + its fixture suite), then
 # build + ctest in the plain configuration (plus an observability smoke run
-# that emits and schema-checks a trace + manifest, a checkpoint/resume
-# smoke that mhb_diffs a resumed run against an uninterrupted one, and a
-# live telemetry smoke that polls /metrics + /status.json + /healthz while
-# a run trains and then mhb_diffs exporter-on against exporter-off), then
+# that emits and schema-checks a trace + manifest + tiers.csv, validates
+# and CSV-converts the client event journal, and indexes two runs with
+# mhb_report.py; a checkpoint/resume smoke that mhb_diffs a resumed run
+# against an uninterrupted one; and a live telemetry smoke that polls
+# /metrics + /status.json + /healthz while a run trains, byte-compares the
+# client journals, and mhb_diffs exporter-on against exporter-off), then
 # again under ThreadSanitizer (MHBENCH_SANITIZE=thread) to race-check the
 # parallel round executor and the exporter.  Run from anywhere; builds live
 # in build*/ siblings.
@@ -125,19 +127,70 @@ assert profile["op_totals"]["conv2d_fwd"]["gemm_flops"] > 0
 for row in profile["tree"]:
     assert row["wall_us"] + 1e-6 >= row["self_wall_us"] >= 0, row["path"]
 
-clients = (runs[0] / "clients.csv").read_text().splitlines()
-assert clients[0] == ("run,round,client,drop_reason,sim_compute_s,"
-                      "sim_comm_s,memory_mb,wall_ms,bytes_up,bytes_down,"
-                      "train_mflops"), "clients.csv: bad header"
-trained = sum(1 for line in clients[1:] if line.split(",")[3] == "")
-assert trained == manifest["counters"]["clients_trained"], "clients.csv rows"
+# Per-device-tier rollups (DESIGN.md 5j): the manifest regroups the
+# tier-keyed `<base>@<tier>` counters under "tiers", and tiers.csv carries
+# the per-(round, tier) deltas.
+tiers = manifest["tiers"]
+assert tiers, "manifest.json: no per-tier rollups"
+for tier, roll in tiers.items():
+    assert "@" not in tier and "counters" in roll, tier
+assert sum(t["counters"].get("clients_trained", 0)
+           for t in tiers.values()) \
+    == manifest["counters"]["clients_trained"], "tier rollup partition"
+
+tiers_csv = (runs[0] / "tiers.csv").read_text().splitlines()
+assert tiers_csv[0].startswith("run,round,tier,"), "tiers.csv: bad header"
+assert len(tiers_csv) > 1, "tiers.csv: no rows"
+
+# The bounded-memory client event journal replaced the clients.csv dump.
+assert (runs[0] / "clients.mhbj").is_file(), "clients.mhbj missing"
+assert not (runs[0] / "clients.csv").exists(), "legacy clients.csv present"
 print("check.sh: telemetry smoke passed")
+PY
+
+  local run_dir
+  run_dir="$(echo "$out"/results/*)"
+  # Client event journal: full structural validation, then the legacy-CSV
+  # conversion must reproduce the old clients.csv schema and reconcile with
+  # the manifest's trained count.
+  python3 "$repo/tools/mhb_journal.py" check "$run_dir/clients.mhbj"
+  python3 "$repo/tools/mhb_journal.py" csv "$run_dir/clients.mhbj" \
+    -o "$out/clients.csv"
+  python3 - "$out/clients.csv" "$run_dir/manifest.json" <<'PY'
+import json, sys
+lines = open(sys.argv[1]).read().splitlines()
+assert lines[0] == ("run,round,client,drop_reason,sim_compute_s,"
+                    "sim_comm_s,memory_mb,wall_ms,bytes_up,bytes_down,"
+                    "train_mflops"), "converted csv: bad header"
+manifest = json.load(open(sys.argv[2]))
+trained = sum(1 for line in lines[1:] if line.split(",")[3] == "")
+assert trained == manifest["counters"]["clients_trained"], "journal rows"
+print("check.sh: client journal smoke passed")
+PY
+
+  # Cross-run experiment index: a second run into the same results root,
+  # then mhb_report.py must index both and render the per-tier tables.
+  MHB_TRAIN=160 MHB_TEST=80 "$build_dir/tools/mhbench" run \
+    --task cifar10 --algorithm fedavg --rounds 2 --clients 4 \
+    --threads 2 --manifest-dir "$out/results" >/dev/null
+  python3 "$repo/tools/mhb_report.py" "$out/results" > "$out/report.txt"
+  python3 - "$out" <<'PY'
+import json, pathlib, sys
+out = pathlib.Path(sys.argv[1])
+runs = [json.loads(line) for line in
+        (out / "results" / "experiments.jsonl").read_text().splitlines()]
+assert len(runs) == 2, f"expected 2 indexed runs, got {len(runs)}"
+assert {r["algorithm"] for r in runs} == {"sheterofl", "fedavg"}
+for r in runs:
+    assert r["tiers"], f"run {r['run_id']}: no tier rollups in index"
+report = (out / "report.txt").read_text()
+assert "== experiments ==" in report, report
+assert "== per-tier rollups ==" in report, report
+print("check.sh: mhb_report smoke passed (2 runs indexed)")
 PY
 
   # Regression differ round-trip: a run must diff clean against itself, and
   # a doctored copy with 2x client latency must trip the 1.3x gate.
-  local run_dir
-  run_dir="$(echo "$out"/results/*)"
   python3 "$repo/tools/mhb_diff.py" "$run_dir" "$run_dir" >/dev/null
   cp -r "$run_dir" "$out/regressed"
   python3 - "$out/regressed/manifest.json" <<'PY'
@@ -184,9 +237,7 @@ smoke_resume() {
     --manifest-dir "$out/resumed" >/dev/null
   cat > "$out/thresholds.json" <<'JSON'
 {
-  "client_wall_us.p50": {"ratio": 1000},
-  "client_wall_us.p95": {"ratio": 1000},
-  "client_wall_us.p99": {"ratio": 1000}
+  "client_wall_us*": {"ratio": 1000}
 }
 JSON
   python3 "$repo/tools/mhb_diff.py" --thresholds "$out/thresholds.json" \
@@ -312,11 +363,13 @@ assert final["watchdog_stalls"] == 0, "watchdog fired on a healthy run"
 assert final["stalled"] is False
 print(f"check.sh: heartbeat stream valid ({len(lines)} lines)")
 PY
+  # The client event journal is a pure function of the cost model and the
+  # serial draws: serving telemetry mid-run must not change a single byte.
+  cmp "$out"/off/*/clients.mhbj "$out"/on/*/clients.mhbj
+  echo "check.sh: client journal bit-identical with exporter attached"
   cat > "$out/thresholds.json" <<'JSON'
 {
-  "client_wall_us.p50": {"ratio": 1000},
-  "client_wall_us.p95": {"ratio": 1000},
-  "client_wall_us.p99": {"ratio": 1000}
+  "client_wall_us*": {"ratio": 1000}
 }
 JSON
   python3 "$repo/tools/mhb_diff.py" --thresholds "$out/thresholds.json" \
@@ -358,14 +411,24 @@ smoke_bench() {
   cp "$build_dir/BENCH_kernels.json" "$repo/BENCH_kernels.json"
 }
 
-# Writes the observability artifacts of a small profiled run into
-# $build_dir/obs-artifacts so CI can upload them alongside the bench report.
+# Writes the observability artifacts of two small profiled runs into
+# $build_dir/obs-artifacts so CI can upload them alongside the bench
+# report: per-run manifests, rounds.csv + tiers.csv, client journals, and
+# the cross-run experiments.jsonl index + per-tier report from
+# tools/mhb_report.py.
 emit_obs_artifacts() {
   local build_dir="$1"
   rm -rf "$build_dir/obs-artifacts"
-  MHB_TRAIN=160 MHB_TEST=80 "$build_dir/tools/mhbench" run \
-    --task cifar10 --algorithm sheterofl --rounds 2 --clients 4 \
-    --threads 2 --manifest-dir "$build_dir/obs-artifacts" >/dev/null
+  local alg
+  for alg in sheterofl fedavg; do
+    MHB_TRAIN=160 MHB_TEST=80 "$build_dir/tools/mhbench" run \
+      --task cifar10 --algorithm "$alg" --rounds 2 --clients 4 \
+      --threads 2 --manifest-dir "$build_dir/obs-artifacts" >/dev/null
+  done
+  if command -v python3 >/dev/null 2>&1; then
+    python3 "$repo/tools/mhb_report.py" "$build_dir/obs-artifacts" \
+      | tee "$build_dir/obs-artifacts/report.txt"
+  fi
   echo "check.sh: obs artifacts in $build_dir/obs-artifacts"
 }
 

@@ -43,9 +43,12 @@ Exit status: 0 = no regression, 1 = regression found, 2 = usage/IO error.
 
 Threshold overrides: --thresholds FILE points at a JSON object mapping a
 key (counter, histogram, metric, op, or kernel name) to {"ratio": R} or
-{"rtol": T}, replacing the default gate for that key.
+{"rtol": T}, replacing the default gate for that key.  Keys may be
+fnmatch-style wildcards ("client_wall_us*" also covers the per-tier
+"client_wall_us@mem16g.p50" variants); exact keys win over patterns.
 """
 import argparse
+import fnmatch
 import json
 import pathlib
 import re
@@ -69,7 +72,13 @@ class Differ:
         self.checked = 0
 
     def override(self, key):
-        return self.overrides.get(key, {})
+        hit = self.overrides.get(key)
+        if hit is not None:
+            return hit
+        for pattern in sorted(self.overrides):
+            if fnmatch.fnmatchcase(key, pattern):
+                return self.overrides[pattern]
+        return {}
 
     def check_latency(self, key, base, cand):
         """Pass while cand <= base * ratio; faster never fails."""

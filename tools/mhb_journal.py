@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Read / validate mhbench client event journals (clients.mhbj).
+
+The journal is the bounded-memory replacement for the in-memory per-client
+timeline (DESIGN.md 5j, src/obs/journal.h): one header followed by one
+CRC-framed block per round barrier.  This tool is a pure-python parser —
+no third-party dependencies.
+
+Usage:
+  mhb_journal.py check <clients.mhbj>
+      Fully validate magic, version, every block frame and CRC, and every
+      record's bounds; print a summary.  Exits 1 on any corruption.
+  mhb_journal.py csv <clients.mhbj> [-o out.csv]
+      Convert the journal to the legacy clients.csv schema (stdout by
+      default).  wall_ms is emitted as 0: measured wall time deliberately
+      is not journaled (it lives in the client_wall_us histograms) so
+      journal bytes stay bit-identical across --threads.
+
+Wire format (little-endian):
+  header  "MHBJRNL1" | u32 version | f64 sample_rate | u64 sample_seed
+  block   u64 payload_len | u32 crc32(payload) | payload
+  payload u32 round | u32 run_len | run | u32 record_count | record*
+  record  i32 client | u32 tier_len | tier | u8 drop_code
+          | f64 sim_compute_s | f64 sim_comm_s | f64 memory_mb
+          | i64 bytes_up | i64 bytes_down | i64 train_mflops
+"""
+
+import argparse
+import struct
+import sys
+import zlib
+
+MAGIC = b"MHBJRNL1"
+VERSION = 1
+DROP_REASONS = {0: "", 1: "offline", 2: "straggler"}
+
+CSV_HEADER = (
+    "run,round,client,drop_reason,sim_compute_s,sim_comm_s,memory_mb,"
+    "wall_ms,bytes_up,bytes_down,train_mflops"
+)
+
+
+class JournalError(Exception):
+    pass
+
+
+class Cursor:
+    def __init__(self, data, what):
+        self.data = data
+        self.pos = 0
+        self.what = what
+
+    def take(self, n):
+        if self.pos + n > len(self.data):
+            raise JournalError("truncated %s" % self.what)
+        chunk = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u8(self):
+        return self.take(1)[0]
+
+    def u32(self):
+        return struct.unpack("<I", self.take(4))[0]
+
+    def u64(self):
+        return struct.unpack("<Q", self.take(8))[0]
+
+    def i32(self):
+        return struct.unpack("<i", self.take(4))[0]
+
+    def i64(self):
+        return struct.unpack("<q", self.take(8))[0]
+
+    def f64(self):
+        return struct.unpack("<d", self.take(8))[0]
+
+    def string(self):
+        n = self.u32()
+        return self.take(n).decode("utf-8")
+
+    def remaining(self):
+        return len(self.data) - self.pos
+
+
+def read_journal(path):
+    """Parse and fully validate; returns (meta dict, list of record dicts)."""
+    with open(path, "rb") as f:
+        data = f.read()
+    cur = Cursor(data, "header")
+    if cur.take(len(MAGIC)) != MAGIC:
+        raise JournalError("bad magic")
+    version = cur.u32()
+    if version != VERSION:
+        raise JournalError(
+            "unsupported version %d (want %d)" % (version, VERSION)
+        )
+    meta = {
+        "version": version,
+        "sample_rate": cur.f64(),
+        "sample_seed": cur.u64(),
+    }
+    records = []
+    blocks = 0
+    while cur.remaining() > 0:
+        frame = Cursor(data[cur.pos :], "block frame")
+        payload_len = frame.u64()
+        crc = frame.u32()
+        if payload_len > frame.remaining():
+            raise JournalError("truncated block payload")
+        payload = frame.take(payload_len)
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise JournalError("block CRC mismatch")
+        body = Cursor(payload, "block body")
+        rnd = body.u32()
+        run = body.string()
+        count = body.u32()
+        for _ in range(count):
+            rec = {
+                "run": run,
+                "round": rnd,
+                "client": body.i32(),
+                "device_tier": body.string(),
+            }
+            code = body.u8()
+            if code not in DROP_REASONS:
+                raise JournalError("unknown drop code %d" % code)
+            rec["drop_reason"] = DROP_REASONS[code]
+            rec["sim_compute_s"] = body.f64()
+            rec["sim_comm_s"] = body.f64()
+            rec["memory_mb"] = body.f64()
+            rec["bytes_up"] = body.i64()
+            rec["bytes_down"] = body.i64()
+            rec["train_mflops"] = body.i64()
+            records.append(rec)
+        if body.remaining() != 0:
+            raise JournalError("trailing bytes in block")
+        cur.pos += frame.pos
+        blocks += 1
+    meta["blocks"] = blocks
+    return meta, records
+
+
+def fmt(v):
+    """Format a double like C++ `ostream << double` (%g, 6 significant)."""
+    return "%g" % v
+
+
+def cmd_check(args):
+    try:
+        meta, records = read_journal(args.journal)
+    except (JournalError, OSError) as e:
+        print("FAIL %s: %s" % (args.journal, e), file=sys.stderr)
+        return 1
+    tiers = {}
+    drops = {"": 0, "offline": 0, "straggler": 0}
+    rounds = set()
+    for rec in records:
+        tiers[rec["device_tier"]] = tiers.get(rec["device_tier"], 0) + 1
+        drops[rec["drop_reason"]] += 1
+        rounds.add((rec["run"], rec["round"]))
+    print(
+        "OK %s: version=%d sample_rate=%g blocks=%d rounds=%d records=%d"
+        % (
+            args.journal,
+            meta["version"],
+            meta["sample_rate"],
+            meta["blocks"],
+            len(rounds),
+            len(records),
+        )
+    )
+    print(
+        "   trained=%d offline=%d straggler=%d"
+        % (drops[""], drops["offline"], drops["straggler"])
+    )
+    for tier in sorted(tiers):
+        print("   tier %-10s %d records" % (tier or "(untiered)", tiers[tier]))
+    return 0
+
+
+def cmd_csv(args):
+    meta, records = read_journal(args.journal)
+    del meta
+    out = open(args.output, "w") if args.output else sys.stdout
+    try:
+        print(CSV_HEADER, file=out)
+        for rec in records:
+            # Dropped clients journal zero transfer/compute, matching the
+            # legacy writer; wall_ms is always 0 (not journaled).
+            print(
+                ",".join(
+                    [
+                        rec["run"],
+                        str(rec["round"]),
+                        str(rec["client"]),
+                        rec["drop_reason"],
+                        fmt(rec["sim_compute_s"]),
+                        fmt(rec["sim_comm_s"]),
+                        fmt(rec["memory_mb"]),
+                        "0",
+                        str(rec["bytes_up"]),
+                        str(rec["bytes_down"]),
+                        str(rec["train_mflops"]),
+                    ]
+                ),
+                file=out,
+            )
+    finally:
+        if args.output:
+            out.close()
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_check = sub.add_parser("check", help="validate a journal")
+    p_check.add_argument("journal")
+    p_csv = sub.add_parser("csv", help="convert to legacy clients.csv")
+    p_csv.add_argument("journal")
+    p_csv.add_argument("-o", "--output", default="")
+    args = parser.parse_args()
+    if args.command == "check":
+        return cmd_check(args)
+    try:
+        return cmd_csv(args)
+    except (JournalError, OSError) as e:
+        print("error: %s" % e, file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Cross-run experiment index and per-tier comparison report.
+
+Scans a results root for run manifests (the `manifest.json` files
+`mhbench run --manifest-dir` writes), indexes them into one
+`experiments.jsonl` (one JSON object per run), and renders per-device-tier
+comparison tables — accuracy, time-to-accuracy, and drop rate by tier
+across algorithms and constraint regimes (DESIGN.md 5j).  Pure python,
+no third-party dependencies.
+
+Usage:
+  mhb_report.py <results_root> [--out experiments.jsonl]
+                [--target-fraction 0.9]
+
+Exit status is 1 when no manifest is found under the root.
+"""
+
+import argparse
+import csv
+import json
+import os
+import sys
+
+
+def find_manifests(root):
+    for dirpath, _dirnames, filenames in sorted(os.walk(root)):
+        if "manifest.json" in filenames:
+            yield os.path.join(dirpath, "manifest.json")
+
+
+def time_to_accuracy(run_dir, target_fraction):
+    """Earliest sim_time_s whose global_acc reaches target_fraction of the
+    run's final accuracy, from rounds.csv; None when unavailable."""
+    path = os.path.join(run_dir, "rounds.csv")
+    if not os.path.exists(path):
+        return None
+    points = []
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            acc = row.get("global_acc", "")
+            t = row.get("sim_time_s", "")
+            if acc and t:
+                points.append((float(t), float(acc)))
+    if not points:
+        return None
+    final_acc = points[-1][1]
+    target = target_fraction * final_acc
+    for t, acc in points:
+        if acc >= target:
+            return t
+    return None
+
+
+def tier_summary(manifest):
+    """Per-tier counter rollups -> {tier: {selected, trained, dropped,
+    offline, bytes_up, drop_rate}}."""
+    out = {}
+    for tier, data in manifest.get("tiers", {}).items():
+        counters = data.get("counters", {})
+        selected = counters.get("clients_selected", 0)
+        dropped = counters.get("clients_dropped", 0)
+        offline = counters.get("clients_offline", 0)
+        out[tier] = {
+            "selected": selected,
+            "trained": counters.get("clients_trained", 0),
+            "dropped": dropped,
+            "offline": offline,
+            "bytes_up": counters.get("bytes_up", 0),
+            "drop_rate": (dropped + offline) / selected if selected else 0.0,
+        }
+    return out
+
+
+def index_run(manifest_path, target_fraction):
+    with open(manifest_path) as f:
+        manifest = json.load(f)
+    run_dir = os.path.dirname(manifest_path)
+    config = manifest.get("config", {})
+    metrics = manifest.get("metrics", {})
+    algorithm = config.get("algorithm", "")
+    accuracy = None
+    for key, value in metrics.items():
+        # Keyed "<algorithm>.global_accuracy"; prefer the configured
+        # algorithm's entry over the fedavg-small baseline's.
+        if key == algorithm + ".global_accuracy":
+            accuracy = value
+    if accuracy is None:
+        for key, value in sorted(metrics.items()):
+            if key.endswith(".global_accuracy"):
+                accuracy = value
+                break
+    return {
+        "run_id": manifest.get("run_id", os.path.basename(run_dir)),
+        "path": run_dir,
+        "created_utc": manifest.get("created_utc", ""),
+        "git_describe": manifest.get("git_describe", ""),
+        "seed": manifest.get("seed", 0),
+        "threads": manifest.get("threads", 1),
+        "task": config.get("task", ""),
+        "constraint": config.get("constraint", ""),
+        "algorithm": algorithm,
+        "rounds": manifest.get("rounds", 0),
+        "global_accuracy": accuracy,
+        "time_to_accuracy_s": time_to_accuracy(run_dir, target_fraction),
+        "metrics": metrics,
+        "tiers": tier_summary(manifest),
+    }
+
+
+def render_table(header, rows):
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [" | ".join(h.ljust(w) for h, w in zip(header, widths)), sep]
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def fmt_num(v, digits=4):
+    if v is None:
+        return "-"
+    return ("%." + str(digits) + "g") % v
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("root", help="results root to scan for manifests")
+    parser.add_argument(
+        "--out",
+        default="",
+        help="experiments.jsonl path (default <root>/experiments.jsonl)",
+    )
+    parser.add_argument(
+        "--target-fraction",
+        type=float,
+        default=0.9,
+        help="time-to-accuracy target as a fraction of final accuracy",
+    )
+    args = parser.parse_args()
+
+    runs = [
+        index_run(path, args.target_fraction)
+        for path in find_manifests(args.root)
+    ]
+    if not runs:
+        print("no manifest.json found under %s" % args.root, file=sys.stderr)
+        return 1
+
+    out_path = args.out or os.path.join(args.root, "experiments.jsonl")
+    with open(out_path, "w") as f:
+        for run in runs:
+            f.write(json.dumps(run, sort_keys=True) + "\n")
+    print(
+        "indexed %d run(s) -> %s" % (len(runs), out_path)
+    )
+
+    # Run-level comparison: one row per run, sorted by the experiment axes.
+    print("\n== experiments ==")
+    rows = []
+    for run in sorted(
+        runs, key=lambda r: (r["task"], r["constraint"], r["algorithm"])
+    ):
+        rows.append(
+            [
+                run["task"],
+                run["constraint"],
+                run["algorithm"],
+                fmt_num(run["global_accuracy"]),
+                fmt_num(run["time_to_accuracy_s"]),
+                str(run["seed"]),
+            ]
+        )
+    print(
+        render_table(
+            ["task", "constraint", "algorithm", "accuracy", "tta_s", "seed"],
+            rows,
+        )
+    )
+
+    # Per-tier comparison: one row per (run, tier) with the tier rollups.
+    tiers_seen = sorted({t for run in runs for t in run["tiers"]})
+    if tiers_seen:
+        print("\n== per-tier rollups ==")
+        rows = []
+        for run in sorted(
+            runs, key=lambda r: (r["task"], r["constraint"], r["algorithm"])
+        ):
+            for tier in sorted(run["tiers"]):
+                s = run["tiers"][tier]
+                rows.append(
+                    [
+                        run["constraint"],
+                        run["algorithm"],
+                        tier,
+                        str(s["selected"]),
+                        str(s["trained"]),
+                        fmt_num(s["drop_rate"], 3),
+                        str(s["bytes_up"]),
+                        fmt_num(run["global_accuracy"]),
+                    ]
+                )
+        print(
+            render_table(
+                [
+                    "constraint",
+                    "algorithm",
+                    "tier",
+                    "selected",
+                    "trained",
+                    "drop_rate",
+                    "bytes_up",
+                    "accuracy",
+                ],
+                rows,
+            )
+        )
+    else:
+        print("\n(no per-tier rollups found in any manifest)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,6 +84,18 @@ def render(status):
         lines.append("counters " +
                      "  ".join(f"{n}={v:,}" for n, v in headline))
 
+    # Per-device-tier breakdown from the exporter's "tiers" rollups.
+    tiers = status.get("tiers") or {}
+    for tier in sorted(tiers):
+        tc = tiers[tier].get("counters") or {}
+        selected = tc.get("clients_selected", 0)
+        dropped = tc.get("clients_dropped", 0) + tc.get("clients_offline", 0)
+        drop_rate = dropped / selected if selected else 0.0
+        lines.append(
+            f"tier     {tier:<10} trained={tc.get('clients_trained', 0):,}"
+            f"  selected={selected:,}  drop_rate={drop_rate:.3f}"
+            f"  bytes_up={tc.get('bytes_up', 0):,}")
+
     ckpt = status.get("checkpoint") or {}
     if ckpt.get("written"):
         lines.append(f"ckpt     {ckpt['written']} written, resume round "

@@ -30,9 +30,13 @@
 //       https://ui.perfetto.dev) plus a .jsonl event log next to it;
 //       --trace-sim-clock 1 adds simulated-clock lanes per client.
 //       --manifest-dir writes results/<run-id>/manifest.json + rounds.csv
-//       + clients.csv capturing config, seed, git revision, per-round
-//       telemetry (counters, gauges, histogram quantiles) and the
-//       per-client timeline.
+//       + tiers.csv (per-device-tier rollups) + clients.mhbj (the bounded
+//       client event journal; `tools/mhb_journal.py csv` converts it to
+//       the legacy clients.csv) capturing config, seed, git revision and
+//       per-round telemetry (counters, gauges, histogram quantiles).
+//       --client-journal-sample R (default 1.0) journals a deterministic
+//       seed-hashed fraction R of clients — the same subset at any
+//       --threads (DESIGN.md §5j).
 //       --profile enables the per-op profiler (profile.json in the run
 //       dir); defaults to on when --manifest-dir is set.
 //       --checkpoint-every N snapshots engine + algorithm + RNG + obs
@@ -73,6 +77,7 @@
 #include "device/ima_fleet.h"
 #include "metrics/report.h"
 #include "models/zoo.h"
+#include "obs/journal.h"
 #include "obs/live.h"
 #include "obs/manifest.h"
 #include "obs/profile.h"
@@ -291,15 +296,34 @@ int CmdRun(const Args& args) {
     std::filesystem::create_directories(run_dir, ec);
     MHB_CHECK(!ec) << "cannot create run dir" << run_dir;
     if (registry != nullptr) {
-      // Stream rounds.csv per completed round: killed runs keep partial
-      // per-round artifacts.  The end-of-run manifest rewrite produces a
-      // byte-identical final file.
+      // Stream rounds.csv + tiers.csv per completed round: killed runs keep
+      // partial per-round artifacts.  The end-of-run manifest rewrite
+      // produces byte-identical final files.
       obs::Registry* reg = registry.get();
       registry->SetRoundSink(
           [reg, run_dir](const obs::Registry::RoundRow& /*row*/) {
             obs::WriteRoundsCsv(run_dir, *reg);
+            obs::WriteTiersCsv(run_dir, *reg);
           });
     }
+  }
+
+  // Bounded-memory client event journal (obs/journal.h): the registry
+  // drains each round's client rows into clients.mhbj at the barrier
+  // instead of retaining them for the whole run.
+  std::unique_ptr<obs::ClientJournalWriter> journal;
+  const double journal_sample = args.GetD("client-journal-sample", 1.0);
+  if (!run_dir.empty() && registry != nullptr) {
+    obs::ClientJournalWriter::Options jopts;
+    jopts.sample_rate = journal_sample;
+    jopts.sample_seed = options.preset.seed;
+    journal = std::make_unique<obs::ClientJournalWriter>(
+        run_dir + "/clients.mhbj", jopts);
+    obs::ClientJournalWriter* jw = journal.get();
+    registry->SetClientRowSink(
+        [jw](std::vector<obs::Registry::ClientRow>&& rows) {
+          jw->Append(rows);
+        });
   }
 
   std::unique_ptr<obs::LiveExporter> live;
@@ -339,7 +363,17 @@ int CmdRun(const Args& args) {
     // files while the manifest lands.
     live->Stop();
   }
-  if (registry != nullptr) registry->SetRoundSink(nullptr);
+  if (registry != nullptr) {
+    registry->SetRoundSink(nullptr);
+    registry->SetClientRowSink(nullptr);
+  }
+  if (journal != nullptr) {
+    journal->Close();
+    MHB_LOG_INFO << "client journal: " << journal->blocks_written()
+                 << " blocks, " << journal->records_written()
+                 << " records, peak block buffer "
+                 << journal->peak_block_bytes() << " bytes";
+  }
   std::fputs(metrics::RenderMetricPanel(
                  options.constraint + " / " + options.task, bundles)
                  .c_str(),
@@ -385,6 +419,7 @@ int CmdRun(const Args& args) {
         {"eval_precision", options.preset.eval_precision},
         {"threaded_gemm",
          std::to_string(options.preset.threaded_gemm != 0 ? 1 : 0)},
+        {"client_journal_sample", std::to_string(journal_sample)},
     };
     for (const auto& b : bundles) {
       m.metrics.emplace_back(b.algorithm + ".global_accuracy",
