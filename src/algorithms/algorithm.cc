@@ -26,6 +26,7 @@ double WeightSharingAlgorithm::ClientCapacity(int client_id) const {
   return ctx_->assignments.at(static_cast<std::size_t>(client_id)).capacity;
 }
 
+// mhb-obs-phase: serial — BeginRound runs before the round's dispatch.
 void WeightSharingAlgorithm::BeginRound(int round,
                                         const std::vector<int>& participants) {
   MHB_CHECK(ctx_ != nullptr) << "Setup not called";
@@ -49,6 +50,8 @@ std::size_t WeightSharingAlgorithm::SlotOf(int client_id) const {
   return slot_of_client_[static_cast<std::size_t>(client_id)];
 }
 
+// mhb-obs-phase: parallel — RunClient may execute concurrently; only
+// pre-registered per-thread-sink calls (Add/Observe) are legal here.
 void WeightSharingAlgorithm::RunClient(int client_id, int round, Rng& rng) {
   MHB_CHECK(ctx_ != nullptr) << "Setup not called";
   obs::Tracer* const tracer = ctx_->config->obs.tracer;
@@ -87,6 +90,7 @@ void WeightSharingAlgorithm::RunClient(int client_id, int round, Rng& rng) {
   staged_[SlotOf(client_id)] = std::move(update);
 }
 
+// mhb-obs-phase: serial — FinishRound merges at the round barrier.
 void WeightSharingAlgorithm::FinishRound(int round, Rng& rng) {
   obs::Registry* const reg = ctx_ != nullptr ? ctx_->config->obs.registry
                                              : nullptr;

@@ -165,6 +165,17 @@ metrics::MetricBundle RunWith(const std::string& algorithm,
     }
     fcfg2.round_deadline_s = options.round_deadline_s;
     fcfg2.obs = options.obs;
+    if (!allow_checkpoint) {
+      // The det-audit ledger names one engine run (its header carries that
+      // run's algorithm/seed/rounds); the hidden FedAvg reference run must
+      // not interleave rows into it.
+      fcfg2.obs.det_audit = nullptr;
+    }
+    if (fcfg2.obs.det_audit != nullptr) {
+      MHB_CHECK_EQ(repeats, 1)
+          << "--det-audit requires MHB_REPEATS=1 (the ledger chains one "
+             "engine run's round barriers)";
+    }
     if (checkpointing) {
       fcfg2.checkpoint_every = options.checkpoint_every;
       fcfg2.checkpoint_dir = options.checkpoint_dir;

@@ -32,7 +32,10 @@ struct SuiteOptions {
   // disables collection).  The live exporter (obs/live.h) rides along
   // here: every engine run of the suite — baseline included — notifies it
   // at round barriers, so the watchdog and /status.json cover the whole
-  // suite, not just the requested algorithm.
+  // suite, not just the requested algorithm.  Exception: obs.det_audit
+  // (obs/det_audit.h) reaches only the requested algorithm's run — its
+  // ledger header names one run, so the FedAvg reference run is excluded —
+  // and requires MHB_REPEATS=1.
   obs::ObsConfig obs;
   // Checkpoint/resume, forwarded into the engine config of the *requested*
   // algorithm's run only — never the fedavg-small effectiveness baseline.

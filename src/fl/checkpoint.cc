@@ -16,6 +16,9 @@
 
 namespace mhbench::fl {
 
+// mhb-obs-phase: serial — snapshots are written/read only at round
+// barriers (and before round 0), never with client work in flight.
+
 static_assert(std::endian::native == std::endian::little,
               "snapshot format assumes a little-endian host");
 

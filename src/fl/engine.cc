@@ -13,6 +13,7 @@
 #include "fl/checkpoint.h"
 #include "fl/evaluation.h"
 #include "nn/lr_schedule.h"
+#include "obs/det_audit.h"
 #include "obs/live.h"
 #include "obs/profile.h"
 #include "obs/registry.h"
@@ -186,6 +187,7 @@ RunResult FlEngine::Run() {
   std::vector<TierIds> tiers;
   // Per client: index into `tiers`, and the tier's name for ClientRow.
   std::vector<std::size_t> client_tier;
+  // mhb-obs-phase: serial — pre-dispatch registration and phase-1 counting.
   if (reg != nullptr) {
     ids.selected = reg->Counter("clients_selected");
     ids.offline = reg->Counter("clients_offline");
@@ -395,6 +397,7 @@ RunResult FlEngine::Run() {
     obs::Span dispatch_span(tracer, "dispatch", "fl");
     dispatch_span.Arg("participants",
                       static_cast<std::int64_t>(participants.size()));
+    // mhb-obs-phase: parallel — per-thread sinks only inside the dispatch.
     core::ParallelFor(pool_.get(), participants.size(), [&](std::size_t i) {
       const int client_id = participants[i].client_id;
       const auto& sys =
@@ -442,6 +445,7 @@ RunResult FlEngine::Run() {
       }
     });
     dispatch_span.End();
+    // mhb-obs-phase: serial — dispatch joined; barrier merge and gauges.
 
     {
       obs::Span merge_span(tracer, "merge", "fl");
@@ -520,6 +524,13 @@ RunResult FlEngine::Run() {
                     << " participants=" << participants.size()
                     << " offline=" << round_offline
                     << " dropped=" << round_dropped << " wall_ms=" << wall_ms;
+    }
+
+    // Divergence ledger, also after EndRound: the counter component must
+    // hash the merged totals, not a mid-round per-thread view.  Read-only
+    // over engine state, so auditing cannot perturb the run it audits.
+    if (config_.obs.det_audit != nullptr) {
+      AuditRound(round);
     }
 
     // Live telemetry heartbeat, after EndRound so a poller that sees round
@@ -683,6 +694,60 @@ void FlEngine::WriteCheckpoint(int next_round, double sim_time,
   }
   MHB_LOG_INFO << algorithm_.name() << " checkpoint @round " << next_round
                << " -> " << path;
+}
+
+void FlEngine::AuditRound(int round) const {
+  obs::DetAuditor* const audit = config_.obs.det_audit;
+  std::vector<std::pair<std::string, std::uint64_t>> components;
+  {
+    // Root RNG stream: every later serial Fork (sampling, per-client
+    // streams) depends on it, so it diverges first when a draw leaks into
+    // the parallel phase.
+    obs::DetHash h;
+    const Rng::State s = rng_.SaveState();
+    h.UpdateU64(s.state);
+    h.UpdateU64(s.have_cached_gaussian ? 1 : 0);
+    h.UpdateF64(s.cached_gaussian);
+    components.emplace_back("rng", h.value());
+  }
+  {
+    // Model parameters + algorithm server state: SaveState serializes the
+    // global store bytes per parameter store plus each algorithm's extra
+    // state, so this is the "did aggregation produce the same bits"
+    // component.
+    SnapshotWriter w;
+    w.BeginSection("algorithm");
+    algorithm_.SaveState(w);
+    w.EndSection();
+    const std::vector<std::uint8_t> bytes = w.Finish();
+    obs::DetHash h;
+    h.Update(bytes.data(), bytes.size());
+    components.emplace_back("model", h.value());
+  }
+  // Counter / histogram totals after the barrier merge, minus the metrics
+  // that are run-dependent by design (wall times, pool scheduling,
+  // checkpoint I/O) — the same subset the determinism sweeps compare.
+  obs::DetHash hc;
+  obs::DetHash hh;
+  obs::Registry* const reg = config_.obs.registry;
+  if (reg != nullptr) {
+    for (const auto& [name, total] : reg->Totals()) {
+      if (!obs::DetAuditor::AuditableMetric(name)) continue;
+      hc.UpdateString(name);
+      hc.UpdateI64(total);
+    }
+    for (const auto& [name, data] : reg->Histograms()) {
+      if (!obs::DetAuditor::AuditableMetric(name)) continue;
+      hh.UpdateString(name);
+      for (const std::int64_t b : data.buckets) hh.UpdateI64(b);
+      hh.UpdateI64(data.sum);
+      hh.UpdateI64(data.min);
+      hh.UpdateI64(data.max);
+    }
+  }
+  components.emplace_back("counters", hc.value());
+  components.emplace_back("hists", hh.value());
+  audit->RecordRound(round, std::move(components));
 }
 
 int FlEngine::RestoreCheckpoint(RunResult& result, double& sim_time) {

@@ -1,0 +1,96 @@
+// Determinism divergence auditor (DESIGN.md §5k).  Under --det-audit the
+// engine computes, at each serial round barrier, a 64-bit FNV-1a hash per
+// state component — the root RNG stream, the thread-count-independent
+// counter/histogram totals, and the algorithm's SaveState bytes (which
+// carry the model parameters per store) — folds them into a running chain,
+// and appends one JSON line per round to a det_audit.jsonl ledger.
+// tools/mhb_bisect.py diffs two ledgers (e.g. a --threads 1 and a
+// --threads 4 run of the same config) and names the first divergent round
+// and component, turning a failed bit-determinism sweep from "bits differ
+// somewhere" into a one-line localization.
+//
+// The auditor only *reads* engine state (SaveState is const, totals are
+// snapshots), so attaching it cannot change results; smoke_det_audit in
+// tools/check.sh asserts manifest counters and journal bytes stay
+// bit-identical with the auditor on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mhbench::obs {
+
+// Incremental 64-bit FNV-1a.  Integers fold little-endian at a fixed
+// width, so values hash identically regardless of how the caller chunks
+// its updates, and ledgers compare across builds.
+class DetHash {
+ public:
+  void Update(const void* data, std::size_t n);
+  void UpdateU64(std::uint64_t v);
+  void UpdateI64(std::int64_t v);
+  void UpdateF64(double v);  // bit pattern, so -0.0 != 0.0 is visible
+  void UpdateString(const std::string& s);  // length-prefixed
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 14695981039346656037ULL;  // FNV offset basis
+};
+
+class DetAuditor {
+ public:
+  // One ledger row: the per-component hashes of a round barrier plus the
+  // chain value after folding them in.  Kept in memory as well as in the
+  // ledger file so tests compare rounds without re-parsing JSON.
+  struct Round {
+    int round = 0;
+    std::uint64_t chain = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> components;
+  };
+
+  // Empty path = in-memory only (tests); otherwise the ledger file is
+  // truncated and streamed line by line.  The constructor reads the
+  // MHB_DET_AUDIT_INJECT env var ("<component>" or "<component>@<round>"),
+  // a deliberate-divergence test seam: the named component's hash is
+  // XOR-perturbed from the given round on, so the bisect workflow can be
+  // exercised end to end without a real determinism bug.
+  explicit DetAuditor(std::string path = std::string());
+
+  // Optional metadata line (written first).  `threads` is metadata only —
+  // mhb_bisect.py ignores it when pairing ledgers, which is the point:
+  // ledgers from different thread counts must otherwise match.
+  void WriteHeader(const std::string& algorithm, std::uint64_t seed,
+                   int rounds, int threads);
+
+  // Folds one barrier's component hashes (in the given, fixed order) into
+  // the chain and appends the ledger row.  Serial-phase only, like every
+  // other barrier-side obs call.
+  void RecordRound(
+      int round,
+      std::vector<std::pair<std::string, std::uint64_t>> components);
+
+  const std::vector<Round>& rounds() const { return rounds_; }
+  std::uint64_t chain() const { return chain_; }
+  const std::string& path() const { return path_; }
+
+  // Counters/histograms that enter the audit hash.  Excludes the metrics
+  // that are legitimately run-dependent: pool_tasks (scheduling), wall-time
+  // metrics (*_us / *_ms, tiered or not) and checkpoint_* I/O counters
+  // (present only when checkpointing, and offset by one round between a
+  // full and a resumed run).  Mirrors the exclusions the determinism
+  // sweeps apply to manifest totals.
+  static bool AuditableMetric(const std::string& name);
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t chain_ = 14695981039346656037ULL;
+  std::vector<Round> rounds_;
+  std::string inject_component_;  // empty = seam off
+  int inject_round_ = 0;
+};
+
+}  // namespace mhbench::obs

@@ -9,6 +9,7 @@ class Tracer;
 class Registry;
 class Profiler;
 class LiveExporter;
+class DetAuditor;
 
 struct ObsConfig {
   // Wall-clock span tracing (round / dispatch / per-client / merge / eval).
@@ -27,10 +28,15 @@ struct ObsConfig {
   // (NotifyCheckpoint).  The exporter itself only *reads* registry state,
   // so attaching it cannot change results (DESIGN.md §5h).
   LiveExporter* live = nullptr;
+  // Determinism divergence auditor (obs/det_audit.h): the engine records a
+  // per-component barrier hash chain at every round barrier.  Read-only
+  // over engine state, so attaching it cannot change results
+  // (DESIGN.md §5k).
+  DetAuditor* det_audit = nullptr;
 
   bool enabled() const {
     return tracer != nullptr || registry != nullptr || profiler != nullptr ||
-           live != nullptr;
+           live != nullptr || det_audit != nullptr;
   }
 };
 

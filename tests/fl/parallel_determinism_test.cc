@@ -13,6 +13,7 @@
 #include "data/tasks.h"
 #include "fl/engine.h"
 #include "models/zoo.h"
+#include "obs/det_audit.h"
 #include "obs/live.h"
 #include "obs/profile.h"
 #include "obs/registry.h"
@@ -361,6 +362,55 @@ TEST(ParallelDeterminismTest, ThreadedGemmAndEvalPrecisionStayBitIdentical) {
   ExpectIdentical(bf16, run(4, true, kernels::EvalPrecision::kBf16), 4);
   const RunResult int8 = run(1, false, kernels::EvalPrecision::kInt8);
   ExpectIdentical(int8, run(4, true, kernels::EvalPrecision::kInt8), 4);
+}
+
+// Determinism auditor ledger (obs/det_audit.h, DESIGN.md §5k): on a conv
+// algorithm the per-round component hashes — RNG stream, algorithm
+// SaveState bytes, auditable counter/histogram totals — and the running
+// chain must be identical at 1, 2 and 4 threads.  This is the in-process
+// version of the contract mhb_bisect.py checks between ledger files, and
+// it subsumes the RunResult comparison: the model hash covers every
+// parameter byte, not just the eval-time accuracy summary.
+TEST(ParallelDeterminismTest, AuditLedgerIdenticalAcrossThreadCounts) {
+  data::TaskConfig tcfg;
+  tcfg.train_samples = 240;
+  tcfg.test_samples = 120;
+  tcfg.num_clients = 6;
+  const data::Task task = data::MakeTask("cifar10", tcfg);
+  const Case c{"sheterofl", "cifar10"};
+
+  std::vector<obs::DetAuditor::Round> reference;
+  for (const int threads : {1, 2, 4}) {
+    obs::Registry registry;
+    obs::DetAuditor audit;  // in-memory ledger
+    obs::ObsConfig obs;
+    obs.registry = &registry;
+    obs.det_audit = &audit;
+    RunWithThreads(c, task, threads, obs);
+    ASSERT_EQ(audit.rounds().size(), 4u);
+    // Each round actually audited something: the counter component moves
+    // away from the empty-hash once clients train.
+    EXPECT_NE(audit.rounds()[0].components[2].second,
+              obs::DetHash().value());
+    if (threads == 1) {
+      reference = audit.rounds();
+      continue;
+    }
+    for (std::size_t r = 0; r < reference.size(); ++r) {
+      SCOPED_TRACE("num_threads=" + std::to_string(threads) + " round " +
+                   std::to_string(r));
+      EXPECT_EQ(audit.rounds()[r].chain, reference[r].chain);
+      ASSERT_EQ(audit.rounds()[r].components.size(),
+                reference[r].components.size());
+      for (std::size_t k = 0; k < reference[r].components.size(); ++k) {
+        EXPECT_EQ(audit.rounds()[r].components[k].first,
+                  reference[r].components[k].first);
+        EXPECT_EQ(audit.rounds()[r].components[k].second,
+                  reference[r].components[k].second)
+            << "component " << reference[r].components[k].first;
+      }
+    }
+  }
 }
 
 // The refactor must not have changed the serial reference itself: two

@@ -22,6 +22,7 @@
 #include "fl/checkpoint.h"
 #include "fl/engine.h"
 #include "models/zoo.h"
+#include "obs/det_audit.h"
 #include "obs/live.h"
 #include "obs/registry.h"
 #include "support/temp_dir.h"
@@ -80,6 +81,7 @@ struct RunSpec {
   std::string checkpoint_dir;
   std::string resume_path;
   obs::Registry* registry = nullptr;
+  obs::DetAuditor* det_audit = nullptr;
 };
 
 RunResult RunCase(const Case& c, const data::Task& task, const RunSpec& spec) {
@@ -98,6 +100,7 @@ RunResult RunCase(const Case& c, const data::Task& task, const RunSpec& spec) {
   if (!spec.checkpoint_dir.empty()) cfg.checkpoint_dir = spec.checkpoint_dir;
   cfg.resume_path = spec.resume_path;
   cfg.obs.registry = spec.registry;
+  cfg.obs.det_audit = spec.det_audit;
 
   // Live telemetry rides along on every run (HTTP + heartbeat + armed
   // watchdog): the bit-identity and totals assertions below then also
@@ -261,6 +264,65 @@ TEST_P(ResumeDeterminismTest, ResumeIsBitIdentical) {
     EXPECT_EQ(resumed_snap.SectionPayload("algorithm"),
               end_snap.SectionPayload("algorithm"))
         << "algorithm section diverged at num_threads=" << threads;
+  }
+}
+
+// Determinism auditor across resume (obs/det_audit.h, DESIGN.md §5k): on a
+// conv algorithm, the per-round component hashes the resumed half records
+// must equal the uninterrupted run's at the same rounds, at 1, 2 and 4
+// threads.  Per-component, not the chain: the chain folds from round 0 and
+// a resumed ledger legitimately starts at the restored round.  Auditable
+// totals deliberately exclude checkpoint_* counters — they differ by
+// construction between a snapshotting and a plain run — which this test
+// exercises for real, unlike the thread-sweep where both runs checkpoint
+// identically.
+TEST(ResumeDeterminismTest, AuditComponentsMatchAcrossResume) {
+  const Case c{"sheterofl", "cifar10"};
+  data::TaskConfig tcfg;
+  tcfg.train_samples = 240;
+  tcfg.test_samples = 120;
+  tcfg.num_clients = 6;
+  const data::Task task = data::MakeTask(c.task, tcfg);
+  const auto dir = testsupport::MakeTempDir();
+
+  // Uninterrupted reference, snapshotting at round 2 so the halves below
+  // have something to resume from.
+  obs::Registry reg_full;
+  obs::DetAuditor audit_full;
+  RunSpec full_spec;
+  full_spec.registry = &reg_full;
+  full_spec.det_audit = &audit_full;
+  full_spec.checkpoint_every = 2;
+  full_spec.checkpoint_dir = dir.File("ckpt");
+  RunCase(c, task, full_spec);
+  ASSERT_EQ(audit_full.rounds().size(), 4u);
+  const std::string mid = full_spec.checkpoint_dir + "/round_000002.mhbsnap";
+  ASSERT_TRUE(std::filesystem::exists(mid));
+
+  for (const int threads : {1, 2, 4}) {
+    obs::Registry reg_resumed;
+    obs::DetAuditor audit_resumed;
+    RunSpec resume_spec;
+    resume_spec.registry = &reg_resumed;
+    resume_spec.det_audit = &audit_resumed;
+    resume_spec.num_threads = threads;
+    resume_spec.resume_path = mid;
+    RunCase(c, task, resume_spec);
+    // The resumed half records exactly rounds 2 and 3.
+    ASSERT_EQ(audit_resumed.rounds().size(), 2u);
+    for (const auto& got : audit_resumed.rounds()) {
+      SCOPED_TRACE("num_threads=" + std::to_string(threads) + " round " +
+                   std::to_string(got.round));
+      const auto& want =
+          audit_full.rounds()[static_cast<std::size_t>(got.round)];
+      ASSERT_EQ(want.round, got.round);
+      ASSERT_EQ(want.components.size(), got.components.size());
+      for (std::size_t k = 0; k < want.components.size(); ++k) {
+        EXPECT_EQ(want.components[k].first, got.components[k].first);
+        EXPECT_EQ(want.components[k].second, got.components[k].second)
+            << "component " << want.components[k].first;
+      }
+    }
   }
 }
 

@@ -1,0 +1,10 @@
+// mhb-lint: path(src/fl/fixture_layering_clean.cc)
+// Every quoted include points strictly down the layer order, except one
+// deliberate, justified up-edge carried by an allow.
+#include "core/rng.h"
+#include "tensor/tensor.h"
+#include "obs/registry.h"
+#include "nn/net.h"
+#include "algorithms/algorithm.h"  // mhb-lint: allow(layering) -- fixture: deliberate documented up-edge
+
+int FlHelper() { return 1; }

@@ -1,0 +1,9 @@
+// mhb-lint: path(src/obs/fixture_layering.cc)
+// Layering: obs sits in the {obs, data, device, metrics} rank — core and
+// tensor are below it, data is a peer, fl is above it.
+#include "core/rng.h"
+#include "tensor/tensor.h"
+#include "data/tasks.h"  // expect: layering
+#include "fl/engine.h"   // expect: layering
+
+int ObsHelper() { return 1; }

@@ -1,0 +1,22 @@
+// mhb-lint: path(src/fl/fixture_parallel_write.cc)
+// Shared-state writes inside pool lambdas: every form the rule catches —
+// compound assignment, plain assignment, increment, mutating member call,
+// and a Submit-side write.
+#include "core/thread_pool.h"
+
+namespace mhbench {
+
+void Dispatch(core::ThreadPool* pool, std::vector<double>& out,
+              std::vector<int>& log) {
+  double total = 0.0;
+  int hits = 0;
+  core::ParallelFor(pool, out.size(), [&](std::size_t i) {
+    total += out[i];             // expect: no-shared-write-in-parallel
+    hits = static_cast<int>(i);  // expect: no-shared-write-in-parallel
+    ++hits;                      // expect: no-shared-write-in-parallel
+    log.push_back(1);            // expect: no-shared-write-in-parallel
+  });
+  pool->Submit([&] { total = 1.0; });  // expect: no-shared-write-in-parallel
+}
+
+}  // namespace mhbench

@@ -1,0 +1,21 @@
+// mhb-lint: path(src/fl/fixture_parallel_write_clean.cc)
+// Legal patterns the rule must not flag: per-index writes into pre-sized
+// buffers (direct and via an index table), lambda locals and loop
+// variables, and mutable value captures.
+#include "core/thread_pool.h"
+
+namespace mhbench {
+
+void Dispatch(core::ThreadPool* pool, std::vector<double>& out,
+              std::vector<std::size_t>& slot) {
+  core::ParallelFor(pool, out.size(), [&](std::size_t i) {
+    double acc = 0.0;
+    for (int k = 0; k < 4; ++k) acc += static_cast<double>(k);
+    out[i] = acc;
+    out[slot[i]] += acc;
+  });
+  double snapshot = 0.0;
+  pool->Submit([snapshot]() mutable { snapshot += 1.0; });
+}
+
+}  // namespace mhbench

@@ -1,0 +1,8 @@
+// mhb-lint: path(src/fl/fixture_prune.cc)
+// A used multi-rule allow with one dead rule name: the no-rand half
+// suppresses a real finding, the no-time-call half is waiver debt that
+// --prune reports without failing the build.
+
+int Draw() {
+  return rand();  // mhb-lint: allow(no-rand, no-time-call) -- fixture: half-stale multi-rule allow
+}

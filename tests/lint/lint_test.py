@@ -87,6 +87,31 @@ def main():
         else:
             print(f"ok   {name} ({len(expected)} expected finding(s))")
 
+    # --prune reports the dead half of a used multi-rule allow without
+    # affecting the exit code; the prune line's 'prune:' prefix keeps it
+    # out of the finding parser above.
+    prune_fixture = os.path.join(FIXTURES, "prune_partial.cc")
+    proc = subprocess.run(
+        [sys.executable, LINTER, "--prune", prune_fixture],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+    prune_ok = (
+        proc.returncode == 0
+        and "allow(no-time-call) suppresses nothing" in proc.stdout
+        and "allow(no-rand)" not in proc.stdout
+        and not OUTPUT_LINE.match(proc.stdout)
+    )
+    if not prune_ok:
+        failures.append("<--prune>")
+        print("FAIL <--prune> (want exit 0 + a no-time-call prune line)")
+        print(f"  exit code: {proc.returncode}")
+        for line in (proc.stdout + proc.stderr).strip().splitlines():
+            print(f"    {line}")
+    else:
+        print("ok   <--prune> (dead allow rule reported, exit 0)")
+
     # The repository itself must be clean — the fixtures prove the rules
     # fire, this proves the tree honors them.
     proc = subprocess.run(

@@ -1,0 +1,194 @@
+// Contract tests for the determinism divergence auditor (obs/det_audit.h,
+// DESIGN.md §5k): the FNV-1a hash is pinned against independently computed
+// values (ledgers must compare across builds), the chain folds rounds in
+// order, the ledger file carries one parseable JSON line per round, the
+// metric filter excludes exactly the run-dependent metrics, and the
+// MHB_DET_AUDIT_INJECT seam perturbs the named component from the named
+// round on — and nothing else.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/det_audit.h"
+#include "support/temp_dir.h"
+
+namespace mhbench::obs {
+namespace {
+
+// Reference one-shot FNV-1a 64, written independently of DetHash.
+std::uint64_t Fnv1a(const std::vector<std::uint8_t>& bytes) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const std::uint8_t b : bytes) h = (h ^ b) * 1099511628211ULL;
+  return h;
+}
+
+TEST(DetHashTest, MatchesReferenceFnv1a) {
+  // Known-answer: FNV-1a 64 of "a" is a published constant.
+  DetHash h;
+  h.Update("a", 1);
+  EXPECT_EQ(h.value(), 0xaf63dc4c8601ec8cULL);
+
+  DetHash empty;
+  EXPECT_EQ(empty.value(), 14695981039346656037ULL);  // offset basis
+
+  const std::vector<std::uint8_t> bytes = {0x00, 0xff, 0x10, 0x20, 0x7f};
+  DetHash bulk;
+  bulk.Update(bytes.data(), bytes.size());
+  EXPECT_EQ(bulk.value(), Fnv1a(bytes));
+}
+
+TEST(DetHashTest, ChunkingDoesNotMatter) {
+  DetHash one;
+  one.Update("determinism", 11);
+  DetHash two;
+  two.Update("deter", 5);
+  two.Update("minism", 6);
+  EXPECT_EQ(one.value(), two.value());
+}
+
+TEST(DetHashTest, IntegersFoldLittleEndianFixedWidth) {
+  DetHash h;
+  h.UpdateU64(0x0123456789abcdefULL);
+  std::vector<std::uint8_t> le = {0xef, 0xcd, 0xab, 0x89,
+                                  0x67, 0x45, 0x23, 0x01};
+  EXPECT_EQ(h.value(), Fnv1a(le));
+
+  // Width is fixed: 1 hashes as 8 bytes, not as a varint.
+  DetHash small;
+  small.UpdateU64(1);
+  std::vector<std::uint8_t> one = {1, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_EQ(small.value(), Fnv1a(one));
+}
+
+TEST(DetHashTest, StringsAreLengthPrefixed) {
+  // ("ab", "c") must not collide with ("a", "bc").
+  DetHash h1;
+  h1.UpdateString("ab");
+  h1.UpdateString("c");
+  DetHash h2;
+  h2.UpdateString("a");
+  h2.UpdateString("bc");
+  EXPECT_NE(h1.value(), h2.value());
+}
+
+TEST(DetHashTest, DoubleHashesBitPattern) {
+  DetHash pos;
+  pos.UpdateF64(0.0);
+  DetHash neg;
+  neg.UpdateF64(-0.0);
+  EXPECT_NE(pos.value(), neg.value());
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> SampleComponents(
+    std::uint64_t salt) {
+  return {{"rng", 0x1111 ^ salt}, {"model", 0x2222 ^ salt},
+          {"counters", 0x3333 ^ salt}, {"hists", 0x4444 ^ salt}};
+}
+
+TEST(DetAuditorTest, ChainFoldsRoundsInOrder) {
+  DetAuditor a;  // in-memory only
+  a.RecordRound(0, SampleComponents(0));
+  a.RecordRound(1, SampleComponents(1));
+  ASSERT_EQ(a.rounds().size(), 2u);
+  EXPECT_EQ(a.rounds()[0].round, 0);
+  EXPECT_EQ(a.rounds()[1].round, 1);
+  EXPECT_EQ(a.rounds()[1].chain, a.chain());
+  EXPECT_NE(a.rounds()[0].chain, a.rounds()[1].chain);
+
+  // Same rows in the same order reproduce the same chain...
+  DetAuditor b;
+  b.RecordRound(0, SampleComponents(0));
+  b.RecordRound(1, SampleComponents(1));
+  EXPECT_EQ(a.chain(), b.chain());
+
+  // ...and swapping the rounds changes it.
+  DetAuditor c;
+  c.RecordRound(0, SampleComponents(1));
+  c.RecordRound(1, SampleComponents(0));
+  EXPECT_NE(a.chain(), c.chain());
+}
+
+TEST(DetAuditorTest, LedgerFileHasHeaderAndOneRowPerRound) {
+  testsupport::TempDir dir = testsupport::MakeTempDir();
+  const std::string path = dir.File("det_audit.jsonl");
+  {
+    DetAuditor a(path);
+    a.WriteHeader("sheterofl", 7, 2, 4);
+    a.RecordRound(0, SampleComponents(0));
+    a.RecordRound(1, SampleComponents(1));
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find("\"det_audit\": 1"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"algorithm\": \"sheterofl\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"seed\": 7"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"threads\": 4"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"round\": 0"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"rng\": \"0x"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"round\": 1"), std::string::npos);
+  EXPECT_NE(lines[2].find("\"chain\": \"0x"), std::string::npos);
+}
+
+TEST(DetAuditorTest, AuditableMetricExcludesRunDependentNames) {
+  // In: result-bearing counters, including tiered variants.
+  EXPECT_TRUE(DetAuditor::AuditableMetric("bytes_up"));
+  EXPECT_TRUE(DetAuditor::AuditableMetric("straggler_drops"));
+  EXPECT_TRUE(DetAuditor::AuditableMetric("train_mflops@tier=mid"));
+  // Out: pool scheduling, wall-clock, checkpoint I/O.
+  EXPECT_FALSE(DetAuditor::AuditableMetric("pool_tasks"));
+  EXPECT_FALSE(DetAuditor::AuditableMetric("client_wall_us"));
+  EXPECT_FALSE(DetAuditor::AuditableMetric("round_wall_ms"));
+  EXPECT_FALSE(DetAuditor::AuditableMetric("client_wall_us@tier=low"));
+  EXPECT_FALSE(DetAuditor::AuditableMetric("checkpoint_write_bytes"));
+  // The suffix rule reads the base name, not the tier tag.
+  EXPECT_TRUE(DetAuditor::AuditableMetric("bytes_up@tier=us"));
+}
+
+TEST(DetAuditorTest, InjectSeamPerturbsNamedComponentFromNamedRound) {
+  ::setenv("MHB_DET_AUDIT_INJECT", "rng@1", 1);
+  DetAuditor injected;  // reads the env var at construction
+  ::unsetenv("MHB_DET_AUDIT_INJECT");
+  DetAuditor clean;
+
+  for (int r = 0; r < 3; ++r) {
+    injected.RecordRound(r, SampleComponents(r));
+    clean.RecordRound(r, SampleComponents(r));
+  }
+  ASSERT_EQ(injected.rounds().size(), 3u);
+  for (int r = 0; r < 3; ++r) {
+    const auto& ic = injected.rounds()[r].components;
+    const auto& cc = clean.rounds()[r].components;
+    ASSERT_EQ(ic.size(), cc.size());
+    for (std::size_t k = 0; k < ic.size(); ++k) {
+      EXPECT_EQ(ic[k].first, cc[k].first);
+      const bool perturbed = ic[k].first == "rng" && r >= 1;
+      EXPECT_EQ(ic[k].second != cc[k].second, perturbed)
+          << "round " << r << " component " << ic[k].first;
+    }
+  }
+  // Round 0 predates the inject round, so even its chain matches.
+  EXPECT_EQ(injected.rounds()[0].chain, clean.rounds()[0].chain);
+  EXPECT_NE(injected.rounds()[1].chain, clean.rounds()[1].chain);
+}
+
+TEST(DetAuditorTest, InjectWithoutRoundDefaultsToRoundZero) {
+  ::setenv("MHB_DET_AUDIT_INJECT", "model", 1);
+  DetAuditor injected;
+  ::unsetenv("MHB_DET_AUDIT_INJECT");
+  DetAuditor clean;
+  injected.RecordRound(0, SampleComponents(0));
+  clean.RecordRound(0, SampleComponents(0));
+  EXPECT_NE(injected.rounds()[0].chain, clean.rounds()[0].chain);
+}
+
+}  // namespace
+}  // namespace mhbench::obs

@@ -6,10 +6,13 @@
 # mhb_report.py; a checkpoint/resume smoke that mhb_diffs a resumed run
 # against an uninterrupted one; and a live telemetry smoke that polls
 # /metrics + /status.json + /healthz while a run trains, byte-compares the
-# client journals, and mhb_diffs exporter-on against exporter-off), then
-# again under ThreadSanitizer (MHBENCH_SANITIZE=thread) to race-check the
-# parallel round executor and the exporter.  Run from anywhere; builds live
-# in build*/ siblings.
+# client journals, and mhb_diffs exporter-on against exporter-off; and a
+# determinism-audit smoke that bisects 1-thread vs 2-thread det-audit
+# ledgers, exercises the injected-divergence seam, and asserts the auditor
+# itself leaves manifests and journals bit-identical), then again under
+# ThreadSanitizer (MHBENCH_SANITIZE=thread) to race-check the parallel
+# round executor and the exporter.  Run from anywhere; builds live in
+# build*/ siblings.
 #
 #   tools/check.sh           # lint + plain + tsan
 #   tools/check.sh --lint    # mhb_lint fixtures + clean tree scan (no build)
@@ -377,6 +380,75 @@ JSON
   echo "check.sh: live telemetry smoke passed"
 }
 
+# Determinism-audit smoke: the CLI surface of the divergence auditor
+# (obs/det_audit.h, DESIGN.md §5k).  Three legs: (1) a 4-round config run at
+# 1 and 2 threads with --det-audit 1 must produce ledgers mhb_bisect.py
+# calls identical ("no divergence", exit 0); (2) the MHB_DET_AUDIT_INJECT
+# seam perturbs the rng component from round 0 on, and the bisect must exit
+# nonzero naming exactly that round and component; (3) the auditor is pure
+# observation — an audit-on run's manifest counters and client journal
+# bytes equal an audit-off run's.
+smoke_det_audit() {
+  local build_dir="$1"
+  if ! command -v python3 >/dev/null 2>&1; then
+    echo "check.sh: python3 not found, skipping det-audit smoke"
+    return 0
+  fi
+  local out
+  out="$(mktemp -d)"
+  trap 'rm -rf "$out"' RETURN
+  local cli=("$build_dir/tools/mhbench")
+  local common=(run --task cifar10 --algorithm sheterofl --rounds 4 \
+    --clients 4 --profile 0)
+  MHB_TRAIN=160 MHB_TEST=80 "${cli[@]}" "${common[@]}" --threads 1 \
+    --manifest-dir "$out/t1" --det-audit 1 >/dev/null
+  MHB_TRAIN=160 MHB_TEST=80 "${cli[@]}" "${common[@]}" --threads 2 \
+    --manifest-dir "$out/t2" --det-audit 1 >/dev/null
+  local ledger1 ledger2
+  ledger1="$(echo "$out"/t1/*/det_audit.jsonl)"
+  ledger2="$(echo "$out"/t2/*/det_audit.jsonl)"
+  python3 "$repo/tools/mhb_bisect.py" diff "$ledger1" "$ledger2" \
+    | tee "$out/bisect.out"
+  grep -q "no divergence" "$out/bisect.out"
+  echo "check.sh: det-audit ledgers identical at 1 vs 2 threads"
+
+  # Injected divergence: the bisect must fail and localize it to the seam.
+  MHB_TRAIN=160 MHB_TEST=80 MHB_DET_AUDIT_INJECT=rng \
+    "${cli[@]}" "${common[@]}" --threads 2 \
+    --manifest-dir "$out/inj" --det-audit 1 >/dev/null
+  local ledger_inj
+  ledger_inj="$(echo "$out"/inj/*/det_audit.jsonl)"
+  if python3 "$repo/tools/mhb_bisect.py" diff "$ledger1" "$ledger_inj" \
+      > "$out/bisect_inj.out"; then
+    echo "check.sh: mhb_bisect missed the injected divergence" >&2
+    return 1
+  fi
+  grep -q "divergence at round 0" "$out/bisect_inj.out"
+  grep -q "rng" "$out/bisect_inj.out"
+  echo "check.sh: injected divergence localized to round 0, component rng"
+
+  # Pure observation: audit-off at the same thread count must match the
+  # audit-on run's journal bytes exactly and its manifest counters +
+  # histogram buckets key for key.
+  MHB_TRAIN=160 MHB_TEST=80 "${cli[@]}" "${common[@]}" --threads 2 \
+    --manifest-dir "$out/noaudit" >/dev/null
+  cmp "$out"/t2/*/clients.mhbj "$out"/noaudit/*/clients.mhbj
+  python3 - "$out" <<'PY'
+import glob, json, sys
+out = sys.argv[1]
+on = json.load(open(glob.glob(out + "/t2/*/manifest.json")[0]))
+off = json.load(open(glob.glob(out + "/noaudit/*/manifest.json")[0]))
+assert on["counters"] == off["counters"], "counters changed under audit"
+for name, h in on["histograms"].items():
+    if name.split("@")[0].endswith(("_us", "_ms")):
+        continue  # wall clock: outside the determinism contract
+    assert h == off["histograms"][name], f"histogram {name} changed"
+assert on["metrics"] == off["metrics"], "metrics changed under audit"
+print("check.sh: audit-on run bit-identical to audit-off")
+PY
+  echo "check.sh: det-audit smoke passed"
+}
+
 # Kernel benchmark smoke: builds Release, runs the GEMM/conv micro-benchmarks
 # through every variant (fast vs naive, threaded at 1/2/4 workers, bf16/int8
 # vs f32), and distills the raw google-benchmark output into
@@ -423,7 +495,8 @@ emit_obs_artifacts() {
   for alg in sheterofl fedavg; do
     MHB_TRAIN=160 MHB_TEST=80 "$build_dir/tools/mhbench" run \
       --task cifar10 --algorithm "$alg" --rounds 2 --clients 4 \
-      --threads 2 --manifest-dir "$build_dir/obs-artifacts" >/dev/null
+      --threads 2 --manifest-dir "$build_dir/obs-artifacts" \
+      --det-audit 1 >/dev/null
   done
   if command -v python3 >/dev/null 2>&1; then
     python3 "$repo/tools/mhb_report.py" "$build_dir/obs-artifacts" \
@@ -439,6 +512,7 @@ case "$mode" in
     smoke_obs "$repo/build"
     smoke_resume "$repo/build"
     smoke_live "$repo/build"
+    smoke_det_audit "$repo/build"
     run_suite "$repo/build-tsan" -DMHBENCH_SANITIZE=thread
     smoke_live "$repo/build-tsan"
     ;;
@@ -448,6 +522,7 @@ case "$mode" in
     smoke_obs "$repo/build"
     smoke_resume "$repo/build"
     smoke_live "$repo/build"
+    smoke_det_audit "$repo/build"
     ;;
   --tsan)
     run_suite "$repo/build-tsan" -DMHBENCH_SANITIZE=thread

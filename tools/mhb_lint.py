@@ -15,17 +15,35 @@ and the unordered-iteration rule tracks which identifiers in a file were
 declared as ``std::unordered_map``/``unordered_set`` before flagging
 range-for or ``.begin()`` iteration over them.
 
+v2 adds three semantic rule kinds on the same tokenizer machinery:
+
+  layering              quoted ``#include`` edges must point down the layer
+                        order declared in the rule (up-edges and same-rank
+                        cross-edges are violations)
+  parallel_shared_write assignments / compound assigns / ++ / mutating
+                        member calls on ref-captured outer state inside
+                        lambdas passed to ParallelFor or Submit; per-index
+                        writes into pre-sized buffers stay legal
+  barrier_phase         Registry mutation calls must sit under a
+                        ``// mhb-obs-phase: serial|parallel`` annotation,
+                        serial-only calls may not appear in parallel
+                        phases, and a 'serial' claim inside a
+                        ParallelFor/Submit lambda is inconsistent
+
 Rules, scopes and messages live in tools/lint_rules.json — new rules are
 data, not code.  Deliberate violations are waived inline with
 
     // mhb-lint: allow(rule-id) -- why this one is fine
 
 The justification is mandatory, and an allow that suppresses nothing is
-itself an error, so waivers cannot go stale.
+itself an error, so waivers cannot go stale.  ``--prune`` additionally
+reports rule names inside *used* multi-rule allows that suppressed nothing
+(waiver debt), without affecting the exit code.
 
 Usage:
     tools/mhb_lint.py                 # lint the configured roots (src/)
     tools/mhb_lint.py path...         # lint specific files/directories
+    tools/mhb_lint.py --prune path...
     tools/mhb_lint.py --rules FILE --root DIR path...
 
 Exit codes: 0 clean, 1 violations found, 2 usage/config error.
@@ -103,13 +121,14 @@ PATH_RE = re.compile(r"mhb-lint:\s*path\(([^)]+)\)")
 
 
 class Allow:
-    __slots__ = ("rules", "justification", "line", "used")
+    __slots__ = ("rules", "justification", "line", "used", "used_rules")
 
     def __init__(self, rules, justification, line):
         self.rules = rules
         self.justification = justification
         self.line = line
         self.used = False
+        self.used_rules = set()  # rule ids that actually suppressed a finding
 
 
 def parse_directives(comments):
@@ -125,6 +144,41 @@ def parse_directives(comments):
         if m and virtual_path is None:
             virtual_path = m.group(1).strip()
     return allows, virtual_path
+
+
+# ---------------------------------------------------------------------------
+# File context shared by all matchers
+# ---------------------------------------------------------------------------
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+
+def quoted_includes(source):
+    """[(include_path, line)] for every quoted #include in the raw source.
+
+    Extracted from the raw text, not the token stream: the tokenizer drops
+    string literals, which is exactly where include paths live.  Angle
+    includes (system headers) are never layer edges and are ignored.
+    """
+    out = []
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = INCLUDE_RE.match(line)
+        if m:
+            out.append((m.group(1), lineno))
+    return out
+
+
+class FileContext:
+    """Everything a matcher may inspect about one file."""
+
+    __slots__ = ("tokens", "comments", "includes", "path", "scope_path")
+
+    def __init__(self, tokens, comments, includes, path, scope_path):
+        self.tokens = tokens
+        self.comments = comments
+        self.includes = includes  # [(quoted include path, line)]
+        self.path = path          # as reported in findings
+        self.scope_path = scope_path  # repo-relative, after path() overrides
 
 
 # ---------------------------------------------------------------------------
@@ -206,8 +260,9 @@ def next_token(tokens, i):
     return tokens[i + 1] if i + 1 < len(tokens) else None
 
 
-def match_banned(rule, tokens, path):
+def match_banned(rule, ctx):
     """Matches qualified-name / keyword / member-call patterns."""
+    tokens, path = ctx.tokens, ctx.path
     out = []
     specs = rule["tokens"]
     # Index by terminal identifier for a single pass over the token stream.
@@ -349,8 +404,9 @@ def unordered_names(tokens):
     return names
 
 
-def match_unordered_iteration(rule, tokens, path):
+def match_unordered_iteration(rule, ctx):
     """Flags range-for over, or .begin()/.end() on, unordered containers."""
+    tokens, path = ctx.tokens, ctx.path
     names = unordered_names(tokens)
     if not names:
         return []
@@ -411,9 +467,442 @@ def match_unordered_iteration(rule, tokens, path):
     return out
 
 
+# ---------------------------------------------------------------------------
+# layering: quoted-include edges must point down the declared layer order
+# ---------------------------------------------------------------------------
+
+
+def match_layering(rule, ctx):
+    """Include-graph layering: each quoted #include must target a strictly
+    lower layer.  A file's own layer is the first path component of its
+    scope path under the rule's root; includes of unknown first components
+    (third-party, same-file helpers) are ignored.  Up-edges and same-rank
+    cross-edges are violations; an edge that must exist for a transition
+    period carries an inline allow with a justification.
+    """
+    rank = {}
+    for r, group in enumerate(rule["layers"]):
+        for name in group:
+            rank[name] = r
+    root = rule.get("root", "src")
+    parts = ctx.scope_path.split("/")
+    if len(parts) < 2 or parts[0] != root or parts[1] not in rank:
+        return []
+    own = parts[1]
+    out = []
+    for inc, line in ctx.includes:
+        target = inc.split("/", 1)[0]
+        if target == own or target not in rank:
+            continue
+        if rank[target] > rank[own]:
+            out.append(Violation(
+                ctx.path, line, rule["id"],
+                f"up-edge: layer '{own}' may not include \"{inc}\" from "
+                f"higher layer '{target}'; " + rule["message"],
+            ))
+        elif rank[target] == rank[own]:
+            out.append(Violation(
+                ctx.path, line, rule["id"],
+                f"cross-edge: '{own}' and '{target}' share a rank and must "
+                f"stay independent; " + rule["message"],
+            ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Lambdas handed to the worker pool (shared by two rules below)
+# ---------------------------------------------------------------------------
+
+PARALLEL_ENTRY_POINTS = frozenset(("ParallelFor", "Submit"))
+
+
+def find_matching(tokens, i, open_t, close_t):
+    """tokens[i] is `open_t`; index of the matching `close_t` (or the end)."""
+    depth = 0
+    while i < len(tokens):
+        t = tokens[i].text
+        if t == open_t:
+            depth += 1
+        elif t == close_t:
+            depth -= 1
+            if depth == 0:
+                return i
+        i += 1
+    return len(tokens) - 1
+
+
+class LambdaInfo:
+    __slots__ = ("line", "default", "ref_captures", "value_captures",
+                 "params", "body_start", "body_end")
+
+    def __init__(self):
+        self.line = 0
+        self.default = None       # "&", "=", or None (explicit list only)
+        self.ref_captures = set()
+        self.value_captures = set()
+        self.params = set()
+        self.body_start = -1      # token index of the body '{'
+        self.body_end = -1        # token index of the matching '}'
+
+
+def parse_lambda(tokens, i):
+    """Parses a lambda whose introducer '[' sits at tokens[i]; None if the
+    construct has no body (it was a subscript after all)."""
+    lam = LambdaInfo()
+    lam.line = tokens[i].line
+    close = find_matching(tokens, i, "[", "]")
+    # Split the capture list at depth-0 commas (init-captures may nest).
+    segs, cur, depth = [], [], 0
+    for j in range(i + 1, close):
+        t = tokens[j]
+        if t.text in ("(", "[", "{"):
+            depth += 1
+        elif t.text in (")", "]", "}"):
+            depth -= 1
+        if t.text == "," and depth == 0:
+            segs.append(cur)
+            cur = []
+        else:
+            cur.append(t)
+    if cur:
+        segs.append(cur)
+    for seg in segs:
+        if not seg:
+            continue
+        first = seg[0]
+        if first.text == "&":
+            if len(seg) >= 2 and seg[1].kind == "id":
+                lam.ref_captures.add(seg[1].text)
+            else:
+                lam.default = "&"
+        elif first.text == "=":
+            lam.default = "="
+        elif first.text in ("*", "this"):
+            pass  # [this] / [*this]
+        elif first.kind == "id":
+            lam.value_captures.add(first.text)  # value or init capture
+    # Parameter list (optional).
+    j = close + 1
+    if j < len(tokens) and tokens[j].text == "(":
+        pclose = find_matching(tokens, j, "(", ")")
+        seg, depth = [], 0
+        for k in range(j + 1, pclose):
+            t = tokens[k]
+            if t.text in ("(", "[", "{"):
+                depth += 1
+            elif t.text in (")", "]", "}"):
+                depth -= 1
+            if t.text == "," and depth == 0:
+                _add_param(lam, seg)
+                seg = []
+            else:
+                seg.append(t)
+        _add_param(lam, seg)
+        j = pclose + 1
+    # Specifiers (mutable/noexcept/-> type) up to the body.
+    while j < len(tokens) and tokens[j].text != "{":
+        if tokens[j].text in (";", ")"):  # no body: not a lambda after all
+            return None
+        j += 1
+    if j >= len(tokens):
+        return None
+    lam.body_start = j
+    lam.body_end = find_matching(tokens, j, "{", "}")
+    return lam
+
+
+def _add_param(lam, seg):
+    """Records the declared name of one parameter segment: the last
+    identifier before any top-level default-argument '='."""
+    cut = len(seg)
+    depth = 0
+    for idx, t in enumerate(seg):
+        if t.text in ("(", "[", "{", "<"):
+            depth += 1
+        elif t.text in (")", "]", "}", ">"):
+            depth -= 1
+        elif t.text == "=" and depth == 0:
+            cut = idx
+            break
+    ids = [t for t in seg[:cut] if t.kind == "id" and t.text != "const"]
+    if ids:
+        lam.params.add(ids[-1].text)
+
+
+def parallel_lambdas(tokens):
+    """All lambdas appearing as direct arguments to ParallelFor / Submit."""
+    out = []
+    for i, tok in enumerate(tokens):
+        if tok.kind != "id" or tok.text not in PARALLEL_ENTRY_POINTS:
+            continue
+        nxt = next_token(tokens, i)
+        if nxt is None or nxt.text != "(":
+            continue
+        close = find_matching(tokens, i + 1, "(", ")")
+        j = i + 2
+        while j < close:
+            t = tokens[j]
+            if t.text == "[" and tokens[j - 1].text in ("(", ","):
+                lam = parse_lambda(tokens, j)
+                if lam is not None:
+                    out.append(lam)
+                    j = lam.body_end + 1
+                    continue
+            j += 1
+    return out
+
+
+DECL_SKIP = ("&", "*", "&&", "const")
+
+
+def body_locals(tokens, start, end):
+    """Names declared inside tokens[start+1:end] (type-name pairs).
+
+    Heuristic declaration shape: an identifier (optionally ``a::b``
+    qualified, optionally templated) followed by ref/pointer/const
+    decorations and a second identifier that is itself followed by
+    '=', ';', ',', '(' or '{'.  Catches locals, loop variables and
+    RAII guards; function calls (`name(`) have no second identifier.
+    """
+    locals_ = set()
+    k = start + 1
+    while k < end:
+        t = tokens[k]
+        if t.kind == "id" and t.text not in EXPR_KEYWORDS:
+            prev = tokens[k - 1]
+            if prev.text in (".", "->", "::"):
+                k += 1
+                continue
+            j = k
+            while (j + 2 < end and tokens[j + 1].text == "::"
+                   and tokens[j + 2].kind == "id"):
+                j += 2
+            j += 1
+            if j < end and tokens[j].text == "<":
+                j = skip_template_args(tokens, j)
+            while j < end and tokens[j].text in DECL_SKIP:
+                j += 1
+            if (j < end and tokens[j].kind == "id"
+                    and tokens[j].text not in EXPR_KEYWORDS):
+                follower = tokens[j + 1] if j + 1 < end else None
+                if follower is not None and follower.text in ("=", ";", ",",
+                                                              "(", "{"):
+                    locals_.add(tokens[j].text)
+                    k = j + 1
+                    continue
+        k += 1
+    return locals_
+
+
+def lvalue_base(tokens, j, stop):
+    """Walks left from tokens[j] to the base identifier of an lvalue.
+
+    Returns (base_name_or_None, saw_index): `m[i].field` yields
+    ('m', True) — an indexed write into a pre-sized buffer, which the
+    parallel rule treats as legal.  Qualified names (Namespace::x) and
+    unresolvable shapes yield None.
+    """
+    saw_index = False
+    while j > stop:
+        t = tokens[j]
+        if t.text in ("]", ")"):
+            open_t = "[" if t.text == "]" else "("
+            close_t = t.text
+            depth = 0
+            while j > stop:
+                if tokens[j].text == close_t:
+                    depth += 1
+                elif tokens[j].text == open_t:
+                    depth -= 1
+                    if depth == 0:
+                        break
+                j -= 1
+            if close_t == "]":
+                saw_index = True
+            j -= 1
+            continue
+        if t.kind == "id":
+            if j - 1 > stop and tokens[j - 1].text in (".", "->"):
+                j -= 2
+                continue
+            if j - 1 > stop and tokens[j - 1].text == "::":
+                return None, saw_index
+            return t.text, saw_index
+        return None, saw_index
+    return None, saw_index
+
+
+# Ops that make the '=' before/at them a comparison or compound, not a
+# plain assignment.
+ASSIGN_NEIGHBOR_OPS = frozenset("=!<>+-*/%&|^")
+COMPOUND_OP_CHARS = frozenset("+-*/%&|^")
+
+
+def match_parallel_shared_write(rule, ctx):
+    """Writes to ref-captured outer state inside pool lambdas.
+
+    Flags plain assignment, compound assignment, ++/-- and mutating member
+    calls whose lvalue base is captured by reference (explicitly, or via a
+    ``[&]`` default without being a lambda local/parameter) and reached
+    without an index.  Indexed writes (`out[i] = ...`) are the sanctioned
+    per-slot pattern and stay legal.
+    """
+    tokens = ctx.tokens
+    mutators = frozenset(rule.get("mutators", (
+        "push_back", "pop_back", "emplace_back", "emplace", "insert",
+        "erase", "clear", "resize", "assign", "reserve", "swap",
+    )))
+    out = []
+
+    def shared_write(lam, locals_, base, saw_index):
+        if base is None or saw_index:
+            return False
+        if (base in locals_ or base in lam.params
+                or base in lam.value_captures or base == "this"):
+            return False
+        if base in lam.ref_captures:
+            return True
+        return lam.default == "&"
+
+    for lam in parallel_lambdas(tokens):
+        locals_ = body_locals(tokens, lam.body_start, lam.body_end)
+        start, end = lam.body_start, lam.body_end
+        for k in range(start + 1, end):
+            t = tokens[k]
+            prev = tokens[k - 1]
+            nxt = tokens[k + 1] if k + 1 < end else None
+            base, saw_index, what = None, False, None
+            if t.text == "=" and t.kind == "punct":
+                if prev.text in ASSIGN_NEIGHBOR_OPS:
+                    continue  # ==, !=, <=, >=, compound (handled below)
+                if nxt is not None and nxt.text == "=":
+                    continue  # first half of ==
+                if not (prev.kind == "id" or prev.text in ("]", ")")):
+                    continue
+                base, saw_index = lvalue_base(tokens, k - 1, start)
+                what = "assignment"
+            elif (t.text in COMPOUND_OP_CHARS and nxt is not None
+                  and nxt.text == "="
+                  and (k + 2 >= end or tokens[k + 2].text != "=")
+                  and (prev.kind == "id" or prev.text in ("]", ")"))):
+                base, saw_index = lvalue_base(tokens, k - 1, start)
+                what = f"'{t.text}=' update"
+            elif (t.text in ("+", "-") and nxt is not None
+                  and nxt.text == t.text):
+                if prev.kind == "id" or prev.text in ("]", ")"):
+                    base, saw_index = lvalue_base(tokens, k - 1, start)
+                elif (k + 2 < end and tokens[k + 2].kind == "id"
+                      and prev.text != t.text):
+                    base = tokens[k + 2].text
+                    saw_index = (k + 3 < end and tokens[k + 3].text == "[")
+                what = f"'{t.text}{t.text}'"
+            elif (t.kind == "id" and t.text in mutators
+                  and prev.text in (".", "->")
+                  and nxt is not None and nxt.text == "("):
+                base, saw_index = lvalue_base(tokens, k - 2, start)
+                what = f"mutating call '.{t.text}()'"
+            if what is None:
+                continue
+            if shared_write(lam, locals_, base, saw_index):
+                out.append(Violation(
+                    ctx.path, t.line, rule["id"],
+                    f"{what} on '{base}', captured by reference in a "
+                    f"ParallelFor/Submit lambda; " + rule["message"],
+                ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# barrier_phase: Registry mutations must sit in annotated phases
+# ---------------------------------------------------------------------------
+
+PHASE_RE = re.compile(r"mhb-obs-phase:\s*([A-Za-z_]\w*)")
+
+
+def match_barrier_phase(rule, ctx):
+    """Verifies the per-file ``// mhb-obs-phase: serial|parallel``
+    annotations around Registry mutation calls.
+
+    An annotation governs from its line until the next annotation.  Three
+    checks: every Registry mutation must be governed by some annotation;
+    serial-only calls must not be governed by 'parallel'; and a call
+    governed by 'serial' must not sit lexically inside a ParallelFor/Submit
+    lambda (the annotation would be lying).  The reverse direction —
+    'parallel' code outside a lambda — is deliberately legal: algorithm
+    RunClient bodies execute in the parallel phase without containing the
+    dispatch lambda themselves.
+    """
+    serial_only = frozenset(rule.get("serial_only", ()))
+    parallel_safe = frozenset(rule.get("parallel_safe", ()))
+    receivers = frozenset(rule.get("receivers", ("reg", "registry",
+                                                 "registry_")))
+    members = serial_only | parallel_safe
+    out = []
+    annotations = []
+    for c in ctx.comments:
+        for m in PHASE_RE.finditer(c.text):
+            phase = m.group(1)
+            if phase not in ("serial", "parallel"):
+                out.append(Violation(
+                    ctx.path, c.line, rule["id"],
+                    f"unknown phase '{phase}' in mhb-obs-phase annotation; "
+                    "use 'serial' or 'parallel'",
+                ))
+            annotations.append((c.line, phase))
+    annotations.sort()
+
+    def phase_at(line):
+        current = None
+        for ln, ph in annotations:
+            if ln > line:
+                break
+            current = ph
+        return current
+
+    tokens = ctx.tokens
+    lambdas = parallel_lambdas(tokens)
+    for i, tok in enumerate(tokens):
+        if tok.kind != "id" or tok.text not in members:
+            continue
+        prev = tokens[i - 1] if i > 0 else None
+        nxt = next_token(tokens, i)
+        if (prev is None or prev.text not in (".", "->")
+                or nxt is None or nxt.text != "("):
+            continue
+        recv = tokens[i - 2] if i >= 2 else None
+        if recv is None or recv.kind != "id" or recv.text not in receivers:
+            continue
+        phase = phase_at(tok.line)
+        if phase is None:
+            out.append(Violation(
+                ctx.path, tok.line, rule["id"],
+                f"registry mutation '{tok.text}' with no mhb-obs-phase "
+                "annotation in effect; " + rule["message"],
+            ))
+            continue
+        if phase == "parallel" and tok.text in serial_only:
+            out.append(Violation(
+                ctx.path, tok.line, rule["id"],
+                f"serial-only registry call '{tok.text}' under a "
+                "'parallel' phase annotation; " + rule["message"],
+            ))
+        if phase == "serial" and any(
+                lam.body_start < i < lam.body_end for lam in lambdas):
+            out.append(Violation(
+                ctx.path, tok.line, rule["id"],
+                f"registry call '{tok.text}' is annotated 'serial' but "
+                "sits inside a ParallelFor/Submit lambda; fix the "
+                "annotation or move the call to the barrier",
+            ))
+    return out
+
+
 MATCHERS = {
     "banned": match_banned,
     "unordered_iteration": match_unordered_iteration,
+    "layering": match_layering,
+    "parallel_shared_write": match_parallel_shared_write,
+    "barrier_phase": match_barrier_phase,
 }
 
 
@@ -427,18 +916,27 @@ def lint_file(path, scope_path, rules):
         with open(path, "r", encoding="utf-8", errors="replace") as f:
             source = f.read()
     except OSError as e:
-        return [Violation(path, 0, "io-error", str(e))]
+        return [Violation(path, 0, "io-error", str(e))], []
     tokens, comments = tokenize(source)
     allows, virtual_path = parse_directives(comments)
     if virtual_path is not None:
         scope_path = virtual_path
     known = {r["id"] for r in rules}
+    ctx = FileContext(tokens, comments, quoted_includes(source), path,
+                      scope_path)
 
     violations = []
+    seen = set()
     for rule in rules:
         if not in_scope(rule, scope_path):
             continue
-        violations.extend(MATCHERS[rule["kind"]](rule, tokens, path))
+        for v in MATCHERS[rule["kind"]](rule, ctx):
+            # Nested pool lambdas are scanned once per enclosing lambda;
+            # report each finding once.
+            key = (v.line, v.rule, v.message)
+            if key not in seen:
+                seen.add(key)
+                violations.append(v)
 
     # Apply waivers: an allow covers its own line (trailing comment) and the
     # next line (comment-above style).
@@ -452,6 +950,7 @@ def lint_file(path, scope_path, rules):
         for a in allows_by_line.get(v.line, ()):
             if v.rule in a.rules and a.justification:
                 a.used = True
+                a.used_rules.add(v.rule)
                 waived = True
         if not waived:
             kept.append(v)
@@ -483,7 +982,18 @@ def lint_file(path, scope_path, rules):
                     "remove the stale waiver",
                 )
             )
-    return violations
+
+    # Waiver debt (--prune): rules named in a *used* allow that suppressed
+    # nothing.  Not an error — the allow is live — but the extra rule name
+    # is dead weight worth surfacing in CI logs.
+    prunes = []
+    for a in allows:
+        if not a.justification or not a.used:
+            continue  # already an error above
+        for r in a.rules:
+            if r in known and r not in a.used_rules:
+                prunes.append((path, a.line, r))
+    return violations, prunes
 
 
 def collect_files(paths, root, config):
@@ -518,6 +1028,10 @@ def main(argv=None):
     parser.add_argument("--root", default=None,
                         help="repo root for scope paths (default: parent of "
                         "the rules file's directory)")
+    parser.add_argument("--prune", action="store_true",
+                        help="also report rule names in used allows that "
+                        "suppressed nothing (informational; does not affect "
+                        "the exit code)")
     args = parser.parse_args(argv)
 
     rules_path = args.rules or os.path.join(
@@ -545,14 +1059,28 @@ def main(argv=None):
     files = collect_files(args.paths, root, config)
 
     all_violations = []
+    all_prunes = []
     for path in files:
         scope_path = os.path.relpath(os.path.abspath(path), root)
         scope_path = scope_path.replace(os.sep, "/")
-        all_violations.extend(lint_file(path, scope_path, rules))
+        violations, prunes = lint_file(path, scope_path, rules)
+        all_violations.extend(violations)
+        all_prunes.extend(prunes)
 
     all_violations.sort(key=lambda v: (v.path, v.line, v.rule))
     for v in all_violations:
         print(f"{v.path}:{v.line}: {v.rule}: {v.message}")
+    if args.prune and all_prunes:
+        # 'prune:' prefix keeps these lines distinct from findings (they
+        # never match the `path:line: rule:` shape the fixture tests parse).
+        for path, line, r in sorted(all_prunes):
+            print(f"prune: {path}:{line}: allow({r}) suppresses nothing "
+                  "here; narrow or remove the waiver")
+        print(
+            f"mhb_lint: {len(all_prunes)} prunable allow rule(s) "
+            "(informational)",
+            file=sys.stderr,
+        )
     if all_violations:
         print(
             f"mhb_lint: {len(all_violations)} violation(s) in "

@@ -18,6 +18,7 @@
 //               [--resume checkpoints/round_000002.mhbsnap]
 //               [--live-port P] [--heartbeat-every SEC]
 //               [--watchdog-sec SEC] [--watchdog-abort 0|1]
+//               [--det-audit path|1]
 //       Run one federated experiment and print the metric panel.
 //       --threads parallelizes client training and stability evaluation;
 //       results are bit-identical for any thread count.
@@ -54,6 +55,14 @@
 //       None of these can perturb results: the exporter only reads
 //       round-barrier totals (DESIGN.md §5h); `tools/mhb_watch.py` polls
 //       /status.json into a terminal progress view.
+//       --det-audit <path|1> writes a per-round determinism ledger
+//       (det_audit.jsonl): one 64-bit hash per component (RNG stream,
+//       model/algorithm state bytes, counter and histogram totals) plus a
+//       running chain, at every round barrier.  "1" places the ledger in
+//       the --manifest-dir run directory.  `tools/mhb_bisect.py` diffs two
+//       ledgers and names the first divergent round and component
+//       (DESIGN.md §5k).  Read-only over engine state: attaching it leaves
+//       results, manifests and journals bit-identical.
 //
 // Every command also accepts --log-level <silent|error|warn|info|debug|
 // trace|0-5>, mirroring the MHB_LOG_LEVEL environment variable (the flag
@@ -77,6 +86,7 @@
 #include "device/ima_fleet.h"
 #include "metrics/report.h"
 #include "models/zoo.h"
+#include "obs/det_audit.h"
 #include "obs/journal.h"
 #include "obs/live.h"
 #include "obs/manifest.h"
@@ -324,6 +334,30 @@ int CmdRun(const Args& args) {
         [jw](std::vector<obs::Registry::ClientRow>&& rows) {
           jw->Append(rows);
         });
+  }
+
+  // Determinism divergence auditor (obs/det_audit.h, DESIGN.md §5k).
+  // "--det-audit 1" resolves to the run directory; any other value is the
+  // ledger path itself.
+  std::unique_ptr<obs::DetAuditor> det_audit;
+  std::string det_audit_path = args.Get("det-audit", "");
+  if (det_audit_path == "1" || det_audit_path == "true") {
+    if (run_dir.empty()) {
+      MHB_LOG_WARN << "--det-audit 1 needs --manifest-dir for the "
+                      "det_audit.jsonl destination; disabling audit";
+      det_audit_path.clear();
+    } else {
+      det_audit_path = run_dir + "/det_audit.jsonl";
+    }
+  } else if (det_audit_path == "0" || det_audit_path == "false") {
+    det_audit_path.clear();
+  }
+  if (!det_audit_path.empty()) {
+    det_audit = std::make_unique<obs::DetAuditor>(det_audit_path);
+    det_audit->WriteHeader(algorithm, options.preset.seed,
+                           options.preset.rounds, options.preset.threads);
+    options.obs.det_audit = det_audit.get();
+    MHB_LOG_INFO << "det-audit ledger: " << det_audit_path;
   }
 
   std::unique_ptr<obs::LiveExporter> live;
